@@ -1,0 +1,155 @@
+// Command zionbench regenerates every table and figure of the paper's
+// evaluation (§V) plus the design ablations. Experiments are selected
+// with -e (comma-separated ids) and default to the full set.
+//
+//	e1  §V.B.1  shared-vCPU world-switch optimization
+//	e2  §V.B.2  short-path vs long-path world switch
+//	e3  §V.C    stage-2 page-fault handling per allocation stage
+//	t1  Table I RV8 suite, normal VM vs confidential VM
+//	e4  §V.D    CoreMark-like score
+//	f3  Fig. 3  Redis-like throughput and latency
+//	f4  Fig. 4  IOZone-like sequential I/O sweep
+//	a1  ablation: concurrency vs region-based isolation
+//	a2  ablation: split page table vs synchronized sharing
+//	a3  ablation: hierarchical allocator stage distribution
+//	a4  ablation: shared-subtable entry revalidation cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zion/internal/bench"
+)
+
+func main() {
+	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4", "experiments to run")
+	scaleDiv := flag.Int("scalediv", 1, "divide workload scales (faster, less precise)")
+	requests := flag.Int("requests", 200, "redis requests per operation")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*sel, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+		os.Exit(1)
+	}
+	section := func(id, title string) {
+		fmt.Printf("\n=== %s — %s ===\n", id, title)
+	}
+
+	if want["e1"] {
+		section("E1", "§V.B.1 shared-vCPU optimization (paper: entry 5293->4191, exit 3267->2524)")
+		r, err := bench.RunE1(200)
+		if err != nil {
+			fail("e1", err)
+		}
+		for _, l := range r.Rows() {
+			fmt.Println(l)
+		}
+	}
+	if want["e2"] {
+		section("E2", "§V.B.2 short-path CVM mode (paper: entry 7282->4028, exit 5384->2406)")
+		r, err := bench.RunE2(200)
+		if err != nil {
+			fail("e2", err)
+		}
+		for _, l := range r.Rows() {
+			fmt.Println(l)
+		}
+	}
+	if want["e3"] {
+		section("E3", "§V.C stage-2 page faults (paper: normal 39607; CVM 31103/34729/57152, avg 31449)")
+		r, err := bench.RunE3(1536)
+		if err != nil {
+			fail("e3", err)
+		}
+		for _, l := range r.Rows() {
+			fmt.Println(l)
+		}
+	}
+	if want["t1"] {
+		section("T1", "Table I: RV8 benchmarks (paper: avg +2.59%)")
+		r, err := bench.RunT1(*scaleDiv)
+		if err != nil {
+			fail("t1", err)
+		}
+		for _, l := range r.Format() {
+			fmt.Println(l)
+		}
+	}
+	if want["e4"] {
+		section("E4", "§V.D CoreMark (paper: 2047.6 vs 1992.3, -2.77%)")
+		r, err := bench.RunE4(*scaleDiv)
+		if err != nil {
+			fail("e4", err)
+		}
+		for _, l := range r.Rows() {
+			fmt.Println(l)
+		}
+	}
+	if want["f3"] {
+		section("F3", "Fig. 3: Redis-like (paper: throughput -5.3%, latency +4%)")
+		r, err := bench.RunF3(*requests)
+		if err != nil {
+			fail("f3", err)
+		}
+		for _, l := range r.Format() {
+			fmt.Println(l)
+		}
+	}
+	if want["f4"] {
+		section("F4", "Fig. 4: IOZone-like sweep (paper: <5% small files, up to 20% large)")
+		r, err := bench.RunF4()
+		if err != nil {
+			fail("f4", err)
+		}
+		for _, l := range r.Format() {
+			fmt.Println(l)
+		}
+	}
+	if want["a1"] {
+		section("A1", "ablation: concurrent-enclave scalability")
+		r, err := bench.RunA1(64)
+		if err != nil {
+			fail("a1", err)
+		}
+		for _, l := range r.Rows() {
+			fmt.Println(l)
+		}
+	}
+	if want["a2"] {
+		section("A2", "ablation: shared-memory update cost")
+		r, err := bench.RunA2(1000)
+		if err != nil {
+			fail("a2", err)
+		}
+		for _, l := range r.Rows() {
+			fmt.Println(l)
+		}
+	}
+	if want["a4"] {
+		section("A4", "ablation: shared-subtable entry revalidation cost")
+		r, err := bench.RunA4()
+		if err != nil {
+			fail("a4", err)
+		}
+		for _, l := range r.Format() {
+			fmt.Println(l)
+		}
+	}
+	if want["a3"] {
+		section("A3", "ablation: hierarchical allocator stage distribution")
+		r, err := bench.RunA3(4000)
+		if err != nil {
+			fail("a3", err)
+		}
+		for _, l := range r.Rows() {
+			fmt.Println(l)
+		}
+	}
+}

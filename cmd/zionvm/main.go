@@ -1,0 +1,97 @@
+// Command zionvm boots the simulated platform and runs one of the
+// built-in guest workloads as a confidential or normal VM, reporting the
+// guest's result, its checksum validation, cycle counts and exit profile.
+//
+//	zionvm -workload aes                 # confidential by default
+//	zionvm -workload qsort -normal
+//	zionvm -workload coremark -scale 500 -quantum 250000
+//	zionvm -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"zion"
+	"zion/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "aes", "workload to run (see -list)")
+	list := flag.Bool("list", false, "list available workloads")
+	normal := flag.Bool("normal", false, "run as a normal VM instead of a confidential VM")
+	scale := flag.Int("scale", 0, "workload scale (0 = kernel default)")
+	quantum := flag.Uint64("quantum", 220_000, "scheduler timeslice in cycles (0 = none)")
+	flag.Parse()
+
+	kernels := map[string]workloads.Kernel{}
+	for _, k := range workloads.RV8() {
+		kernels[k.Name] = k
+	}
+	cm := workloads.Coremark()
+	kernels[cm.Name] = cm
+
+	if *list {
+		var names []string
+		for n := range kernels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-12s (default scale %d)\n", n, kernels[n].DefaultScale)
+		}
+		return
+	}
+
+	k, ok := kernels[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "zionvm: unknown workload %q (try -list)\n", *name)
+		os.Exit(1)
+	}
+	if *scale <= 0 {
+		*scale = k.DefaultScale
+	}
+
+	sys, err := zion.NewSystem(zion.Config{SchedQuantum: *quantum})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zionvm:", err)
+		os.Exit(1)
+	}
+	img := workloads.Program(k, *scale)
+
+	kind := "confidential"
+	var vm *zion.VM
+	if *normal {
+		kind = "normal"
+		vm, err = sys.CreateNormalVM(k.Name, img, zion.GuestRAMBase)
+	} else {
+		vm, err = sys.CreateConfidentialVM(k.Name, img, zion.GuestRAMBase)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zionvm:", err)
+		os.Exit(1)
+	}
+
+	if !*normal {
+		meas, _ := sys.Measurement(vm)
+		fmt.Printf("launch measurement: %x\n", meas)
+	}
+	res, err := sys.Run(vm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zionvm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload   : %s (scale %d) as %s VM\n", k.Name, *scale, kind)
+	fmt.Printf("guest time : %d cycles (self-measured)\n", res.GuestData)
+	fmt.Printf("wall time  : %d cycles\n", res.Cycles)
+	fmt.Printf("exits      : %v\n", vm.Exits())
+
+	want := k.Mirror(*scale)
+	fmt.Printf("checksum ok: %v (guest %#x, mirror %#x)\n",
+		res.GuestData2 == want, res.GuestData2, want)
+	if res.GuestData2 != want {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: boot the simulated RISC-V platform, launch one confidential
+// VM that computes a value and prints through the SBI console, then fetch
+// and verify its launch measurement — the minimal ZION lifecycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zion"
+	"zion/internal/asm"
+	"zion/internal/sm"
+)
+
+func main() {
+	sys, err := zion.NewSystem(zion.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A guest image: compute 6*7, print "CVM!", report the result through
+	// the shutdown call. Everything below runs as interpreted RV64
+	// instructions inside the confidential VM.
+	p := asm.New(zion.GuestRAMBase)
+	p.LI(asm.S0, 6)
+	p.LI(asm.S1, 7)
+	p.MUL(asm.S2, asm.S0, asm.S1)
+	for _, ch := range "CVM!\n" {
+		p.LI(asm.A0, int64(ch))
+		p.LI(asm.A7, sm.EIDPutchar)
+		p.ECALL()
+	}
+	p.MV(asm.A0, asm.S2)
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+
+	vm, err := sys.CreateConfidentialVM("quickstart", p.MustAssemble(), zion.GuestRAMBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.Run(vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guest result : %d (in %d cycles)\n", res.GuestData, res.Cycles)
+	fmt.Printf("guest console: %q\n", sys.ConsoleOutput())
+
+	meas, err := sys.Measurement(vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measurement  : %x\n", meas)
+
+	report, err := sys.Attest(vm, 0xC0FFEE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attestation  : cvm=%d nonce=%#x bound to the measurement above\n",
+		report.CVMID, report.Nonce)
+
+	if err := sys.Destroy(vm); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("destroyed    : secure memory scrubbed and returned to the pool")
+}

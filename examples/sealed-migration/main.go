@@ -1,0 +1,91 @@
+// Sealed-migration: suspend a running confidential VM mid-computation,
+// seal it into an encrypted blob the hypervisor can ship anywhere,
+// destroy the original, restore from the blob, and verify — via the
+// attestation verifier — that the restored instance still carries the
+// approved launch measurement before letting it finish the job.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zion"
+	"zion/internal/asm"
+	"zion/internal/attest"
+	"zion/internal/sm"
+)
+
+func main() {
+	sys, err := zion.NewSystem(zion.Config{SchedQuantum: 20_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A long-running computation: sum 1..200000 with progress in memory.
+	p := asm.New(zion.GuestRAMBase)
+	p.LI(asm.S2, 0) // accumulator
+	p.LI(asm.S3, 1) // i
+	p.LI(asm.T1, 200_000)
+	p.Label("loop")
+	p.ADD(asm.S2, asm.S2, asm.S3)
+	p.ADDI(asm.S3, asm.S3, 1)
+	p.BGE(asm.T1, asm.S3, "loop")
+	p.MV(asm.A0, asm.S2)
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+
+	vm, err := sys.CreateConfidentialVM("worker", p.MustAssemble(), zion.GuestRAMBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The relying party approves this exact launch image.
+	verifier := attest.NewVerifier(sys.Monitor.PlatformKey())
+	meas, _ := sys.Measurement(vm)
+	if err := verifier.Approve(meas, "worker-v1"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Let it run a few quanta.
+	for i := 0; i < 4; i++ {
+		if reason, err := sys.RunOnce(vm); err != nil || reason != "timer" {
+			log.Fatalf("quantum %d: %v %v", i, reason, err)
+		}
+	}
+	fmt.Println("worker preempted mid-computation after 4 quanta")
+
+	// Seal, destroy, ship, restore.
+	blob, err := sys.Snapshot(vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sealed image: %d bytes of ciphertext (hypervisor-visible, SM-opaque)\n", len(blob))
+	if err := sys.Destroy(vm); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := sys.Restore("worker-restored", blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attestation still holds: challenge the restored instance and verify
+	// its report against the original approval.
+	nonce := verifier.Challenge()
+	raw, err := sys.BuildReport(restored, nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, label, err := verifier.Verify(raw); err != nil {
+		log.Fatalf("restored instance failed attestation: %v", err)
+	} else {
+		fmt.Printf("restored instance re-attested under policy %q\n", label)
+	}
+
+	// Finish the computation: the sum must be exact despite the round trip.
+	res, err := sys.Run(restored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := uint64(200_000) * 200_001 / 2
+	fmt.Printf("final sum: %d (expected %d, intact: %v)\n", res.GuestData, want, res.GuestData == want)
+}

@@ -1,0 +1,3 @@
+module zion
+
+go 1.22

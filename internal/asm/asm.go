@@ -1,0 +1,534 @@
+// Package asm is a small two-pass RV64 assembler used to author the guest
+// programs the simulator executes: workload kernels (the RV8 suite, the
+// CoreMark-like loop), trap stubs, and test fixtures. Programs are built
+// through a fluent DSL with string labels; Assemble resolves branches and
+// emits little-endian machine code ready to copy into guest memory.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zion/internal/isa"
+)
+
+// Reg is a register operand. The package exports ABI-named constants.
+type Reg = uint8
+
+// ABI register names.
+const (
+	Zero Reg = 0
+	RA   Reg = 1
+	SP   Reg = 2
+	GP   Reg = 3
+	TP   Reg = 4
+	T0   Reg = 5
+	T1   Reg = 6
+	T2   Reg = 7
+	S0   Reg = 8
+	S1   Reg = 9
+	A0   Reg = 10
+	A1   Reg = 11
+	A2   Reg = 12
+	A3   Reg = 13
+	A4   Reg = 14
+	A5   Reg = 15
+	A6   Reg = 16
+	A7   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	S8   Reg = 24
+	S9   Reg = 25
+	S10  Reg = 26
+	S11  Reg = 27
+	T3   Reg = 28
+	T4   Reg = 29
+	T5   Reg = 30
+	T6   Reg = 31
+)
+
+// item is one position in the program: either a fixed word or a
+// label-dependent fixup re-encoded in pass two.
+type item struct {
+	word  uint32
+	fixup func(pc uint64, labels map[string]uint64) (uint32, error)
+}
+
+// Program accumulates instructions and data.
+type Program struct {
+	base   uint64
+	items  []item
+	labels map[string]uint64
+	errs   []error
+}
+
+// New starts a program whose first byte will live at base.
+func New(base uint64) *Program {
+	return &Program{base: base, labels: make(map[string]uint64)}
+}
+
+// Base returns the program's load address.
+func (p *Program) Base() uint64 { return p.base }
+
+// PC returns the address of the next emitted instruction.
+func (p *Program) PC() uint64 { return p.base + uint64(len(p.items))*4 }
+
+// Label binds name to the current PC.
+func (p *Program) Label(name string) *Program {
+	if _, dup := p.labels[name]; dup {
+		p.errs = append(p.errs, fmt.Errorf("asm: duplicate label %q", name))
+	}
+	p.labels[name] = p.PC()
+	return p
+}
+
+// LabelAddr returns a label's address after it has been defined (pass-one
+// use requires the label to precede the query).
+func (p *Program) LabelAddr(name string) (uint64, bool) {
+	a, ok := p.labels[name]
+	return a, ok
+}
+
+func (p *Program) emit(w uint32) *Program {
+	p.items = append(p.items, item{word: w})
+	return p
+}
+
+func (p *Program) emitFixup(f func(pc uint64, labels map[string]uint64) (uint32, error)) *Program {
+	p.items = append(p.items, item{fixup: f})
+	return p
+}
+
+// Assemble resolves labels and returns the machine code.
+func (p *Program) Assemble() ([]byte, error) {
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	out := make([]byte, len(p.items)*4)
+	for i, it := range p.items {
+		w := it.word
+		if it.fixup != nil {
+			pc := p.base + uint64(i)*4
+			var err error
+			w, err = it.fixup(pc, p.labels)
+			if err != nil {
+				return nil, err
+			}
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for hand-written kernels where an encoding
+// error is a bug in the kernel source.
+func (p *Program) MustAssemble() []byte {
+	b, err := p.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func resolve(labels map[string]uint64, name string) (uint64, error) {
+	a, ok := labels[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined label %q", name)
+	}
+	return a, nil
+}
+
+// --- ALU register-immediate ----------------------------------------------
+
+// ADDI emits addi rd, rs1, imm.
+func (p *Program) ADDI(rd, rs1 Reg, imm int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 0, rd, rs1, imm))
+}
+
+// SLTI emits slti.
+func (p *Program) SLTI(rd, rs1 Reg, imm int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 2, rd, rs1, imm))
+}
+
+// SLTIU emits sltiu.
+func (p *Program) SLTIU(rd, rs1 Reg, imm int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 3, rd, rs1, imm))
+}
+
+// XORI emits xori.
+func (p *Program) XORI(rd, rs1 Reg, imm int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 4, rd, rs1, imm))
+}
+
+// ORI emits ori.
+func (p *Program) ORI(rd, rs1 Reg, imm int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 6, rd, rs1, imm))
+}
+
+// ANDI emits andi.
+func (p *Program) ANDI(rd, rs1 Reg, imm int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 7, rd, rs1, imm))
+}
+
+// SLLI emits slli (6-bit shamt).
+func (p *Program) SLLI(rd, rs1 Reg, shamt int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 1, rd, rs1, shamt&0x3F))
+}
+
+// SRLI emits srli.
+func (p *Program) SRLI(rd, rs1 Reg, shamt int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 5, rd, rs1, shamt&0x3F))
+}
+
+// SRAI emits srai.
+func (p *Program) SRAI(rd, rs1 Reg, shamt int64) *Program {
+	return p.emit(isa.EncodeI(0x13, 5, rd, rs1, shamt&0x3F|0x400))
+}
+
+// ADDIW emits addiw.
+func (p *Program) ADDIW(rd, rs1 Reg, imm int64) *Program {
+	return p.emit(isa.EncodeI(0x1B, 0, rd, rs1, imm))
+}
+
+// --- ALU register-register -----------------------------------------------
+
+func (p *Program) r(funct3, funct7 uint32, rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeR(0x33, funct3, funct7, rd, rs1, rs2))
+}
+
+// ADD emits add.
+func (p *Program) ADD(rd, rs1, rs2 Reg) *Program { return p.r(0, 0x00, rd, rs1, rs2) }
+
+// SUB emits sub.
+func (p *Program) SUB(rd, rs1, rs2 Reg) *Program { return p.r(0, 0x20, rd, rs1, rs2) }
+
+// SLL emits sll.
+func (p *Program) SLL(rd, rs1, rs2 Reg) *Program { return p.r(1, 0x00, rd, rs1, rs2) }
+
+// SLT emits slt.
+func (p *Program) SLT(rd, rs1, rs2 Reg) *Program { return p.r(2, 0x00, rd, rs1, rs2) }
+
+// SLTU emits sltu.
+func (p *Program) SLTU(rd, rs1, rs2 Reg) *Program { return p.r(3, 0x00, rd, rs1, rs2) }
+
+// XOR emits xor.
+func (p *Program) XOR(rd, rs1, rs2 Reg) *Program { return p.r(4, 0x00, rd, rs1, rs2) }
+
+// SRL emits srl.
+func (p *Program) SRL(rd, rs1, rs2 Reg) *Program { return p.r(5, 0x00, rd, rs1, rs2) }
+
+// SRA emits sra.
+func (p *Program) SRA(rd, rs1, rs2 Reg) *Program { return p.r(5, 0x20, rd, rs1, rs2) }
+
+// OR emits or.
+func (p *Program) OR(rd, rs1, rs2 Reg) *Program { return p.r(6, 0x00, rd, rs1, rs2) }
+
+// AND emits and.
+func (p *Program) AND(rd, rs1, rs2 Reg) *Program { return p.r(7, 0x00, rd, rs1, rs2) }
+
+// MUL emits mul.
+func (p *Program) MUL(rd, rs1, rs2 Reg) *Program { return p.r(0, 0x01, rd, rs1, rs2) }
+
+// MULH emits mulh.
+func (p *Program) MULH(rd, rs1, rs2 Reg) *Program { return p.r(1, 0x01, rd, rs1, rs2) }
+
+// MULHU emits mulhu.
+func (p *Program) MULHU(rd, rs1, rs2 Reg) *Program { return p.r(3, 0x01, rd, rs1, rs2) }
+
+// DIV emits div.
+func (p *Program) DIV(rd, rs1, rs2 Reg) *Program { return p.r(4, 0x01, rd, rs1, rs2) }
+
+// DIVU emits divu.
+func (p *Program) DIVU(rd, rs1, rs2 Reg) *Program { return p.r(5, 0x01, rd, rs1, rs2) }
+
+// REM emits rem.
+func (p *Program) REM(rd, rs1, rs2 Reg) *Program { return p.r(6, 0x01, rd, rs1, rs2) }
+
+// REMU emits remu.
+func (p *Program) REMU(rd, rs1, rs2 Reg) *Program { return p.r(7, 0x01, rd, rs1, rs2) }
+
+// ADDW emits addw.
+func (p *Program) ADDW(rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeR(0x3B, 0, 0x00, rd, rs1, rs2))
+}
+
+// SUBW emits subw.
+func (p *Program) SUBW(rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeR(0x3B, 0, 0x20, rd, rs1, rs2))
+}
+
+// MULW emits mulw.
+func (p *Program) MULW(rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeR(0x3B, 0, 0x01, rd, rs1, rs2))
+}
+
+// --- Loads and stores ----------------------------------------------------
+
+// LB emits lb rd, off(rs1).
+func (p *Program) LB(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x03, 0, rd, rs1, off))
+}
+
+// LH emits lh.
+func (p *Program) LH(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x03, 1, rd, rs1, off))
+}
+
+// LW emits lw.
+func (p *Program) LW(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x03, 2, rd, rs1, off))
+}
+
+// LD emits ld.
+func (p *Program) LD(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x03, 3, rd, rs1, off))
+}
+
+// LBU emits lbu.
+func (p *Program) LBU(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x03, 4, rd, rs1, off))
+}
+
+// LHU emits lhu.
+func (p *Program) LHU(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x03, 5, rd, rs1, off))
+}
+
+// LWU emits lwu.
+func (p *Program) LWU(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x03, 6, rd, rs1, off))
+}
+
+// SB emits sb rs2, off(rs1).
+func (p *Program) SB(rs2, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeS(0x23, 0, rs1, rs2, off))
+}
+
+// SH emits sh.
+func (p *Program) SH(rs2, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeS(0x23, 1, rs1, rs2, off))
+}
+
+// SW emits sw.
+func (p *Program) SW(rs2, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeS(0x23, 2, rs1, rs2, off))
+}
+
+// SD emits sd.
+func (p *Program) SD(rs2, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeS(0x23, 3, rs1, rs2, off))
+}
+
+// --- Atomics ---------------------------------------------------------------
+
+// LRW emits lr.w rd, (rs1).
+func (p *Program) LRW(rd, rs1 Reg) *Program {
+	return p.emit(isa.EncodeAMO(0x02, 2, rd, rs1, 0))
+}
+
+// SCW emits sc.w rd, rs2, (rs1).
+func (p *Program) SCW(rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeAMO(0x03, 2, rd, rs1, rs2))
+}
+
+// AMOADDW emits amoadd.w rd, rs2, (rs1).
+func (p *Program) AMOADDW(rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeAMO(0x00, 2, rd, rs1, rs2))
+}
+
+// AMOADDD emits amoadd.d rd, rs2, (rs1).
+func (p *Program) AMOADDD(rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeAMO(0x00, 3, rd, rs1, rs2))
+}
+
+// AMOSWAPD emits amoswap.d rd, rs2, (rs1).
+func (p *Program) AMOSWAPD(rd, rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeAMO(0x01, 3, rd, rs1, rs2))
+}
+
+// --- Control flow ----------------------------------------------------------
+
+func (p *Program) branch(funct3 uint32, rs1, rs2 Reg, label string) *Program {
+	return p.emitFixup(func(pc uint64, labels map[string]uint64) (uint32, error) {
+		target, err := resolve(labels, label)
+		if err != nil {
+			return 0, err
+		}
+		return isa.EncodeB(0x63, funct3, rs1, rs2, int64(target)-int64(pc)), nil
+	})
+}
+
+// BEQ emits beq rs1, rs2, label.
+func (p *Program) BEQ(rs1, rs2 Reg, label string) *Program { return p.branch(0, rs1, rs2, label) }
+
+// BNE emits bne.
+func (p *Program) BNE(rs1, rs2 Reg, label string) *Program { return p.branch(1, rs1, rs2, label) }
+
+// BLT emits blt.
+func (p *Program) BLT(rs1, rs2 Reg, label string) *Program { return p.branch(4, rs1, rs2, label) }
+
+// BGE emits bge.
+func (p *Program) BGE(rs1, rs2 Reg, label string) *Program { return p.branch(5, rs1, rs2, label) }
+
+// BLTU emits bltu.
+func (p *Program) BLTU(rs1, rs2 Reg, label string) *Program { return p.branch(6, rs1, rs2, label) }
+
+// BGEU emits bgeu.
+func (p *Program) BGEU(rs1, rs2 Reg, label string) *Program { return p.branch(7, rs1, rs2, label) }
+
+// JAL emits jal rd, label.
+func (p *Program) JAL(rd Reg, label string) *Program {
+	return p.emitFixup(func(pc uint64, labels map[string]uint64) (uint32, error) {
+		target, err := resolve(labels, label)
+		if err != nil {
+			return 0, err
+		}
+		return isa.EncodeJ(0x6F, rd, int64(target)-int64(pc)), nil
+	})
+}
+
+// J emits an unconditional jump to label.
+func (p *Program) J(label string) *Program { return p.JAL(Zero, label) }
+
+// CALL emits jal ra, label.
+func (p *Program) CALL(label string) *Program { return p.JAL(RA, label) }
+
+// JALR emits jalr rd, off(rs1).
+func (p *Program) JALR(rd, rs1 Reg, off int64) *Program {
+	return p.emit(isa.EncodeI(0x67, 0, rd, rs1, off))
+}
+
+// RET emits jalr x0, 0(ra).
+func (p *Program) RET() *Program { return p.JALR(Zero, RA, 0) }
+
+// --- System ------------------------------------------------------------------
+
+// ECALL emits ecall.
+func (p *Program) ECALL() *Program { return p.emit(isa.WordECALL) }
+
+// EBREAK emits ebreak.
+func (p *Program) EBREAK() *Program { return p.emit(isa.WordEBREAK) }
+
+// SRET emits sret.
+func (p *Program) SRET() *Program { return p.emit(isa.WordSRET) }
+
+// MRET emits mret.
+func (p *Program) MRET() *Program { return p.emit(isa.WordMRET) }
+
+// WFI emits wfi.
+func (p *Program) WFI() *Program { return p.emit(isa.WordWFI) }
+
+// NOP emits addi x0, x0, 0.
+func (p *Program) NOP() *Program { return p.emit(isa.WordNOP) }
+
+// SFENCEVMA emits sfence.vma rs1, rs2.
+func (p *Program) SFENCEVMA(rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeR(0x73, 0, 0x09, 0, rs1, rs2))
+}
+
+// HFENCEGVMA emits hfence.gvma rs1, rs2.
+func (p *Program) HFENCEGVMA(rs1, rs2 Reg) *Program {
+	return p.emit(isa.EncodeR(0x73, 0, 0x31, 0, rs1, rs2))
+}
+
+// FENCE emits fence iorw, iorw.
+func (p *Program) FENCE() *Program { return p.emit(isa.WordFENCE) }
+
+// CSRRW emits csrrw rd, csr, rs1.
+func (p *Program) CSRRW(rd Reg, csr uint16, rs1 Reg) *Program {
+	return p.emit(isa.EncodeCSR(1, rd, rs1, csr))
+}
+
+// CSRRS emits csrrs rd, csr, rs1.
+func (p *Program) CSRRS(rd Reg, csr uint16, rs1 Reg) *Program {
+	return p.emit(isa.EncodeCSR(2, rd, rs1, csr))
+}
+
+// CSRR emits csrrs rd, csr, x0 (read).
+func (p *Program) CSRR(rd Reg, csr uint16) *Program { return p.CSRRS(rd, csr, Zero) }
+
+// --- Pseudo-instructions ------------------------------------------------------
+
+// MV emits addi rd, rs, 0.
+func (p *Program) MV(rd, rs Reg) *Program { return p.ADDI(rd, rs, 0) }
+
+// LI loads an arbitrary 64-bit constant using lui/addiw and shift-or
+// chains (up to 8 instructions for full-width values).
+func (p *Program) LI(rd Reg, v int64) *Program {
+	if v >= -2048 && v <= 2047 {
+		return p.ADDI(rd, Zero, v)
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		hi := (v + 0x800) >> 12
+		lo := v - hi<<12
+		p.emit(isa.EncodeU(0x37, rd, hi<<12))
+		if lo != 0 {
+			p.ADDIW(rd, rd, lo)
+		}
+		return p
+	}
+	// Build from the top 32 bits, then shift in 11-bit chunks.
+	upper := v >> 32
+	p.LI(rd, upper)
+	rest := uint64(v) & 0xFFFFFFFF
+	chunks := []struct {
+		shift uint
+		bits  uint64
+	}{{11, rest >> 21 & 0x7FF}, {11, rest >> 10 & 0x7FF}, {10, rest & 0x3FF}}
+	for _, c := range chunks {
+		p.SLLI(rd, rd, int64(c.shift))
+		if c.bits != 0 {
+			p.ADDI(rd, rd, int64(c.bits))
+		}
+	}
+	return p
+}
+
+// LA materializes a label's absolute address via LI (the simulator loads
+// programs at fixed addresses, so absolute addressing is exact).
+func (p *Program) LA(rd Reg, label string) *Program {
+	// Reserve a fixed-length 8-word slot and patch it in pass 2 so the
+	// label math stays stable regardless of the address value.
+	start := len(p.items)
+	for i := 0; i < 8; i++ {
+		p.NOP()
+	}
+	p.items[start].fixup = nil
+	idx := start
+	p.items[idx] = item{fixup: func(pc uint64, labels map[string]uint64) (uint32, error) {
+		// The fixup only validates; actual patching happens in LA's
+		// assembly below via the sub-program trick.
+		_, err := resolve(labels, label)
+		return isa.WordNOP, err
+	}}
+	// Replace the slot with a generated LI at assemble time: we emit the
+	// LI into a scratch program and copy its words, padding with NOPs.
+	for i := 0; i < 8; i++ {
+		j := start + i
+		k := i
+		p.items[j] = item{fixup: func(pc uint64, labels map[string]uint64) (uint32, error) {
+			target, err := resolve(labels, label)
+			if err != nil {
+				return 0, err
+			}
+			scratch := New(0)
+			scratch.LI(rd, int64(target))
+			words := scratch.items
+			if k < len(words) {
+				return words[k].word, nil
+			}
+			return isa.WordNOP, nil
+		}}
+	}
+	return p
+}
+
+// DW emits a raw 32-bit data word (lookup tables inside code segments).
+func (p *Program) DW(w uint32) *Program { return p.emit(w) }
+
+// LIU is LI for values expressed as unsigned 64-bit constants.
+func (p *Program) LIU(rd Reg, v uint64) *Program { return p.LI(rd, int64(v)) }

@@ -1,0 +1,249 @@
+package asm
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"zion/internal/isa"
+)
+
+func words(t *testing.T, p *Program) []uint32 {
+	t.Helper()
+	b, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+func TestBasicEncoding(t *testing.T) {
+	p := New(0x1000)
+	p.ADDI(A0, A1, 42).ADD(A2, A0, A1).LD(A3, SP, 16).SD(A3, SP, 24).ECALL()
+	ws := words(t, p)
+	checks := []struct {
+		op  isa.Op
+		idx int
+	}{{isa.OpADDI, 0}, {isa.OpADD, 1}, {isa.OpLD, 2}, {isa.OpSD, 3}, {isa.OpECALL, 4}}
+	for _, c := range checks {
+		if in := isa.Decode(ws[c.idx]); in.Op != c.op {
+			t.Errorf("word %d decodes to %v, want %v", c.idx, in.Op, c.op)
+		}
+	}
+}
+
+func TestBranchResolution(t *testing.T) {
+	p := New(0x1000)
+	p.Label("top")
+	p.ADDI(A0, A0, 1) // 0x1000
+	p.BNE(A0, A1, "top")
+	p.J("end")
+	p.NOP()
+	p.Label("end")
+	p.NOP()
+	ws := words(t, p)
+	bne := isa.Decode(ws[1])
+	if bne.Op != isa.OpBNE || bne.Imm != -4 {
+		t.Errorf("bne: %+v (imm want -4)", bne)
+	}
+	j := isa.Decode(ws[2])
+	if j.Op != isa.OpJAL || j.Imm != 8 {
+		t.Errorf("jal: %+v (imm want 8)", j)
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	p := New(0)
+	p.J("fwd")
+	p.Label("back")
+	p.NOP()
+	p.Label("fwd")
+	p.BEQ(Zero, Zero, "back")
+	ws := words(t, p)
+	if in := isa.Decode(ws[0]); in.Imm != 8 {
+		t.Errorf("forward jal imm = %d, want 8", in.Imm)
+	}
+	if in := isa.Decode(ws[2]); in.Imm != -4 {
+		t.Errorf("backward beq imm = %d, want -4", in.Imm)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	p := New(0)
+	p.J("nowhere")
+	if _, err := p.Assemble(); err == nil {
+		t.Error("undefined label must error")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	p := New(0)
+	p.Label("x").NOP().Label("x")
+	if _, err := p.Assemble(); err == nil {
+		t.Error("duplicate label must error")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on error")
+		}
+	}()
+	New(0).J("missing").MustAssemble()
+}
+
+// evalLI decodes and symbolically executes an instruction sequence that
+// only uses LUI/ADDI/ADDIW/SLLI on a single register.
+func evalLI(t *testing.T, ws []uint32) uint64 {
+	t.Helper()
+	var regs [32]uint64
+	for _, w := range ws {
+		in := isa.Decode(w)
+		switch in.Op {
+		case isa.OpLUI:
+			regs[in.Rd] = uint64(in.Imm)
+		case isa.OpADDI:
+			if in.Rd != 0 {
+				regs[in.Rd] = regs[in.Rs1] + uint64(in.Imm)
+			}
+		case isa.OpADDIW:
+			regs[in.Rd] = uint64(int64(int32(uint32(regs[in.Rs1]) + uint32(in.Imm))))
+		case isa.OpSLLI:
+			regs[in.Rd] = regs[in.Rs1] << uint(in.Imm)
+		default:
+			t.Fatalf("unexpected op in LI expansion: %v", in.Op)
+		}
+	}
+	return regs[A0]
+}
+
+func TestLIValues(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -2048, 2047, 4096, 0x12345, -0x12345,
+		1 << 31, -(1 << 31), 0x7FFFFFFF, 0xDEADBEEF, 0x123456789ABCDEF0,
+		-0x123456789ABCDEF0, -1 << 63, 1<<63 - 1}
+	for _, v := range cases {
+		p := New(0)
+		p.LI(A0, v)
+		if got := evalLI(t, words(t, p)); got != uint64(v) {
+			t.Errorf("LI(%#x) evaluates to %#x", v, got)
+		}
+	}
+}
+
+// Property: LI materializes any 64-bit constant exactly.
+func TestLIProperty(t *testing.T) {
+	f := func(v int64) bool {
+		p := New(0)
+		p.LI(A0, v)
+		ws, err := p.Assemble()
+		if err != nil {
+			return false
+		}
+		u := make([]uint32, len(ws)/4)
+		for i := range u {
+			u[i] = binary.LittleEndian.Uint32(ws[i*4:])
+		}
+		var regs [32]uint64
+		for _, w := range u {
+			in := isa.Decode(w)
+			switch in.Op {
+			case isa.OpLUI:
+				regs[in.Rd] = uint64(in.Imm)
+			case isa.OpADDI:
+				if in.Rd != 0 {
+					regs[in.Rd] = regs[in.Rs1] + uint64(in.Imm)
+				}
+			case isa.OpADDIW:
+				regs[in.Rd] = uint64(int64(int32(uint32(regs[in.Rs1]) + uint32(in.Imm))))
+			case isa.OpSLLI:
+				regs[in.Rd] = regs[in.Rs1] << uint(in.Imm)
+			default:
+				return false
+			}
+		}
+		return regs[A0] == uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLAResolvesToLabelAddress(t *testing.T) {
+	p := New(0x8000_0000)
+	p.LA(A0, "data")
+	p.RET()
+	p.Label("data")
+	p.DW(0xDEADBEEF)
+	ws := words(t, p)
+	// LA reserves 8 words; data label lands after LA + RET.
+	want := uint64(0x8000_0000 + 9*4)
+	var regs [32]uint64
+	for _, w := range ws[:8] {
+		in := isa.Decode(w)
+		switch in.Op {
+		case isa.OpLUI:
+			regs[in.Rd] = uint64(in.Imm)
+		case isa.OpADDI:
+			if in.Rd != 0 {
+				regs[in.Rd] = regs[in.Rs1] + uint64(in.Imm)
+			}
+		case isa.OpADDIW:
+			regs[in.Rd] = uint64(int64(int32(uint32(regs[in.Rs1]) + uint32(in.Imm))))
+		case isa.OpSLLI:
+			regs[in.Rd] = regs[in.Rs1] << uint(in.Imm)
+		}
+	}
+	if regs[A0] != want {
+		t.Errorf("LA loaded %#x, want %#x", regs[A0], want)
+	}
+}
+
+func TestPCAndLabelAddr(t *testing.T) {
+	p := New(0x100)
+	if p.PC() != 0x100 {
+		t.Errorf("PC = %#x", p.PC())
+	}
+	p.NOP().NOP()
+	p.Label("here")
+	if a, ok := p.LabelAddr("here"); !ok || a != 0x108 {
+		t.Errorf("LabelAddr = %#x, %v", a, ok)
+	}
+	if _, ok := p.LabelAddr("missing"); ok {
+		t.Error("missing label should not resolve")
+	}
+	if p.Base() != 0x100 {
+		t.Error("Base mismatch")
+	}
+}
+
+func TestCSRHelpers(t *testing.T) {
+	p := New(0)
+	p.CSRR(A0, isa.CSRSepc)
+	p.CSRRW(Zero, isa.CSRSepc, A1)
+	ws := words(t, p)
+	r := isa.Decode(ws[0])
+	if r.Op != isa.OpCSRRS || r.CSR != isa.CSRSepc || r.Rs1 != 0 {
+		t.Errorf("csrr: %+v", r)
+	}
+	w := isa.Decode(ws[1])
+	if w.Op != isa.OpCSRRW || w.Rs1 != A1 {
+		t.Errorf("csrrw: %+v", w)
+	}
+}
+
+func TestAMOHelpers(t *testing.T) {
+	p := New(0)
+	p.AMOADDD(A0, A1, A2).LRW(A3, A4).SCW(A5, A4, A6).AMOSWAPD(T0, T1, T2).AMOADDW(T3, T4, T5)
+	ws := words(t, p)
+	wantOps := []isa.Op{isa.OpAMOADDD, isa.OpLRW, isa.OpSCW, isa.OpAMOSWAPD, isa.OpAMOADDW}
+	for i, op := range wantOps {
+		if in := isa.Decode(ws[i]); in.Op != op {
+			t.Errorf("word %d: %v, want %v", i, in.Op, op)
+		}
+	}
+}

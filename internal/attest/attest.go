@@ -1,0 +1,113 @@
+// Package attest implements the verifier side of ZION's attestation: the
+// relying party that receives an in-guest report (produced by the SBI
+// ZION extension's Attest call), checks its platform MAC, matches the
+// measurement against a policy of approved launch digests, and enforces
+// nonce freshness. In a deployment this code runs off-platform; here it
+// closes the loop so examples and tests can exercise the whole protocol.
+package attest
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// ReportLen is the wire size of a guest attestation report:
+// measurement[32] ‖ cvm-id u64 ‖ nonce u64 ‖ HMAC-SHA256[32].
+const ReportLen = 32 + 8 + 8 + 32
+
+// Verification failures.
+var (
+	ErrMalformed   = errors.New("attest: malformed report")
+	ErrBadMAC      = errors.New("attest: platform MAC verification failed")
+	ErrUnknownMeas = errors.New("attest: measurement not in policy")
+	ErrStaleNonce  = errors.New("attest: nonce replayed or unknown")
+)
+
+// Report is a parsed attestation report.
+type Report struct {
+	Measurement [32]byte
+	CVMID       uint64
+	Nonce       uint64
+}
+
+// Parse splits a report without verifying it.
+func Parse(raw []byte) (Report, error) {
+	if len(raw) != ReportLen {
+		return Report{}, fmt.Errorf("%w: %d bytes", ErrMalformed, len(raw))
+	}
+	var r Report
+	copy(r.Measurement[:], raw[:32])
+	r.CVMID = binary.LittleEndian.Uint64(raw[32:40])
+	r.Nonce = binary.LittleEndian.Uint64(raw[40:48])
+	return r, nil
+}
+
+// Verifier checks reports against a platform key and a measurement policy.
+type Verifier struct {
+	platformKey []byte
+	approved    map[[32]byte]string // measurement -> policy label
+	outstanding map[uint64]bool     // nonces issued and not yet consumed
+	nonceSeed   uint64
+}
+
+// NewVerifier builds a verifier trusting the given platform key (in a
+// full deployment this is established by provisioning; the simulator
+// shares it with the Secure Monitor).
+func NewVerifier(platformKey []byte) *Verifier {
+	return &Verifier{
+		platformKey: platformKey,
+		approved:    make(map[[32]byte]string),
+		outstanding: make(map[uint64]bool),
+		nonceSeed:   0xA77E57,
+	}
+}
+
+// Approve adds a launch measurement to the policy under a label.
+func (v *Verifier) Approve(measurement []byte, label string) error {
+	if len(measurement) != 32 {
+		return fmt.Errorf("%w: measurement must be 32 bytes", ErrMalformed)
+	}
+	var m [32]byte
+	copy(m[:], measurement)
+	v.approved[m] = label
+	return nil
+}
+
+// Challenge issues a fresh nonce the guest must bind into its report.
+func (v *Verifier) Challenge() uint64 {
+	// A counter-derived nonce: uniqueness is what matters for freshness.
+	v.nonceSeed = v.nonceSeed*6364136223846793005 + 1442695040888963407
+	n := v.nonceSeed
+	v.outstanding[n] = true
+	return n
+}
+
+// Verify checks a raw report end-to-end: structure, platform MAC,
+// measurement policy, and nonce freshness. On success the nonce is
+// consumed (a second report with the same nonce is a replay) and the
+// policy label of the measurement is returned.
+func (v *Verifier) Verify(raw []byte) (Report, string, error) {
+	r, err := Parse(raw)
+	if err != nil {
+		return Report{}, "", err
+	}
+	mac := hmac.New(sha256.New, v.platformKey)
+	mac.Write(raw[:48])
+	if !hmac.Equal(raw[48:], mac.Sum(nil)) {
+		return Report{}, "", ErrBadMAC
+	}
+	label, ok := v.approved[r.Measurement]
+	if !ok {
+		return Report{}, "", fmt.Errorf("%w: %s", ErrUnknownMeas,
+			hex.EncodeToString(r.Measurement[:8]))
+	}
+	if !v.outstanding[r.Nonce] {
+		return Report{}, "", ErrStaleNonce
+	}
+	delete(v.outstanding, r.Nonce)
+	return r, label, nil
+}

@@ -1,0 +1,117 @@
+package attest
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+var testKey = []byte("zion-platform-sealing-key-v1")
+
+// forgeReport builds a correctly MAC'd report (the SM's role).
+func forgeReport(key []byte, meas [32]byte, cvm, nonce uint64) []byte {
+	raw := make([]byte, 48)
+	copy(raw, meas[:])
+	binary.LittleEndian.PutUint64(raw[32:], cvm)
+	binary.LittleEndian.PutUint64(raw[40:], nonce)
+	mac := hmac.New(sha256.New, key)
+	mac.Write(raw)
+	return append(raw, mac.Sum(nil)...)
+}
+
+func TestVerifyHappyPath(t *testing.T) {
+	v := NewVerifier(testKey)
+	meas := sha256.Sum256([]byte("golden image"))
+	if err := v.Approve(meas[:], "web-frontend-v3"); err != nil {
+		t.Fatal(err)
+	}
+	nonce := v.Challenge()
+	rep, label, err := v.Verify(forgeReport(testKey, meas, 7, nonce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "web-frontend-v3" || rep.CVMID != 7 || rep.Nonce != nonce {
+		t.Errorf("rep=%+v label=%q", rep, label)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	v := NewVerifier(testKey)
+	meas := sha256.Sum256([]byte("img"))
+	_ = v.Approve(meas[:], "x")
+	nonce := v.Challenge()
+	raw := forgeReport(testKey, meas, 1, nonce)
+	if _, _, err := v.Verify(raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Verify(raw); !errors.Is(err, ErrStaleNonce) {
+		t.Errorf("replay: %v", err)
+	}
+}
+
+func TestUnissuedNonceRejected(t *testing.T) {
+	v := NewVerifier(testKey)
+	meas := sha256.Sum256([]byte("img"))
+	_ = v.Approve(meas[:], "x")
+	if _, _, err := v.Verify(forgeReport(testKey, meas, 1, 0x1234)); !errors.Is(err, ErrStaleNonce) {
+		t.Errorf("unissued nonce: %v", err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	v := NewVerifier(testKey)
+	meas := sha256.Sum256([]byte("img"))
+	_ = v.Approve(meas[:], "x")
+	n := v.Challenge()
+	if _, _, err := v.Verify(forgeReport([]byte("evil"), meas, 1, n)); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("wrong key: %v", err)
+	}
+}
+
+func TestUnknownMeasurementRejected(t *testing.T) {
+	v := NewVerifier(testKey)
+	meas := sha256.Sum256([]byte("unapproved"))
+	n := v.Challenge()
+	if _, _, err := v.Verify(forgeReport(testKey, meas, 1, n)); !errors.Is(err, ErrUnknownMeas) {
+		t.Errorf("unknown measurement: %v", err)
+	}
+}
+
+func TestMalformedRejected(t *testing.T) {
+	v := NewVerifier(testKey)
+	if _, _, err := v.Verify(make([]byte, 10)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short report: %v", err)
+	}
+	if err := v.Approve([]byte{1, 2}, "x"); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short measurement: %v", err)
+	}
+}
+
+func TestChallengesAreUnique(t *testing.T) {
+	v := NewVerifier(testKey)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		n := v.Challenge()
+		if seen[n] {
+			t.Fatalf("nonce %#x repeated at iteration %d", n, i)
+		}
+		seen[n] = true
+	}
+}
+
+func TestTamperedFieldsRejected(t *testing.T) {
+	v := NewVerifier(testKey)
+	meas := sha256.Sum256([]byte("img"))
+	_ = v.Approve(meas[:], "x")
+	n := v.Challenge()
+	raw := forgeReport(testKey, meas, 1, n)
+	for _, i := range []int{0, 33, 41, 50} {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 1
+		if _, _, err := v.Verify(bad); err == nil {
+			t.Errorf("flip at byte %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package baseline implements the comparison points the paper evaluates
+// ZION against:
+//
+//   - the long-path CVM mode and the no-shared-vCPU state transfer are
+//     configuration flags on the Secure Monitor (sm.Config.LongPath,
+//     sm.Config.DisableSharedVCPU), since they reuse the same machinery;
+//   - region-based memory isolation (CURE/VirTEE-style), implemented here:
+//     each enclave owns one contiguous physical region guarded by a
+//     dedicated PMP entry, with the concurrency and fragmentation limits
+//     that entails;
+//   - synchronized (non-split) shared memory, where every shared-mapping
+//     update is an SM round trip.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"zion/internal/pmp"
+)
+
+// RegionEnclaveEntries is how many PMP entries a region-based design can
+// spend on enclaves: 16 minus the entries reserved for firmware, the
+// MMIO window, and the background RAM rule — matching the ~13 concurrent
+// enclaves the paper reports for CURE/VirTEE.
+const RegionEnclaveEntries = pmp.NumEntries - 3
+
+// ErrNoPMPEntry reports PMP-entry exhaustion (the hard concurrency wall).
+var ErrNoPMPEntry = errors.New("baseline: out of PMP entries for enclaves")
+
+// ErrNoContiguous reports that no contiguous region fits the request even
+// though enough total memory is free (fragmentation).
+var ErrNoContiguous = errors.New("baseline: no contiguous region fits")
+
+// RegionMonitor manages CURE-style enclaves: pre-allocated contiguous
+// regions, one PMP entry each, no dynamic growth.
+type RegionMonitor struct {
+	base, size uint64
+	pmp        *pmp.Unit
+	enclaves   map[int]regionEnclave
+	nextID     int
+	entryUsed  [RegionEnclaveEntries]bool
+}
+
+type regionEnclave struct {
+	base, size uint64
+	entry      int
+}
+
+// NewRegionMonitor manages enclave memory in [base, base+size).
+func NewRegionMonitor(base, size uint64) *RegionMonitor {
+	return &RegionMonitor{
+		base: base, size: size,
+		pmp:      pmp.New(),
+		enclaves: make(map[int]regionEnclave),
+		nextID:   1,
+	}
+}
+
+// freeGaps returns the free address gaps, sorted by base.
+func (r *RegionMonitor) freeGaps() [][2]uint64 {
+	occupied := make([][2]uint64, 0, len(r.enclaves))
+	for _, e := range r.enclaves {
+		occupied = append(occupied, [2]uint64{e.base, e.base + e.size})
+	}
+	sort.Slice(occupied, func(i, j int) bool { return occupied[i][0] < occupied[j][0] })
+	var gaps [][2]uint64
+	cur := r.base
+	for _, o := range occupied {
+		if o[0] > cur {
+			gaps = append(gaps, [2]uint64{cur, o[0]})
+		}
+		cur = o[1]
+	}
+	if cur < r.base+r.size {
+		gaps = append(gaps, [2]uint64{cur, r.base + r.size})
+	}
+	return gaps
+}
+
+// CreateEnclave allocates a contiguous, NAPOT-aligned region of the given
+// size (must be a power of two) and burns one PMP entry on it.
+func (r *RegionMonitor) CreateEnclave(size uint64) (int, error) {
+	if size == 0 || size&(size-1) != 0 {
+		return 0, fmt.Errorf("baseline: enclave size %#x must be a power of two", size)
+	}
+	entry := -1
+	for i, used := range r.entryUsed {
+		if !used {
+			entry = i
+			break
+		}
+	}
+	if entry < 0 {
+		return 0, ErrNoPMPEntry
+	}
+	// First-fit over free gaps with NAPOT alignment.
+	for _, g := range r.freeGaps() {
+		aligned := (g[0] + size - 1) &^ (size - 1)
+		if aligned+size <= g[1] {
+			raw, err := pmp.EncodeNAPOT(aligned, size)
+			if err != nil {
+				return 0, err
+			}
+			r.pmp.SetAddr(entry, raw)
+			r.pmp.SetCfg(entry, pmp.ANAPOT<<3) // closed to Normal mode
+			r.entryUsed[entry] = true
+			id := r.nextID
+			r.nextID++
+			r.enclaves[id] = regionEnclave{base: aligned, size: size, entry: entry}
+			return id, nil
+		}
+	}
+	return 0, ErrNoContiguous
+}
+
+// DestroyEnclave releases the region and its PMP entry.
+func (r *RegionMonitor) DestroyEnclave(id int) error {
+	e, ok := r.enclaves[id]
+	if !ok {
+		return fmt.Errorf("baseline: no enclave %d", id)
+	}
+	r.pmp.SetCfg(e.entry, 0)
+	r.entryUsed[e.entry] = false
+	delete(r.enclaves, id)
+	return nil
+}
+
+// GrowEnclave always fails: region-based designs cannot expand an enclave
+// in place, the flexibility gap §I calls out.
+func (r *RegionMonitor) GrowEnclave(id int, extra uint64) error {
+	if _, ok := r.enclaves[id]; !ok {
+		return fmt.Errorf("baseline: no enclave %d", id)
+	}
+	return errors.New("baseline: region-based enclaves cannot grow dynamically")
+}
+
+// Live returns the number of concurrent enclaves.
+func (r *RegionMonitor) Live() int { return len(r.enclaves) }
+
+// FreeTotal returns total free bytes.
+func (r *RegionMonitor) FreeTotal() uint64 {
+	var t uint64
+	for _, g := range r.freeGaps() {
+		t += g[1] - g[0]
+	}
+	return t
+}
+
+// LargestFree returns the largest single free gap — the biggest enclave
+// that could still be placed (ignoring alignment).
+func (r *RegionMonitor) LargestFree() uint64 {
+	var m uint64
+	for _, g := range r.freeGaps() {
+		if g[1]-g[0] > m {
+			m = g[1] - g[0]
+		}
+	}
+	return m
+}
+
+// FragmentationRatio is 1 - largest/total free: 0 when free space is one
+// block, approaching 1 as it shatters.
+func (r *RegionMonitor) FragmentationRatio() float64 {
+	t := r.FreeTotal()
+	if t == 0 {
+		return 0
+	}
+	return 1 - float64(r.LargestFree())/float64(t)
+}

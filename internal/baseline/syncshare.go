@@ -1,0 +1,39 @@
+package baseline
+
+import "zion/internal/hart"
+
+// SyncSharedMapper models the unoptimized shared-memory design §IV.E
+// replaces: the hypervisor allocates and maps, then synchronizes every
+// update with the SM, which validates the request and mirrors the mapping
+// into the CVM's address space. Each update costs a full ecall round
+// trip, per-entry validation, the mirrored page-table write, and a TLB
+// shootdown.
+type SyncSharedMapper struct {
+	// Updates counts mapping operations performed.
+	Updates uint64
+}
+
+// MapUpdate charges one synchronized shared-mapping update on h.
+func (s *SyncSharedMapper) MapUpdate(h *hart.Hart) {
+	c := h.Cost
+	// Hypervisor-side mapping write.
+	h.Advance(3 * c.Mem)
+	// Ecall into the SM, request validation, mirrored map, return.
+	h.Advance(c.TrapEntry + c.SMDispatch)
+	h.Advance(4*c.RegCheck + 3*c.Mem)
+	h.Advance(c.TLBFlushAll)
+	h.Advance(c.TrapReturn)
+	s.Updates++
+}
+
+// SplitSharedMapper is ZION's split-page-table path for the same
+// operation: the hypervisor writes its own subtable, no SM involvement.
+type SplitSharedMapper struct {
+	Updates uint64
+}
+
+// MapUpdate charges one split-PT shared-mapping update on h.
+func (s *SplitSharedMapper) MapUpdate(h *hart.Hart) {
+	h.Advance(3 * h.Cost.Mem)
+	s.Updates++
+}

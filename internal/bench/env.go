@@ -1,0 +1,107 @@
+// Package bench implements the experiment harness that regenerates every
+// table and figure in the paper's evaluation (§V). Each experiment has a
+// Run function returning a structured result with paper-style rows; the
+// zionbench command and the repository's Go benchmarks are thin wrappers
+// around them. The experiment-to-module map lives in DESIGN.md; the
+// paper-vs-measured record lives in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/hv"
+	"zion/internal/isa"
+	"zion/internal/platform"
+	"zion/internal/sm"
+)
+
+// TickInterval models the guest OS timer tick: 100 Hz at the paper's
+// 100 MHz clock = one tick per million cycles.
+const TickInterval = 1_000_000
+
+// Env is one freshly booted simulated stack.
+type Env struct {
+	M  *platform.Machine
+	SM *sm.SM
+	HV *hv.Hypervisor
+	H  *hart.Hart
+}
+
+// EnvConfig tunes the stack for an experiment.
+type EnvConfig struct {
+	SM       sm.Config
+	RAMSize  uint64
+	PoolSize uint64
+	// HVQuantum arms the normal-VM scheduler tick (0 = none).
+	HVQuantum uint64
+}
+
+// NewEnv boots a stack: machine, Secure Monitor, hypervisor, one secure
+// pool registration.
+func NewEnv(cfg EnvConfig) *Env {
+	if cfg.RAMSize == 0 {
+		cfg.RAMSize = 512 << 20
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 64 << 20
+	}
+	m := platform.New(1, cfg.RAMSize)
+	monitor := sm.New(m, cfg.SM)
+	k := hv.New(m, monitor, platform.RAMBase+0x0100_0000, cfg.RAMSize-0x0200_0000)
+	k.SchedQuantum = cfg.HVQuantum
+	h := m.Harts[0]
+	h.Mode = isa.ModeS
+	if err := k.RegisterSecurePool(h, cfg.PoolSize); err != nil {
+		panic(fmt.Sprintf("bench: pool registration failed: %v", err))
+	}
+	return &Env{M: m, SM: monitor, HV: k, H: h}
+}
+
+// RunCVMToCompletion drives a CVM until shutdown, tolerating quantum
+// exits. It returns the wall cycles consumed and the guest's shutdown
+// payload (self-measured benchmark cycles, when the image reports them).
+func (e *Env) RunCVMToCompletion(vm *hv.VM) (wall, guestData uint64, err error) {
+	start := e.H.Cycles
+	for {
+		info, err := e.HV.RunCVM(e.H, vm, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch info.Reason {
+		case sm.ExitShutdown:
+			return e.H.Cycles - start, info.Data, nil
+		case sm.ExitTimer:
+			continue // rescheduled immediately (single runnable vCPU)
+		default:
+			return 0, 0, fmt.Errorf("bench: unexpected exit %v", info.Reason)
+		}
+	}
+}
+
+// RunNormalToCompletion drives a normal VM until shutdown.
+func (e *Env) RunNormalToCompletion(vm *hv.VM) (wall, guestData uint64, err error) {
+	start := e.H.Cycles
+	for {
+		exit, err := e.HV.RunNormalVCPU(e.H, vm, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch exit.Reason {
+		case sm.ExitShutdown:
+			return e.H.Cycles - start, exit.Data, nil
+		case sm.ExitTimer:
+			continue
+		default:
+			return 0, 0, fmt.Errorf("bench: unexpected exit %v", exit.Reason)
+		}
+	}
+}
+
+// pct returns the percentage change from base to v.
+func pct(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base * 100
+}

@@ -1,0 +1,194 @@
+package guest
+
+import (
+	"fmt"
+
+	"zion/internal/asm"
+	"zion/internal/virtio"
+)
+
+// Interpreted-driver register conventions. The emitted code clobbers
+// T0-T2 and owns four saved registers as ring cursors; workload code must
+// leave them alone between I/O operations.
+//
+//	S10  queue-0 avail index     S11  queue-0 used index
+//	S8   queue-1 avail index     S9   queue-1 used index
+//
+// Request parameters are passed in T3 (buffer GPA), T4 (length) and
+// T6 (sector), mirroring a calling convention a real driver would inline.
+const (
+	regAvail0 = asm.S10
+	regUsed0  = asm.S11
+	regAvail1 = asm.S8
+	regUsed1  = asm.S9
+
+	// RegBuf/RegLen/RegSector are the parameter registers for the
+	// emitters, exported for workload builders.
+	RegBuf    = asm.T3
+	RegLen    = asm.T4
+	RegSector = asm.T6
+)
+
+// EmitDriverInit zeroes the ring cursors. Call once at program start,
+// before any EmitBlkIO / EmitNet* sequence.
+func EmitDriverInit(p *asm.Program) {
+	p.LI(regAvail0, 0)
+	p.LI(regUsed0, 0)
+	p.LI(regAvail1, 0)
+	p.LI(regUsed1, 0)
+}
+
+// descriptor flag bits (virtio split ring).
+const (
+	fNext  = 1
+	fWrite = 2
+)
+
+// writeDesc emits stores building descriptor i of a queue. addrReg==0
+// means "use the constant addrConst"; lenReg likewise with lenConst.
+func writeDesc(p *asm.Program, descBase uint64, i int,
+	addrReg asm.Reg, addrConst uint64, lenReg asm.Reg, lenConst uint32,
+	flags, next uint16) {
+	p.LI(asm.T0, int64(descBase)+int64(i)*16)
+	if addrReg == 0 {
+		p.LI(asm.T1, int64(addrConst))
+		p.SD(asm.T1, asm.T0, 0)
+	} else {
+		p.SD(addrReg, asm.T0, 0)
+	}
+	if lenReg == 0 {
+		p.LI(asm.T1, int64(lenConst))
+		p.SW(asm.T1, asm.T0, 8)
+	} else {
+		p.SW(lenReg, asm.T0, 8)
+	}
+	p.LI(asm.T1, int64(flags))
+	p.SH(asm.T1, asm.T0, 12)
+	p.LI(asm.T1, int64(next))
+	p.SH(asm.T1, asm.T0, 14)
+}
+
+// publishAvail emits the avail-ring update: ring[idx % qsz] = head (always
+// 0 — one chain outstanding), idx++.
+func publishAvail(p *asm.Program, availBase uint64, idxReg asm.Reg) {
+	p.LI(asm.T0, int64(availBase))
+	p.ANDI(asm.T1, idxReg, QueueSize-1)
+	p.SLLI(asm.T1, asm.T1, 1)
+	p.ADD(asm.T1, asm.T1, asm.T0)
+	p.SH(asm.Zero, asm.T1, 4) // head = 0
+	p.ADDI(idxReg, idxReg, 1)
+	p.SH(idxReg, asm.T0, 2)
+}
+
+// doorbell emits the MMIO store that notifies queue q of the device at
+// mmioBase — the store that *exits* the CVM.
+func doorbell(p *asm.Program, mmioBase uint64, q int) {
+	p.LI(asm.T0, int64(mmioBase+virtio.NotifyOffset()))
+	p.LI(asm.T1, int64(q))
+	p.SW(asm.T1, asm.T0, 0)
+}
+
+// pollUsed emits the used-ring wait: spin until used.idx == cursor+1
+// (mod 2^16), then advance the cursor.
+func pollUsed(p *asm.Program, usedBase uint64, cursorReg asm.Reg, tag string) {
+	p.ADDI(asm.T2, cursorReg, 1)
+	p.SLLI(asm.T2, asm.T2, 48)
+	p.SRLI(asm.T2, asm.T2, 48) // mask to 16 bits
+	p.LI(asm.T0, int64(usedBase))
+	loop := fmt.Sprintf("vq_poll_%s_%d", tag, p.PC())
+	p.Label(loop)
+	p.LHU(asm.T1, asm.T0, 2)
+	p.BNE(asm.T1, asm.T2, loop)
+	p.ADDI(cursorReg, cursorReg, 1)
+}
+
+// EmitBlkIO emits one complete block I/O: header build, three-descriptor
+// chain, avail publish, doorbell (CVM exit), used poll, status check.
+// Parameters at runtime: RegBuf = data GPA, RegLen = byte count,
+// RegSector = starting sector. write selects OUT vs IN.
+//
+// On device error the guest stores 0xDEAD in s6 and shuts down.
+func EmitBlkIO(p *asm.Program, l DMALayout, write bool) {
+	reqType := uint32(virtio.BlkTIn)
+	dataFlags := uint16(fNext | fWrite) // device writes into the buffer
+	if write {
+		reqType = virtio.BlkTOut
+		dataFlags = fNext // device reads from the buffer
+	}
+	// Request header: type at +0, sector at +8.
+	p.LI(asm.T0, int64(l.BlkHdr))
+	p.LI(asm.T1, int64(reqType))
+	p.SW(asm.T1, asm.T0, 0)
+	p.SD(RegSector, asm.T0, 8)
+
+	writeDesc(p, l.Desc0, 0, 0, l.BlkHdr, 0, 16, fNext, 1)
+	writeDesc(p, l.Desc0, 1, RegBuf, 0, RegLen, 0, dataFlags, 2)
+	writeDesc(p, l.Desc0, 2, 0, l.BlkStatus, 0, 1, fWrite, 0)
+
+	publishAvail(p, l.Avail0, regAvail0)
+	doorbell(p, BlkMMIOBase, 0)
+	pollUsed(p, l.Used0, regUsed0, "blk")
+
+	// Interrupt acknowledge: the completion raised the used-buffer
+	// notification; a real driver's ISR acks it (one more MMIO exit,
+	// just as on hardware).
+	p.LI(asm.T0, int64(BlkMMIOBase)+0x64) // InterruptACK
+	p.LI(asm.T1, 1)
+	p.SW(asm.T1, asm.T0, 0)
+
+	// Status byte must be OK (0).
+	p.LI(asm.T0, int64(l.BlkStatus))
+	p.LBU(asm.T1, asm.T0, 0)
+	ok := fmt.Sprintf("blk_ok_%d", p.PC())
+	p.BEQ(asm.T1, asm.Zero, ok)
+	p.LI(asm.S6, 0xDEAD)
+	p.LI(asm.A7, 0x53525354) // sm.EIDReset
+	p.ECALL()
+	p.Label(ok)
+}
+
+// EmitNetTX emits one frame transmission on queue 1: RegBuf = frame GPA
+// (including the 12-byte virtio-net header), RegLen = total length.
+func EmitNetTX(p *asm.Program, l DMALayout) {
+	writeDesc(p, l.Desc1, 0, RegBuf, 0, RegLen, 0, 0, 0)
+	publishAvail(p, l.Avail1, regAvail1)
+	doorbell(p, NetMMIOBase, virtio.NetTXQ)
+	pollUsed(p, l.Used1, regUsed1, "tx")
+}
+
+// EmitNetRXPost emits the posting of one writable RX buffer on queue 0:
+// RegBuf = buffer GPA, RegLen = capacity. The doorbell lets the device
+// flush any pending frames into it.
+func EmitNetRXPost(p *asm.Program, l DMALayout) {
+	writeDesc(p, l.Desc0, 0, RegBuf, 0, RegLen, 0, fWrite, 0)
+	publishAvail(p, l.Avail0, regAvail0)
+	doorbell(p, NetMMIOBase, virtio.NetRXQ)
+}
+
+// EmitNetRXWait emits the receive wait: poll the queue-0 used ring until
+// a frame lands, leaving the received length in T5. Unlike the
+// synchronous doorbell polls, frames arrive from outside the guest, so
+// the miss path executes wfi — yielding the vCPU to the hypervisor until
+// there is something to deliver.
+func EmitNetRXWait(p *asm.Program, l DMALayout) {
+	p.ADDI(asm.T2, regUsed0, 1)
+	p.SLLI(asm.T2, asm.T2, 48)
+	p.SRLI(asm.T2, asm.T2, 48)
+	p.LI(asm.T0, int64(l.Used0))
+	loop := fmt.Sprintf("vq_rxwait_%d", p.PC())
+	done := fmt.Sprintf("vq_rxdone_%d", p.PC())
+	p.Label(loop)
+	p.LHU(asm.T1, asm.T0, 2)
+	p.BEQ(asm.T1, asm.T2, done)
+	p.WFI()
+	p.J(loop)
+	p.Label(done)
+	p.ADDI(regUsed0, regUsed0, 1)
+	// used.ring[(cursor-1) % qsz].len -> T5
+	p.ADDI(asm.T1, regUsed0, -1)
+	p.ANDI(asm.T1, asm.T1, QueueSize-1)
+	p.SLLI(asm.T1, asm.T1, 3)
+	p.LI(asm.T0, int64(l.Used0))
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LWU(asm.T5, asm.T0, 8) // +4 ring base, +4 len field
+}

@@ -1,0 +1,87 @@
+// Package guest implements the mini guest kernel: the DMA/ring memory
+// layout, the boot-time virtio negotiation (performed on the guest's
+// behalf the way firmware/driver probe code would), the SWIOTLB bounce-
+// buffer convention, and assembler routines that emit the *interpreted*
+// virtio fast path — descriptor writes, doorbell MMIO stores (real CVM
+// exits), and used-ring polling — into guest programs.
+package guest
+
+import (
+	"zion/internal/hart"
+	"zion/internal/hv"
+	"zion/internal/sm"
+	"zion/internal/virtio"
+)
+
+// Device GPA windows (below 1 GiB, so accesses exit for emulation).
+const (
+	BlkMMIOBase = 0x1000_1000
+	NetMMIOBase = 0x1000_2000
+)
+
+// DMALayout fixes where rings and bounce buffers live in guest-physical
+// space. For a confidential VM everything sits in the shared window
+// (§IV.E + SWIOTLB); a normal VM uses a carve-out of its own RAM, giving
+// both configurations an identical driver fast path.
+type DMALayout struct {
+	Base uint64
+
+	// Queue 0 (blk request queue / net RX).
+	Desc0, Avail0, Used0 uint64
+	// Queue 1 (net TX).
+	Desc1, Avail1, Used1 uint64
+
+	// Blk request header and status byte.
+	BlkHdr, BlkStatus uint64
+
+	// Bounce buffers (SWIOTLB territory).
+	Bounce     uint64
+	BounceSize uint64
+}
+
+// QueueSize is the ring depth both drivers use.
+const QueueSize = 8
+
+// LayoutFor returns the DMA layout for a VM kind.
+func LayoutFor(confidential bool) DMALayout {
+	base := uint64(sm.SharedBase)
+	if !confidential {
+		base = hv.GuestRAMBase + 0x40_0000
+	}
+	return DMALayout{
+		Base:       base,
+		Desc0:      base + 0x0000,
+		Avail0:     base + 0x1000,
+		Used0:      base + 0x2000,
+		Desc1:      base + 0x3000,
+		Avail1:     base + 0x4000,
+		Used1:      base + 0x5000,
+		BlkHdr:     base + 0x6000,
+		BlkStatus:  base + 0x6100,
+		Bounce:     base + 0x10000,
+		BounceSize: 0x80000, // 512 KiB of bounce space
+	}
+}
+
+// SetupBlk performs the boot-time virtio-blk negotiation for a VM: the
+// driver probe writes the ring addresses through the (emulated) MMIO
+// register interface. The per-request fast path stays fully interpreted.
+func SetupBlk(k *hv.Hypervisor, vm *hv.VM, h *hart.Hart, capacity uint64) *virtio.Blk {
+	l := LayoutFor(vm.Confidential)
+	mem := k.NewGuestMem(vm, h)
+	blk := virtio.NewBlk(BlkMMIOBase, capacity, mem)
+	blk.Dev().SetupQueue(0, QueueSize, l.Desc0, l.Avail0, l.Used0)
+	k.AttachDevice(vm, blk.Dev())
+	return blk
+}
+
+// SetupNet performs the boot-time virtio-net negotiation for a VM.
+func SetupNet(k *hv.Hypervisor, vm *hv.VM, h *hart.Hart) *virtio.Net {
+	l := LayoutFor(vm.Confidential)
+	mem := k.NewGuestMem(vm, h)
+	n := virtio.NewNet(NetMMIOBase, mem)
+	n.Dev().SetupQueue(virtio.NetRXQ, QueueSize, l.Desc0, l.Avail0, l.Used0)
+	n.Dev().SetupQueue(virtio.NetTXQ, QueueSize, l.Desc1, l.Avail1, l.Used1)
+	k.AttachDevice(vm, n.Dev())
+	return n
+}

@@ -1,0 +1,51 @@
+package guest
+
+import (
+	"testing"
+
+	"zion/internal/hv"
+	"zion/internal/sm"
+)
+
+func TestLayoutPlacement(t *testing.T) {
+	cv := LayoutFor(true)
+	if cv.Base != sm.SharedBase {
+		t.Errorf("CVM DMA base = %#x, want the shared window", cv.Base)
+	}
+	nv := LayoutFor(false)
+	if nv.Base < hv.GuestRAMBase {
+		t.Errorf("normal-VM DMA base = %#x, must sit in guest RAM", nv.Base)
+	}
+	for _, l := range []DMALayout{cv, nv} {
+		// Ring structures must not collide with each other or the bounce
+		// region.
+		offs := []uint64{l.Desc0, l.Avail0, l.Used0, l.Desc1, l.Avail1, l.Used1, l.BlkHdr}
+		seen := map[uint64]bool{}
+		for _, o := range offs {
+			page := o &^ 0xFFF
+			if seen[page] && o != l.BlkHdr { // BlkHdr shares a page with BlkStatus only
+				t.Errorf("layout collision at %#x", o)
+			}
+			seen[page] = true
+			if o >= l.Bounce {
+				t.Errorf("ring %#x overlaps bounce region at %#x", o, l.Bounce)
+			}
+		}
+		if l.BlkStatus <= l.BlkHdr || l.BlkStatus-l.BlkHdr >= 0x1000 {
+			t.Error("status byte should share the header page")
+		}
+		if l.BounceSize == 0 {
+			t.Error("no bounce space")
+		}
+	}
+}
+
+func TestDriverRegisterConventions(t *testing.T) {
+	// The driver's parameter registers must not collide with its cursors.
+	cursors := map[uint8]bool{regAvail0: true, regUsed0: true, regAvail1: true, regUsed1: true}
+	for _, r := range []uint8{RegBuf, RegLen, RegSector} {
+		if cursors[r] {
+			t.Errorf("parameter register x%d collides with a ring cursor", r)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package hart
+
+import (
+	"fmt"
+
+	"zion/internal/isa"
+)
+
+// csrFile stores control-and-status registers. Supervisor CSR accesses
+// from VS-mode are remapped to the vs* shadow registers, and sstatus/sip/
+// sie are implemented as architectural views of their machine-level
+// backing registers, following the hypervisor-extension rules.
+type csrFile struct {
+	regs map[uint16]uint64
+}
+
+func newCSRFile(hartID uint64) *csrFile {
+	f := &csrFile{regs: make(map[uint16]uint64)}
+	f.regs[isa.CSRMhartid] = hartID
+	f.regs[isa.CSRMisa] = (2 << 62) | // RV64
+		1<<0 | 1<<7 | 1<<8 | 1<<12 | 1<<18 | 1<<20 // A, H, I, M, S, U
+	return f
+}
+
+// sstatusMask selects the mstatus bits visible through sstatus.
+const sstatusMask = isa.MstatusSIE | isa.MstatusSPIE | isa.MstatusSPP |
+	isa.MstatusSUM | isa.MstatusMXR
+
+// sipMask selects supervisor-visible interrupt bits.
+const sipMask = uint64(1<<isa.IntSSoft | 1<<isa.IntSTimer | 1<<isa.IntSExt)
+
+// vsInterruptMask selects the VS-level bits of hip/hie/hvip.
+const vsInterruptMask = uint64(1<<isa.IntVSSoft | 1<<isa.IntVSTimer | 1<<isa.IntVSExt)
+
+// raw reads the backing storage without remapping or side effects.
+func (f *csrFile) raw(addr uint16) uint64 { return f.regs[addr] }
+
+// setRaw writes backing storage without remapping (trap entry, Go firmware).
+func (f *csrFile) setRaw(addr uint16, v uint64) { f.regs[addr] = v }
+
+// remap translates a supervisor CSR address to its VS shadow when the
+// access comes from a virtualized mode.
+func remap(addr uint16, virt bool) uint16 {
+	if !virt {
+		return addr
+	}
+	switch addr {
+	case isa.CSRSstatus:
+		return isa.CSRVsstatus
+	case isa.CSRSie:
+		return isa.CSRVsie
+	case isa.CSRStvec:
+		return isa.CSRVstvec
+	case isa.CSRSscratch:
+		return isa.CSRVsscratch
+	case isa.CSRSepc:
+		return isa.CSRVsepc
+	case isa.CSRScause:
+		return isa.CSRVscause
+	case isa.CSRStval:
+		return isa.CSRVstval
+	case isa.CSRSip:
+		return isa.CSRVsip
+	case isa.CSRSatp:
+		return isa.CSRVsatp
+	}
+	return addr
+}
+
+// csrErr distinguishes the two failure exceptions a CSR access can raise.
+type csrErr int
+
+const (
+	csrOK csrErr = iota
+	csrIllegal
+	csrVirtual // virtual-instruction exception (VS touching h*/vs* directly)
+)
+
+// checkPriv validates that mode may touch addr.
+func checkPriv(addr uint16, mode isa.PrivMode) csrErr {
+	minPriv := (addr >> 8) & 3
+	virt := mode.Virtualized()
+	switch {
+	case minPriv == 3 && mode != isa.ModeM:
+		return csrIllegal
+	case minPriv == 2: // hypervisor or VS CSR
+		if mode == isa.ModeM {
+			return csrOK
+		}
+		if virt {
+			return csrVirtual // VS/VU touching h*/vs* raises virtual-instruction
+		}
+		if mode == isa.ModeS {
+			return csrOK
+		}
+		return csrIllegal
+	case minPriv == 1:
+		if mode == isa.ModeU || mode == isa.ModeVU {
+			return csrIllegal
+		}
+	}
+	return csrOK
+}
+
+// read returns the CSR value as seen from mode. The hart passes its
+// counters so cycle/time/instret reads reflect execution.
+func (h *Hart) readCSR(addr uint16) (uint64, csrErr) {
+	if e := checkPriv(addr, h.Mode); e != csrOK {
+		return 0, e
+	}
+	virt := h.Mode.Virtualized()
+	addr = remap(addr, virt)
+	f := h.csr
+	switch addr {
+	case isa.CSRCycle, isa.CSRTime:
+		return h.Cycles, csrOK
+	case isa.CSRInstret:
+		return h.Instret, csrOK
+	case isa.CSRSstatus:
+		return f.raw(isa.CSRMstatus) & sstatusMask, csrOK
+	case isa.CSRSie:
+		return f.raw(isa.CSRMie) & sipMask & f.raw(isa.CSRMideleg), csrOK
+	case isa.CSRSip:
+		return f.raw(isa.CSRMip) & sipMask & f.raw(isa.CSRMideleg), csrOK
+	case isa.CSRVsstatus:
+		return f.raw(isa.CSRVsstatus), csrOK
+	case isa.CSRVsie:
+		// vsie is the VS bits of hie shifted into supervisor positions.
+		return (f.raw(isa.CSRHie) & vsInterruptMask & f.raw(isa.CSRHideleg)) >> 1, csrOK
+	case isa.CSRVsip:
+		return (h.hip() & vsInterruptMask & f.raw(isa.CSRHideleg)) >> 1, csrOK
+	case isa.CSRHip:
+		return h.hip(), csrOK
+	case isa.CSRPmpcfg0:
+		return h.PMP.ReadCfgCSR(0), csrOK
+	case isa.CSRPmpcfg2:
+		return h.PMP.ReadCfgCSR(2), csrOK
+	}
+	if addr >= isa.CSRPmpaddr0 && addr <= isa.CSRPmpaddr15 {
+		return h.PMP.Addr(int(addr - isa.CSRPmpaddr0)), csrOK
+	}
+	return f.raw(addr), csrOK
+}
+
+// writeCSR updates a CSR as seen from mode.
+func (h *Hart) writeCSR(addr uint16, v uint64) csrErr {
+	if addr>>10 == 3 {
+		return csrIllegal // read-only range
+	}
+	if e := checkPriv(addr, h.Mode); e != csrOK {
+		return e
+	}
+	virt := h.Mode.Virtualized()
+	addr = remap(addr, virt)
+	f := h.csr
+	switch addr {
+	case isa.CSRSstatus:
+		cur := f.raw(isa.CSRMstatus)
+		f.setRaw(isa.CSRMstatus, cur&^sstatusMask|v&sstatusMask)
+		return csrOK
+	case isa.CSRSie:
+		deleg := f.raw(isa.CSRMideleg) & sipMask
+		cur := f.raw(isa.CSRMie)
+		f.setRaw(isa.CSRMie, cur&^deleg|v&deleg)
+		return csrOK
+	case isa.CSRSip:
+		// Only SSIP is software-writable at S level.
+		deleg := f.raw(isa.CSRMideleg) & (1 << isa.IntSSoft)
+		cur := f.raw(isa.CSRMip)
+		f.setRaw(isa.CSRMip, cur&^deleg|v&deleg)
+		return csrOK
+	case isa.CSRVsie:
+		deleg := f.raw(isa.CSRHideleg) & vsInterruptMask
+		cur := f.raw(isa.CSRHie)
+		f.setRaw(isa.CSRHie, cur&^deleg|(v<<1)&deleg)
+		return csrOK
+	case isa.CSRVsip:
+		deleg := f.raw(isa.CSRHideleg) & (1 << isa.IntVSSoft)
+		cur := f.raw(isa.CSRHvip)
+		f.setRaw(isa.CSRHvip, cur&^deleg|(v<<1)&deleg)
+		return csrOK
+	case isa.CSRMisa, isa.CSRMhartid:
+		return csrOK // WARL: ignore writes
+	case isa.CSRMedeleg:
+		// ecall-from-M (11) is never delegatable.
+		v &^= uint64(1) << isa.ExcEcallM
+		f.setRaw(addr, v)
+		return csrOK
+	case isa.CSRHedeleg:
+		// Per spec, ecall-from-VS (10), ecall-from-HS (9), and the
+		// guest-page faults (20,21,23) are read-only zero in hedeleg.
+		v &^= uint64(1)<<isa.ExcEcallVS | uint64(1)<<isa.ExcEcallS |
+			uint64(1)<<isa.ExcInstGuestPageFault | uint64(1)<<isa.ExcLoadGuestPageFault |
+			uint64(1)<<isa.ExcStoreGuestPageFault | uint64(1)<<isa.ExcVirtualInst
+		f.setRaw(addr, v)
+		return csrOK
+	case isa.CSRPmpcfg0:
+		h.PMP.WriteCfgCSR(0, v)
+		return csrOK
+	case isa.CSRPmpcfg2:
+		h.PMP.WriteCfgCSR(2, v)
+		return csrOK
+	case isa.CSRSatp, isa.CSRVsatp, isa.CSRHgatp:
+		// Accept Bare and Sv39/Sv39x4 only; other modes are WARL->ignore.
+		m := v >> isa.SatpModeShift
+		if m != isa.SatpModeBare && m != isa.SatpModeSv39 {
+			return csrOK
+		}
+		f.setRaw(addr, v)
+		return csrOK
+	}
+	if addr >= isa.CSRPmpaddr0 && addr <= isa.CSRPmpaddr15 {
+		h.PMP.SetAddr(int(addr-isa.CSRPmpaddr0), v)
+		return csrOK
+	}
+	f.setRaw(addr, v)
+	return csrOK
+}
+
+// hip composes the hypervisor interrupt-pending view: hvip bits plus any
+// externally injected VS-level pending bits in mip.
+func (h *Hart) hip() uint64 {
+	return (h.csr.raw(isa.CSRHvip) | h.csr.raw(isa.CSRMip)) & (vsInterruptMask | 1<<isa.IntSGuestEx)
+}
+
+// CSR is the public accessor used by the Go-implemented privileged
+// software (SM, hypervisor, guest kernel) to read architectural registers
+// without privilege checks — those components conceptually *are* the
+// software running at their privilege level.
+func (h *Hart) CSR(addr uint16) uint64 {
+	switch addr {
+	case isa.CSRCycle, isa.CSRTime:
+		return h.Cycles
+	case isa.CSRInstret:
+		return h.Instret
+	case isa.CSRHip:
+		return h.hip()
+	}
+	return h.csr.raw(addr)
+}
+
+// SetCSR writes an architectural register on behalf of privileged Go
+// software, bypassing mode checks but honouring WARL masks.
+func (h *Hart) SetCSR(addr uint16, v uint64) {
+	saved := h.Mode
+	h.Mode = isa.ModeM
+	if e := h.writeCSR(addr, v); e != csrOK {
+		h.Mode = saved
+		panic(fmt.Sprintf("hart: firmware write to CSR %#x failed (%d)", addr, e))
+	}
+	h.Mode = saved
+}

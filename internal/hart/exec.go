@@ -1,0 +1,480 @@
+package hart
+
+import (
+	"zion/internal/isa"
+)
+
+// Step executes one instruction at PC in the hart's current mode and
+// returns the resulting event: EvNone for a retired instruction, EvTrap
+// when a trap entry occurred (including interrupts detected before the
+// fetch), and EvWFI when the hart idles.
+func (h *Hart) Step() Event {
+	// Interrupts are sampled at instruction boundaries.
+	if cause, ok := h.PendingInterrupt(); ok {
+		t := h.TakeTrap(trapInfo{cause: cause})
+		return Event{Kind: EvTrap, Trap: t}
+	}
+
+	raw, aerr := h.Fetch()
+	if aerr != nil {
+		return Event{Kind: EvTrap, Trap: h.TakeTrap(*aerr)}
+	}
+	in := isa.Decode(raw)
+	if in.Op == isa.OpInvalid {
+		return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
+	}
+
+	h.Instret++
+	h.Cycles += h.Cost.Base
+	next := h.PC + 4
+
+	x := &h.X
+	rs1 := x[in.Rs1]
+	rs2 := x[in.Rs2]
+
+	switch in.Op {
+	case isa.OpLUI:
+		h.SetReg(in.Rd, uint64(in.Imm))
+	case isa.OpAUIPC:
+		h.SetReg(in.Rd, h.PC+uint64(in.Imm))
+	case isa.OpJAL:
+		h.SetReg(in.Rd, next)
+		next = h.PC + uint64(in.Imm)
+		h.Cycles += h.Cost.Branch
+	case isa.OpJALR:
+		t := (rs1 + uint64(in.Imm)) &^ 1
+		h.SetReg(in.Rd, next)
+		next = t
+		h.Cycles += h.Cost.Branch
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		taken := false
+		switch in.Op {
+		case isa.OpBEQ:
+			taken = rs1 == rs2
+		case isa.OpBNE:
+			taken = rs1 != rs2
+		case isa.OpBLT:
+			taken = int64(rs1) < int64(rs2)
+		case isa.OpBGE:
+			taken = int64(rs1) >= int64(rs2)
+		case isa.OpBLTU:
+			taken = rs1 < rs2
+		case isa.OpBGEU:
+			taken = rs1 >= rs2
+		}
+		if taken {
+			next = h.PC + uint64(in.Imm)
+			h.Cycles += h.Cost.Branch
+		}
+
+	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLD, isa.OpLBU, isa.OpLHU, isa.OpLWU:
+		va := rs1 + uint64(in.Imm)
+		v, aerr := h.MemAccess(va, in.MemBytes(), false, 0, raw)
+		if aerr != nil {
+			return h.exception(*aerr)
+		}
+		switch in.Op {
+		case isa.OpLB:
+			v = uint64(int64(int8(v)))
+		case isa.OpLH:
+			v = uint64(int64(int16(v)))
+		case isa.OpLW:
+			v = uint64(int64(int32(v)))
+		}
+		h.SetReg(in.Rd, v)
+
+	case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
+		va := rs1 + uint64(in.Imm)
+		if _, aerr := h.MemAccess(va, in.MemBytes(), true, rs2, raw); aerr != nil {
+			return h.exception(*aerr)
+		}
+
+	case isa.OpADDI:
+		h.SetReg(in.Rd, rs1+uint64(in.Imm))
+	case isa.OpSLTI:
+		h.SetReg(in.Rd, b2u(int64(rs1) < in.Imm))
+	case isa.OpSLTIU:
+		h.SetReg(in.Rd, b2u(rs1 < uint64(in.Imm)))
+	case isa.OpXORI:
+		h.SetReg(in.Rd, rs1^uint64(in.Imm))
+	case isa.OpORI:
+		h.SetReg(in.Rd, rs1|uint64(in.Imm))
+	case isa.OpANDI:
+		h.SetReg(in.Rd, rs1&uint64(in.Imm))
+	case isa.OpSLLI:
+		h.SetReg(in.Rd, rs1<<uint(in.Imm))
+	case isa.OpSRLI:
+		h.SetReg(in.Rd, rs1>>uint(in.Imm))
+	case isa.OpSRAI:
+		h.SetReg(in.Rd, uint64(int64(rs1)>>uint(in.Imm)))
+
+	case isa.OpADD:
+		h.SetReg(in.Rd, rs1+rs2)
+	case isa.OpSUB:
+		h.SetReg(in.Rd, rs1-rs2)
+	case isa.OpSLL:
+		h.SetReg(in.Rd, rs1<<(rs2&63))
+	case isa.OpSLT:
+		h.SetReg(in.Rd, b2u(int64(rs1) < int64(rs2)))
+	case isa.OpSLTU:
+		h.SetReg(in.Rd, b2u(rs1 < rs2))
+	case isa.OpXOR:
+		h.SetReg(in.Rd, rs1^rs2)
+	case isa.OpSRL:
+		h.SetReg(in.Rd, rs1>>(rs2&63))
+	case isa.OpSRA:
+		h.SetReg(in.Rd, uint64(int64(rs1)>>(rs2&63)))
+	case isa.OpOR:
+		h.SetReg(in.Rd, rs1|rs2)
+	case isa.OpAND:
+		h.SetReg(in.Rd, rs1&rs2)
+
+	case isa.OpADDIW:
+		h.SetReg(in.Rd, sext32(uint32(rs1)+uint32(in.Imm)))
+	case isa.OpSLLIW:
+		h.SetReg(in.Rd, sext32(uint32(rs1)<<uint(in.Imm&31)))
+	case isa.OpSRLIW:
+		h.SetReg(in.Rd, sext32(uint32(rs1)>>uint(in.Imm&31)))
+	case isa.OpSRAIW:
+		h.SetReg(in.Rd, uint64(int64(int32(rs1)>>uint(in.Imm&31))))
+	case isa.OpADDW:
+		h.SetReg(in.Rd, sext32(uint32(rs1)+uint32(rs2)))
+	case isa.OpSUBW:
+		h.SetReg(in.Rd, sext32(uint32(rs1)-uint32(rs2)))
+	case isa.OpSLLW:
+		h.SetReg(in.Rd, sext32(uint32(rs1)<<(rs2&31)))
+	case isa.OpSRLW:
+		h.SetReg(in.Rd, sext32(uint32(rs1)>>(rs2&31)))
+	case isa.OpSRAW:
+		h.SetReg(in.Rd, uint64(int64(int32(rs1)>>(rs2&31))))
+
+	case isa.OpMUL:
+		h.Cycles += h.Cost.Mul
+		h.SetReg(in.Rd, rs1*rs2)
+	case isa.OpMULH:
+		h.Cycles += h.Cost.Mul
+		h.SetReg(in.Rd, mulh(int64(rs1), int64(rs2)))
+	case isa.OpMULHU:
+		h.Cycles += h.Cost.Mul
+		h.SetReg(in.Rd, mulhu(rs1, rs2))
+	case isa.OpMULHSU:
+		h.Cycles += h.Cost.Mul
+		h.SetReg(in.Rd, mulhsu(int64(rs1), rs2))
+	case isa.OpDIV:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, divS(int64(rs1), int64(rs2)))
+	case isa.OpDIVU:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, divU(rs1, rs2))
+	case isa.OpREM:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, remS(int64(rs1), int64(rs2)))
+	case isa.OpREMU:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, remU(rs1, rs2))
+	case isa.OpMULW:
+		h.Cycles += h.Cost.Mul
+		h.SetReg(in.Rd, sext32(uint32(rs1)*uint32(rs2)))
+	case isa.OpDIVW:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, sext32(uint32(divS(int64(int32(rs1)), int64(int32(rs2))))))
+	case isa.OpDIVUW:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, sext32(uint32(divU(uint64(uint32(rs1)), uint64(uint32(rs2))))))
+	case isa.OpREMW:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, sext32(uint32(remS(int64(int32(rs1)), int64(int32(rs2))))))
+	case isa.OpREMUW:
+		h.Cycles += h.Cost.Div
+		h.SetReg(in.Rd, sext32(uint32(remU(uint64(uint32(rs1)), uint64(uint32(rs2))))))
+
+	case isa.OpLRW, isa.OpLRD:
+		h.Cycles += h.Cost.Amo - h.Cost.Base
+		v, aerr := h.MemAccess(rs1, in.MemBytes(), false, 0, raw)
+		if aerr != nil {
+			return h.exception(*aerr)
+		}
+		if in.Op == isa.OpLRW {
+			v = sext32(uint32(v))
+		}
+		h.resValid, h.resAddr = true, rs1
+		h.SetReg(in.Rd, v)
+	case isa.OpSCW, isa.OpSCD:
+		h.Cycles += h.Cost.Amo - h.Cost.Base
+		if h.resValid && h.resAddr == rs1 {
+			if _, aerr := h.MemAccess(rs1, in.MemBytes(), true, rs2, raw); aerr != nil {
+				return h.exception(*aerr)
+			}
+			h.SetReg(in.Rd, 0)
+		} else {
+			h.SetReg(in.Rd, 1)
+		}
+		h.resValid = false
+
+	case isa.OpAMOSWAPW, isa.OpAMOADDW, isa.OpAMOXORW, isa.OpAMOANDW, isa.OpAMOORW,
+		isa.OpAMOSWAPD, isa.OpAMOADDD, isa.OpAMOXORD, isa.OpAMOANDD, isa.OpAMOORD:
+		h.Cycles += h.Cost.Amo - h.Cost.Base
+		old, aerr := h.MemAccess(rs1, in.MemBytes(), false, 0, raw)
+		if aerr != nil {
+			return h.exception(*aerr)
+		}
+		var nw uint64
+		switch in.Op {
+		case isa.OpAMOSWAPW, isa.OpAMOSWAPD:
+			nw = rs2
+		case isa.OpAMOADDW, isa.OpAMOADDD:
+			nw = old + rs2
+		case isa.OpAMOXORW, isa.OpAMOXORD:
+			nw = old ^ rs2
+		case isa.OpAMOANDW, isa.OpAMOANDD:
+			nw = old & rs2
+		case isa.OpAMOORW, isa.OpAMOORD:
+			nw = old | rs2
+		}
+		if _, aerr := h.MemAccess(rs1, in.MemBytes(), true, nw, raw); aerr != nil {
+			return h.exception(*aerr)
+		}
+		if in.MemBytes() == 4 {
+			old = sext32(uint32(old))
+		}
+		h.SetReg(in.Rd, old)
+
+	case isa.OpFENCE, isa.OpFENCEI:
+		h.Cycles += h.Cost.Fence
+
+	case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC, isa.OpCSRRWI, isa.OpCSRRSI, isa.OpCSRRCI:
+		h.Cycles += h.Cost.CSRAccess
+		if ev, done := h.execCSR(in, rs1); done {
+			return ev
+		}
+
+	case isa.OpECALL:
+		var cause uint64
+		switch h.Mode {
+		case isa.ModeU:
+			cause = isa.ExcEcallU
+		case isa.ModeS:
+			cause = isa.ExcEcallS
+		case isa.ModeVS:
+			cause = isa.ExcEcallVS
+		case isa.ModeVU:
+			cause = isa.ExcEcallU
+		case isa.ModeM:
+			cause = isa.ExcEcallM
+		}
+		return h.exception(trapInfo{cause: cause})
+
+	case isa.OpEBREAK:
+		return h.exception(trapInfo{cause: isa.ExcBreakpoint, tval: h.PC})
+
+	case isa.OpSRET:
+		if h.Mode == isa.ModeU || h.Mode == isa.ModeVU {
+			return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
+		}
+		if h.Mode == isa.ModeS && h.csr.raw(isa.CSRMstatus)&isa.MstatusTSR != 0 {
+			return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
+		}
+		h.SRet()
+		return Event{Kind: EvNone}
+
+	case isa.OpMRET:
+		if h.Mode != isa.ModeM {
+			return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
+		}
+		h.MRet()
+		return Event{Kind: EvNone}
+
+	case isa.OpWFI:
+		h.PC = next
+		return Event{Kind: EvWFI}
+
+	case isa.OpSFENCEVMA:
+		if h.Mode == isa.ModeU || h.Mode == isa.ModeVU {
+			return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
+		}
+		h.flushSfence(in, rs1, rs2)
+
+	case isa.OpHFENCEVVMA, isa.OpHFENCEGVMA:
+		if h.Mode.Virtualized() {
+			return h.exception(trapInfo{cause: isa.ExcVirtualInst, tval: uint64(raw)})
+		}
+		if h.Mode != isa.ModeM && h.Mode != isa.ModeS {
+			return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
+		}
+		h.Cycles += h.Cost.TLBFlushAll
+		h.TLB.FlushAll() // conservative over-flush for hfence
+
+	default:
+		return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
+	}
+
+	h.PC = next
+	return Event{Kind: EvNone}
+}
+
+// exception runs the trap-entry sequence for an exception raised mid-
+// instruction (PC still points at the trapping instruction).
+func (h *Hart) exception(ti trapInfo) Event {
+	return Event{Kind: EvTrap, Trap: h.TakeTrap(ti)}
+}
+
+// execCSR handles the Zicsr operations. done=true means a trap was taken.
+func (h *Hart) execCSR(in isa.Inst, rs1 uint64) (Event, bool) {
+	var src uint64
+	if in.Op == isa.OpCSRRWI || in.Op == isa.OpCSRRSI || in.Op == isa.OpCSRRCI {
+		src = uint64(in.Imm)
+	} else {
+		src = rs1
+	}
+
+	readNeeded := true
+	if (in.Op == isa.OpCSRRW || in.Op == isa.OpCSRRWI) && in.Rd == 0 {
+		readNeeded = false
+	}
+	var old uint64
+	if readNeeded {
+		v, e := h.readCSR(in.CSR)
+		if e != csrOK {
+			return h.csrTrap(e, in), true
+		}
+		old = v
+	}
+
+	writeNeeded := true
+	var nw uint64
+	switch in.Op {
+	case isa.OpCSRRW, isa.OpCSRRWI:
+		nw = src
+	case isa.OpCSRRS, isa.OpCSRRSI:
+		nw = old | src
+		writeNeeded = in.Rs1 != 0 || in.Op == isa.OpCSRRSI && in.Imm != 0
+	case isa.OpCSRRC, isa.OpCSRRCI:
+		nw = old &^ src
+		writeNeeded = in.Rs1 != 0 || in.Op == isa.OpCSRRCI && in.Imm != 0
+	}
+	if writeNeeded {
+		if e := h.writeCSR(in.CSR, nw); e != csrOK {
+			return h.csrTrap(e, in), true
+		}
+		// satp/vsatp/hgatp writes require address-translation resync.
+		switch remap(in.CSR, h.Mode.Virtualized()) {
+		case isa.CSRSatp, isa.CSRVsatp, isa.CSRHgatp:
+			h.TLB.FlushAll()
+			h.Cycles += h.Cost.TLBFlushAll
+		}
+	}
+	h.SetReg(in.Rd, old)
+	return Event{}, false
+}
+
+func (h *Hart) csrTrap(e csrErr, in isa.Inst) Event {
+	cause := uint64(isa.ExcIllegalInst)
+	if e == csrVirtual {
+		cause = isa.ExcVirtualInst
+	}
+	return h.exception(trapInfo{cause: cause, tval: uint64(in.Raw)})
+}
+
+// flushSfence implements sfence.vma rs1 (va), rs2 (asid).
+func (h *Hart) flushSfence(in isa.Inst, va, asid uint64) {
+	vmid := uint16(0)
+	if h.Mode.Virtualized() {
+		vmid = h.vmid()
+	}
+	switch {
+	case in.Rs1 == 0 && in.Rs2 == 0:
+		h.TLB.FlushAll()
+		h.Cycles += h.Cost.TLBFlushAll
+	case in.Rs1 == 0:
+		h.TLB.FlushASID(uint16(asid), vmid)
+		h.Cycles += h.Cost.TLBFlushAll / 2
+	default:
+		h.TLB.FlushPage(va, uint16(asid), vmid)
+		h.Cycles += h.Cost.TLBFlushAll / 4
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sext32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+func mulhu(a, b uint64) uint64 {
+	aLo, aHi := a&0xFFFFFFFF, a>>32
+	bLo, bHi := b&0xFFFFFFFF, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := aLo*bHi + t&0xFFFFFFFF
+	return aHi*bHi + t>>32 + w1>>32
+}
+
+func mulh(a, b int64) uint64 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := mulhu(ua, ub), ua*ub
+	if neg {
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	return hi
+}
+
+func mulhsu(a int64, b uint64) uint64 {
+	if a >= 0 {
+		return mulhu(uint64(a), b)
+	}
+	hi, lo := mulhu(uint64(-a), b), uint64(-a)*b
+	hi = ^hi
+	if lo == 0 {
+		hi++
+	}
+	return hi
+}
+
+func divS(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return ^uint64(0)
+	case a == -1<<63 && b == -1:
+		return uint64(a)
+	default:
+		return uint64(a / b)
+	}
+}
+
+func divU(a, b uint64) uint64 {
+	if b == 0 {
+		return ^uint64(0)
+	}
+	return a / b
+}
+
+func remS(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return uint64(a)
+	case a == -1<<63 && b == -1:
+		return 0
+	default:
+		return uint64(a % b)
+	}
+}
+
+func remU(a, b uint64) uint64 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}

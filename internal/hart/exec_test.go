@@ -1,0 +1,232 @@
+package hart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zion/internal/asm"
+	"zion/internal/isa"
+)
+
+// execProgram runs a freshly assembled program on a fresh M-mode hart and
+// returns it after the final ecall.
+func execProgram(t *testing.T, build func(p *asm.Program)) *Hart {
+	t.Helper()
+	h := newHart(t)
+	p := asm.New(ramBase)
+	build(p)
+	p.ECALL()
+	load(t, h, ramBase, p)
+	for i := 0; i < 10000; i++ {
+		ev := h.Step()
+		if ev.Kind == EvTrap {
+			if ev.Trap.Cause != isa.ExcEcallM {
+				t.Fatalf("unexpected trap %s", isa.CauseName(ev.Trap.Cause))
+			}
+			return h
+		}
+	}
+	t.Fatal("program did not finish")
+	return nil
+}
+
+// Property: 32-bit W-ops match Go's int32 semantics with sign extension.
+func TestWordOpsProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		h := execProgram(t, func(p *asm.Program) {
+			p.LI(asm.A0, int64(a))
+			p.LI(asm.A1, int64(b))
+			p.ADDW(asm.A2, asm.A0, asm.A1)
+			p.SUBW(asm.A3, asm.A0, asm.A1)
+			p.MULW(asm.A4, asm.A0, asm.A1)
+			p.ADDIW(asm.A5, asm.A0, 17)
+		})
+		sext := func(v uint32) uint64 { return uint64(int64(int32(v))) }
+		return h.Reg(asm.A2) == sext(uint32(a)+uint32(b)) &&
+			h.Reg(asm.A3) == sext(uint32(a)-uint32(b)) &&
+			h.Reg(asm.A4) == sext(uint32(a)*uint32(b)) &&
+			h.Reg(asm.A5) == sext(uint32(a)+17)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variable shifts use the low 6 bits of the shift amount.
+func TestShiftsProperty(t *testing.T) {
+	f := func(v uint64, s uint8) bool {
+		h := execProgram(t, func(p *asm.Program) {
+			p.LI(asm.A0, int64(v))
+			p.LI(asm.A1, int64(s))
+			p.SLL(asm.A2, asm.A0, asm.A1)
+			p.SRL(asm.A3, asm.A0, asm.A1)
+			p.SRA(asm.A4, asm.A0, asm.A1)
+		})
+		sh := uint(s) & 63
+		return h.Reg(asm.A2) == v<<sh &&
+			h.Reg(asm.A3) == v>>sh &&
+			h.Reg(asm.A4) == uint64(int64(v)>>sh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SLT/SLTU/SLTI agree with Go comparisons.
+func TestSetLessThanProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		h := execProgram(t, func(p *asm.Program) {
+			p.LI(asm.A0, int64(a))
+			p.LI(asm.A1, int64(b))
+			p.SLT(asm.A2, asm.A0, asm.A1)
+			p.SLTU(asm.A3, asm.A0, asm.A1)
+			p.SLTI(asm.A4, asm.A0, 100)
+			p.SLTIU(asm.A5, asm.A0, 100)
+		})
+		b2u := func(x bool) uint64 {
+			if x {
+				return 1
+			}
+			return 0
+		}
+		return h.Reg(asm.A2) == b2u(int64(a) < int64(b)) &&
+			h.Reg(asm.A3) == b2u(a < b) &&
+			h.Reg(asm.A4) == b2u(int64(a) < 100) &&
+			h.Reg(asm.A5) == b2u(a < 100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisionCornerCases(t *testing.T) {
+	h := execProgram(t, func(p *asm.Program) {
+		// Division by zero: quotient all-ones, remainder = dividend.
+		p.LI(asm.A0, 77)
+		p.LI(asm.A1, 0)
+		p.DIV(asm.A2, asm.A0, asm.A1)
+		p.DIVU(asm.A3, asm.A0, asm.A1)
+		p.REM(asm.A4, asm.A0, asm.A1)
+		p.REMU(asm.A5, asm.A0, asm.A1)
+		// Signed overflow: MinInt64 / -1 = MinInt64, rem 0.
+		p.LI(asm.T0, -1<<63)
+		p.LI(asm.T1, -1)
+		p.DIV(asm.A6, asm.T0, asm.T1)
+		p.REM(asm.A7, asm.T0, asm.T1)
+	})
+	if h.Reg(asm.A2) != ^uint64(0) || h.Reg(asm.A3) != ^uint64(0) {
+		t.Error("div by zero must yield all ones")
+	}
+	if h.Reg(asm.A4) != 77 || h.Reg(asm.A5) != 77 {
+		t.Error("rem by zero must yield the dividend")
+	}
+	if h.Reg(asm.A6) != 1<<63 || h.Reg(asm.A7) != 0 {
+		t.Errorf("overflow div: q=%#x r=%#x", h.Reg(asm.A6), h.Reg(asm.A7))
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	h := execProgram(t, func(p *asm.Program) {
+		p.LI(asm.A0, 42)
+		p.ADD(asm.Zero, asm.A0, asm.A0) // write to x0 discarded
+		p.MV(asm.A1, asm.Zero)
+	})
+	if h.Reg(asm.Zero) != 0 || h.Reg(asm.A1) != 0 {
+		t.Error("x0 must stay zero")
+	}
+}
+
+func TestCSRReadWriteInstructions(t *testing.T) {
+	h := execProgram(t, func(p *asm.Program) {
+		p.LI(asm.A0, 0x1234)
+		p.CSRRW(asm.A1, isa.CSRMscratch, asm.A0) // old (0) -> a1
+		p.CSRR(asm.A2, isa.CSRMscratch)          // 0x1234
+		p.LI(asm.A3, 0x00F0)
+		p.CSRRS(asm.A4, isa.CSRMscratch, asm.A3) // set bits, old -> a4
+		p.CSRR(asm.A5, isa.CSRMscratch)          // 0x12F4
+	})
+	if h.Reg(asm.A1) != 0 || h.Reg(asm.A2) != 0x1234 {
+		t.Errorf("csrrw: old=%#x val=%#x", h.Reg(asm.A1), h.Reg(asm.A2))
+	}
+	if h.Reg(asm.A4) != 0x1234 || h.Reg(asm.A5) != 0x12F4 {
+		t.Errorf("csrrs: old=%#x val=%#x", h.Reg(asm.A4), h.Reg(asm.A5))
+	}
+}
+
+func TestCycleCSRAdvances(t *testing.T) {
+	h := execProgram(t, func(p *asm.Program) {
+		p.CSRR(asm.A0, isa.CSRCycle)
+		p.NOP().NOP().NOP()
+		p.CSRR(asm.A1, isa.CSRCycle)
+		p.SUB(asm.A2, asm.A1, asm.A0)
+		p.CSRR(asm.A3, isa.CSRInstret)
+	})
+	if h.Reg(asm.A2) == 0 {
+		t.Error("cycle counter frozen")
+	}
+	if h.Reg(asm.A3) == 0 {
+		t.Error("instret frozen")
+	}
+}
+
+func TestReadOnlyCSRWriteFaults(t *testing.T) {
+	h := newHart(t)
+	p := asm.New(ramBase)
+	p.CSRRW(asm.Zero, isa.CSRMhartid, asm.A0) // mhartid is in the RO range
+	load(t, h, ramBase, p)
+	ev := run(t, h, 5)
+	if ev.Trap.Cause != isa.ExcIllegalInst {
+		t.Errorf("cause = %s", isa.CauseName(ev.Trap.Cause))
+	}
+}
+
+func TestJALRClearsLowBit(t *testing.T) {
+	h := execProgram(t, func(p *asm.Program) {
+		p.LA(asm.T0, "target")
+		p.ADDI(asm.T0, asm.T0, 1) // odd target: hardware clears bit 0
+		p.JALR(asm.RA, asm.T0, 0)
+		p.Label("target")
+		p.LI(asm.A0, 1)
+	})
+	if h.Reg(asm.A0) != 1 {
+		t.Error("jalr with odd target did not land correctly")
+	}
+}
+
+func TestAMOVariants(t *testing.T) {
+	h := execProgram(t, func(p *asm.Program) {
+		p.LI(asm.T0, ramBase+0x40000)
+		p.LI(asm.T1, 0b1100)
+		p.SD(asm.T1, asm.T0, 0)
+		p.LI(asm.T2, 0b1010)
+		p.AMOSWAPD(asm.A0, asm.T0, asm.T2) // old 1100, mem=1010
+		p.LD(asm.A1, asm.T0, 0)
+		// amoadd.w on the low word.
+		p.LI(asm.T2, 6)
+		p.AMOADDW(asm.A2, asm.T0, asm.T2) // old 1010(10), mem=16
+		p.LD(asm.A3, asm.T0, 0)
+	})
+	if h.Reg(asm.A0) != 0b1100 || h.Reg(asm.A1) != 0b1010 {
+		t.Errorf("amoswap: old=%#x new=%#x", h.Reg(asm.A0), h.Reg(asm.A1))
+	}
+	if h.Reg(asm.A2) != 0b1010 || h.Reg(asm.A3) != 16 {
+		t.Errorf("amoadd.w: old=%#x new=%#x", h.Reg(asm.A2), h.Reg(asm.A3))
+	}
+}
+
+func TestFencesRetire(t *testing.T) {
+	h := execProgram(t, func(p *asm.Program) {
+		p.FENCE()
+		p.LI(asm.A0, 9)
+	})
+	if h.Reg(asm.A0) != 9 {
+		t.Error("fence blocked execution")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	h := newHart(t)
+	if h.String() == "" {
+		t.Error("empty String()")
+	}
+}

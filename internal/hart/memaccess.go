@@ -1,0 +1,213 @@
+package hart
+
+import (
+	"zion/internal/isa"
+	"zion/internal/pmp"
+	"zion/internal/ptw"
+)
+
+// accessErr carries the trap an access raised, or nil.
+type accessErr = *trapInfo
+
+func accFaultCause(acc ptw.Access) uint64 {
+	switch acc {
+	case ptw.AccessRead:
+		return isa.ExcLoadAccessFault
+	case ptw.AccessWrite:
+		return isa.ExcStoreAccessFault
+	default:
+		return isa.ExcInstAccessFault
+	}
+}
+
+// vmid returns the current VMID from hgatp.
+func (h *Hart) vmid() uint16 {
+	return uint16(h.csr.raw(isa.CSRHgatp) >> isa.HgatpVMIDShift & 0x3FFF)
+}
+
+// satpRoot extracts the root-table physical address from a satp-format CSR.
+func satpRoot(v uint64) uint64 {
+	if v>>isa.SatpModeShift == isa.SatpModeBare {
+		return 0
+	}
+	return (v & isa.SatpPPNMask) << isa.PageShift
+}
+
+// Translate resolves va for the hart's current mode, charging TLB and
+// page-walk cycles, and returns the final physical address. rawInst is the
+// in-flight instruction (for htinst synthesis on guest-page faults); pass
+// 0 for fetches.
+func (h *Hart) Translate(va uint64, acc ptw.Access, rawInst uint32) (uint64, accessErr) {
+	mstatus := h.csr.raw(isa.CSRMstatus)
+	opts := ptw.Opts{
+		SUM: mstatus&isa.MstatusSUM != 0,
+		MXR: mstatus&isa.MstatusMXR != 0,
+	}
+	switch h.Mode {
+	case isa.ModeM:
+		return va, nil // no translation; PMP handled by caller
+	case isa.ModeS, isa.ModeU:
+		root := satpRoot(h.csr.raw(isa.CSRSatp))
+		if root == 0 {
+			return va, nil
+		}
+		opts.User = h.Mode == isa.ModeU
+		asid := uint16(h.csr.raw(isa.CSRSatp) >> 44 & 0xFFFF)
+		if ppn, perms, level, hit := h.TLB.Lookup(va, asid, 0); hit && permsAllow(perms, acc, opts) {
+			h.Cycles += h.Cost.TLBHit
+			return ppn<<uint(isa.PageShift+9*level) | va&pageMask(level), nil
+		}
+		res, err := h.walker.Walk(root, va, acc, opts)
+		if err != nil {
+			return 0, pageFaultInfo(err, va, 0)
+		}
+		h.Cycles += uint64(res.Steps) * h.Cost.WalkStep
+		h.TLB.Insert(va&^pageMask(res.Level), res.PA&^pageMask(res.Level), res.PTE&isa.PTEFlagMask, res.Level, asid, 0)
+		return res.PA, nil
+	default: // VS / VU
+		vsatp := h.csr.raw(isa.CSRVsatp)
+		hgatpRoot := satpRoot(h.csr.raw(isa.CSRHgatp))
+		if hgatpRoot == 0 {
+			// V=1 with no G-stage would be a platform configuration bug.
+			return 0, &trapInfo{cause: accFaultCause(acc), tval: va}
+		}
+		opts.User = h.Mode == isa.ModeVU
+		asid := uint16(vsatp >> 44 & 0xFFFF)
+		// With a Bare stage-1 there is no guest privilege check, so TLB
+		// hits must not apply one: U pages (stage-2 leaves always carry U)
+		// are reachable from both VS and VU.
+		hitOpts := opts
+		if satpRoot(vsatp) == 0 {
+			hitOpts.User, hitOpts.SUM = false, true
+		}
+		if ppn, perms, level, hit := h.TLB.Lookup(va, asid, h.vmid()); hit && permsAllow(perms, acc, hitOpts) {
+			h.Cycles += h.Cost.TLBHit
+			return ppn<<uint(isa.PageShift+9*level) | va&pageMask(level), nil
+		}
+		res, err := h.walker.TranslateTwoStage(satpRoot(vsatp), hgatpRoot, va, acc, opts.User)
+		if err != nil {
+			h.Cycles += uint64(res.Steps) * h.Cost.WalkStep
+			return 0, pageFaultInfo(err, va, rawInst)
+		}
+		h.Cycles += uint64(res.Steps) * h.Cost.WalkStep
+		// Cache the combined VA->PA mapping at the tighter leaf level with
+		// the intersection of both stages' permissions, so a later hit can
+		// never grant more than the walk would.
+		lvl := res.Stage2Leaf.Level
+		perms := res.Stage2Leaf.PTE & isa.PTEFlagMask
+		if res.Stage1Leaf.PTE != 0 {
+			if res.Stage1Leaf.Level < lvl {
+				lvl = res.Stage1Leaf.Level
+			}
+			rwx := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec)
+			perms = perms&^rwx | (perms & res.Stage1Leaf.PTE & rwx)
+			perms = perms&^uint64(isa.PTEUser) | res.Stage1Leaf.PTE&isa.PTEUser
+		}
+		h.TLB.Insert(va&^pageMask(lvl), res.PA&^pageMask(lvl), perms, lvl, asid, h.vmid())
+		return res.PA, nil
+	}
+}
+
+// permsAllow validates a TLB hit's cached permissions against the access.
+// A false result forces a fresh walk, which either faults architecturally
+// or refreshes the entry (e.g. after an A/D upgrade).
+func permsAllow(perms uint64, acc ptw.Access, opts ptw.Opts) bool {
+	if opts.User && perms&isa.PTEUser == 0 {
+		return false
+	}
+	if !opts.User && perms&isa.PTEUser != 0 && !opts.SUM {
+		return false
+	}
+	switch acc {
+	case ptw.AccessRead:
+		if perms&isa.PTERead == 0 && !(opts.MXR && perms&isa.PTEExec != 0) {
+			return false
+		}
+	case ptw.AccessWrite:
+		if perms&isa.PTEWrite == 0 || perms&isa.PTEDirty == 0 {
+			return false
+		}
+	case ptw.AccessFetch:
+		if perms&isa.PTEExec == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func pageMask(level int) uint64 {
+	return (uint64(1) << uint(isa.PageShift+9*level)) - 1
+}
+
+// pageFaultInfo converts a ptw fault into trap state, synthesizing htinst
+// for guest-page faults caused by loads/stores (the hypervisor's MMIO path).
+func pageFaultInfo(err error, va uint64, rawInst uint32) accessErr {
+	pf, ok := err.(*ptw.PageFault)
+	if !ok {
+		return &trapInfo{cause: isa.ExcLoadAccessFault, tval: va}
+	}
+	ti := &trapInfo{cause: pf.Cause(), tval: va}
+	if pf.GuestPage {
+		ti.tval2 = pf.Addr >> 2
+		if rawInst != 0 {
+			ti.tinst = isa.TransformedInst(isa.Decode(rawInst))
+		}
+	}
+	return ti
+}
+
+// MemAccess performs a data access at va: translation, PMP, then RAM or
+// bus. For writes val is stored; for reads the loaded value is returned.
+func (h *Hart) MemAccess(va uint64, size int, write bool, val uint64, rawInst uint32) (uint64, accessErr) {
+	acc := ptw.AccessRead
+	pacc := pmp.AccessRead
+	if write {
+		acc, pacc = ptw.AccessWrite, pmp.AccessWrite
+	}
+	pa, aerr := h.Translate(va, acc, rawInst)
+	if aerr != nil {
+		return 0, aerr
+	}
+	if !h.PMP.Check(pa, uint64(size), pacc, h.Mode == isa.ModeM) {
+		return 0, &trapInfo{cause: accFaultCause(acc), tval: va}
+	}
+	h.Cycles += h.Cost.Mem
+	if h.Mem.Contains(pa, uint64(size)) {
+		if write {
+			if err := h.Mem.WriteUint(pa, val, size); err != nil {
+				return 0, &trapInfo{cause: accFaultCause(acc), tval: va}
+			}
+			return 0, nil
+		}
+		v, err := h.Mem.ReadUint(pa, size)
+		if err != nil {
+			return 0, &trapInfo{cause: accFaultCause(acc), tval: va}
+		}
+		return v, nil
+	}
+	if h.Bus != nil {
+		if out, ok := h.Bus.Access(h.ID, pa, size, write, val); ok {
+			return out, nil
+		}
+	}
+	return 0, &trapInfo{cause: accFaultCause(acc), tval: va}
+}
+
+// Fetch reads the 32-bit instruction at PC.
+func (h *Hart) Fetch() (uint32, accessErr) {
+	pa, aerr := h.Translate(h.PC, ptw.AccessFetch, 0)
+	if aerr != nil {
+		return 0, aerr
+	}
+	if !h.PMP.Check(pa, 4, pmp.AccessExec, h.Mode == isa.ModeM) {
+		return 0, &trapInfo{cause: isa.ExcInstAccessFault, tval: h.PC}
+	}
+	if !h.Mem.Contains(pa, 4) {
+		return 0, &trapInfo{cause: isa.ExcInstAccessFault, tval: h.PC}
+	}
+	raw, err := h.Mem.ReadUint32(pa)
+	if err != nil {
+		return 0, &trapInfo{cause: isa.ExcInstAccessFault, tval: h.PC}
+	}
+	return raw, nil
+}

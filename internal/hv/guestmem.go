@@ -1,0 +1,107 @@
+package hv
+
+import (
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/isa"
+	"zion/internal/sm"
+)
+
+// GuestMem is the device model's view of one VM's memory — the QEMU
+// role: emulated virtio back-ends copy descriptor rings and buffers
+// through it.
+//
+// For a normal VM every guest frame is reachable (the host maps all guest
+// RAM). For a confidential VM only the shared GPA window resolves: the
+// backing subtable is the hypervisor's own (§IV.E), and private GPAs have
+// no hypervisor-visible mapping at all, so a CVM driver that posted a
+// private buffer address gets a DMA error — the architectural behaviour
+// ZION's split page table produces.
+type GuestMem struct {
+	K  *Hypervisor
+	VM *VM
+	H  *hart.Hart // cost accounting for the copies
+}
+
+// NewGuestMem builds the device view for a VM.
+func (k *Hypervisor) NewGuestMem(vm *VM, h *hart.Hart) *GuestMem {
+	return &GuestMem{K: k, VM: vm, H: h}
+}
+
+// resolve maps one GPA to a host physical address, faulting mappings in
+// the way the host kernel pins pages for emulation.
+func (g *GuestMem) resolve(gpa uint64) (uint64, error) {
+	if g.VM.Confidential {
+		if gpa < sm.SharedBase || gpa >= sm.SharedBase+(1<<30) {
+			return 0, fmt.Errorf("hv: CVM GPA %#x not in shared window", gpa)
+		}
+		if pa, ok := g.VM.SharedPA(gpa); ok {
+			return pa, nil
+		}
+		pa, err := g.K.MapShared(g.H, g.VM, gpa)
+		if err != nil {
+			return 0, err
+		}
+		return pa + gpa&(isa.PageSize-1), nil
+	}
+	b := g.K.builder()
+	pte, level, err := b.Lookup(g.VM.hgatpRoot, gpa, true)
+	if err != nil {
+		// Host-side touch of a not-yet-faulted guest page: map it now.
+		if ferr := g.K.normalStage2Fault(g.H, g.VM, gpa); ferr != nil {
+			return 0, ferr
+		}
+		pte, level, err = b.Lookup(g.VM.hgatpRoot, gpa, true)
+		if err != nil {
+			return 0, err
+		}
+	}
+	mask := (uint64(1) << uint(isa.PageShift+9*level)) - 1
+	return (pte>>isa.PTEPPNShift)<<isa.PageShift | gpa&mask, nil
+}
+
+// ReadBytes implements virtio.MemIO, page-fragment by page-fragment.
+func (g *GuestMem) ReadBytes(gpa uint64, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		pa, err := g.resolve(gpa)
+		if err != nil {
+			return nil, err
+		}
+		chunk := isa.PageSize - int(gpa&(isa.PageSize-1))
+		if chunk > n {
+			chunk = n
+		}
+		b, err := g.K.M.RAM.Read(pa, uint64(chunk))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		gpa += uint64(chunk)
+		n -= chunk
+		g.H.Advance(uint64(chunk/64+1) * g.H.Cost.CacheLineCopy / 4)
+	}
+	return out, nil
+}
+
+// WriteBytes implements virtio.MemIO.
+func (g *GuestMem) WriteBytes(gpa uint64, b []byte) error {
+	for len(b) > 0 {
+		pa, err := g.resolve(gpa)
+		if err != nil {
+			return err
+		}
+		chunk := isa.PageSize - int(gpa&(isa.PageSize-1))
+		if chunk > len(b) {
+			chunk = len(b)
+		}
+		if err := g.K.M.RAM.Write(pa, b[:chunk]); err != nil {
+			return err
+		}
+		gpa += uint64(chunk)
+		b = b[chunk:]
+		g.H.Advance(uint64(chunk/64+1) * g.H.Cost.CacheLineCopy / 4)
+	}
+	return nil
+}

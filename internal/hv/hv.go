@@ -1,0 +1,182 @@
+// Package hv implements the untrusted Normal-mode software stack: a
+// KVM-like hypervisor with a frame allocator over normal memory, stage-2
+// management for normal VMs, a QEMU-like MMIO device model, a round-robin
+// scheduler, and the driver side of the ZION protocol (pool registration,
+// CVM build, exit handling, split-page-table shared-window management).
+//
+// Nothing in this package is trusted: the SM treats every input from here
+// as adversarial, and the security tests exercise exactly that boundary.
+package hv
+
+import (
+	"errors"
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/isa"
+	"zion/internal/platform"
+	"zion/internal/ptw"
+	"zion/internal/sm"
+)
+
+// FrameAlloc is a bump allocator over a normal-memory region. The real
+// host kernel uses a buddy allocator; for the simulator's purposes only
+// the contact surface (page-sized frames, contiguous region carve-outs)
+// matters.
+type FrameAlloc struct {
+	next, end uint64
+}
+
+// NewFrameAlloc covers [base, base+size).
+func NewFrameAlloc(base, size uint64) *FrameAlloc {
+	return &FrameAlloc{next: base, end: base + size}
+}
+
+// Page returns one zero-on-first-touch 4 KiB frame.
+func (a *FrameAlloc) Page() (uint64, error) {
+	return a.Contig(isa.PageSize, isa.PageSize)
+}
+
+// Contig returns a contiguous, aligned region.
+func (a *FrameAlloc) Contig(size, align uint64) (uint64, error) {
+	p := (a.next + align - 1) &^ (align - 1)
+	if p+size > a.end {
+		return 0, errors.New("hv: normal memory exhausted")
+	}
+	a.next = p + size
+	return p, nil
+}
+
+// Remaining reports bytes left.
+func (a *FrameAlloc) Remaining() uint64 { return a.end - a.next }
+
+// EmuDevice is an emulated MMIO device (the QEMU role). Offsets are
+// relative to the device's GPA window.
+type EmuDevice interface {
+	GPARange() (base, size uint64)
+	MMIORead(off uint64, width int) uint64
+	MMIOWrite(off uint64, width int, val uint64)
+}
+
+// VCPUState is the hypervisor-managed register context of a *normal* VM
+// vCPU. (Confidential vCPU state lives in the SM; the hypervisor never
+// sees it — that asymmetry is the point of ZION.)
+type VCPUState struct {
+	X    [32]uint64
+	PC   uint64
+	Mode isa.PrivMode
+
+	Vsstatus, Vsepc, Vscause, Vstval, Vstvec, Vsscratch, Vsatp uint64
+	TimerDeadline                                              uint64
+}
+
+// VM is one guest, normal or confidential.
+type VM struct {
+	Name         string
+	Confidential bool
+
+	// Normal VMs: hypervisor-owned stage-2 and vCPU state.
+	hgatpRoot uint64
+	vmid      uint16
+	vcpus     []*VCPUState
+
+	// Confidential VMs: SM handle plus hypervisor-side shared plumbing.
+	CVMID      int
+	sharedSub  uint64            // level-1 subtable (normal memory)
+	sharedMap  map[uint64]uint64 // shared GPA page -> normal PA
+	sharedVCPU []uint64          // per-vCPU shared page PAs
+
+	devices []EmuDevice
+
+	// Stats for the harness.
+	Exits map[string]uint64
+}
+
+// Hypervisor is the Normal-mode kernel + VMM.
+type Hypervisor struct {
+	M     *platform.Machine
+	SM    *sm.SM
+	Alloc *FrameAlloc
+	VMs   []*VM
+
+	// SchedQuantum in cycles for normal VMs (CVM quantum is SM config).
+	SchedQuantum uint64
+
+	// Stage-2 fault timing for normal VMs (§V.C comparison).
+	S2FaultCycles, S2FaultCount uint64
+}
+
+// New wires a hypervisor over the machine. normBase/normSize delimit the
+// normal-memory heap it may allocate from (the rest of RAM holds images,
+// the host kernel, and secure pools).
+func New(m *platform.Machine, monitor *sm.SM, normBase, normSize uint64) *Hypervisor {
+	k := &Hypervisor{
+		M:     m,
+		SM:    monitor,
+		Alloc: NewFrameAlloc(normBase, normSize),
+	}
+	for _, h := range m.Harts {
+		k.setupDelegation(h)
+	}
+	return k
+}
+
+// setupDelegation programs the boot-time (Normal mode) trap delegation the
+// way OpenSBI + KVM do: guest faults, guest SBI calls and the supervisor
+// interrupt lines are handled in HS-mode.
+func (k *Hypervisor) setupDelegation(h *hart.Hart) {
+	medeleg := uint64(1)<<isa.ExcInstAddrMisaligned |
+		uint64(1)<<isa.ExcIllegalInst |
+		uint64(1)<<isa.ExcBreakpoint |
+		uint64(1)<<isa.ExcLoadAddrMisaligned |
+		uint64(1)<<isa.ExcStoreAddrMisaligned |
+		uint64(1)<<isa.ExcEcallU |
+		uint64(1)<<isa.ExcEcallVS |
+		uint64(1)<<isa.ExcInstPageFault |
+		uint64(1)<<isa.ExcLoadPageFault |
+		uint64(1)<<isa.ExcStorePageFault |
+		uint64(1)<<isa.ExcInstGuestPageFault |
+		uint64(1)<<isa.ExcLoadGuestPageFault |
+		uint64(1)<<isa.ExcStoreGuestPageFault |
+		uint64(1)<<isa.ExcVirtualInst
+	h.SetCSR(isa.CSRMedeleg, medeleg)
+	h.SetCSR(isa.CSRMideleg, uint64(1)<<isa.IntSSoft|1<<isa.IntSTimer|1<<isa.IntSExt|
+		1<<isa.IntVSSoft|1<<isa.IntVSTimer|1<<isa.IntVSExt)
+	h.SetCSR(isa.CSRMie, uint64(1)<<isa.IntMTimer)
+	h.SetCSR(isa.CSRHedeleg, 0)
+	h.SetCSR(isa.CSRHideleg, 0)
+}
+
+// builder returns a stage-2 builder over normal memory for normal VMs and
+// shared subtables.
+func (k *Hypervisor) builder() *ptw.Builder {
+	return &ptw.Builder{Mem: k.M.RAM, Alloc: k.Alloc.Page}
+}
+
+// AttachDevice adds an emulated MMIO device to a VM.
+func (k *Hypervisor) AttachDevice(vm *VM, d EmuDevice) { vm.devices = append(vm.devices, d) }
+
+// deviceAt finds the emulated device covering a GPA.
+func (vm *VM) deviceAt(gpa uint64) (EmuDevice, uint64, bool) {
+	for _, d := range vm.devices {
+		base, size := d.GPARange()
+		if gpa >= base && gpa < base+size {
+			return d, gpa - base, true
+		}
+	}
+	return nil, 0, false
+}
+
+// countExit tallies an exit reason.
+func (vm *VM) countExit(kind string) {
+	if vm.Exits == nil {
+		vm.Exits = make(map[string]uint64)
+	}
+	vm.Exits[kind]++
+}
+
+// GuestRAMBase is where both normal and confidential guests see their RAM
+// (matching the CVM private window so the same guest images run in both).
+const GuestRAMBase = sm.PrivateBase
+
+var errVMDead = fmt.Errorf("hv: VM terminated")

@@ -1,0 +1,95 @@
+package hv
+
+import (
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/sm"
+)
+
+// Scheduler multiplexes many vCPUs — confidential and normal, mixed —
+// over one hart with round-robin timeslicing, the role KVM's scheduler
+// plays in the paper's setup. Confidential quanta are enforced by the SM
+// (sm.Config.SchedQuantum); normal quanta by the hypervisor
+// (Hypervisor.SchedQuantum).
+type Scheduler struct {
+	k     *Hypervisor
+	queue []*schedEntry
+}
+
+type schedEntry struct {
+	vm     *VM
+	vcpu   int
+	done   bool
+	result sm.ExitInfo
+	rounds uint64
+}
+
+// VMResult reports one vCPU's completion.
+type VMResult struct {
+	VM     *VM
+	VCPU   int
+	Data   uint64 // guest a0 at shutdown
+	Data2  uint64 // guest a1 at shutdown
+	Rounds uint64 // scheduling rounds consumed
+}
+
+// NewScheduler creates an empty run queue.
+func (k *Hypervisor) NewScheduler() *Scheduler { return &Scheduler{k: k} }
+
+// Add enqueues a vCPU.
+func (s *Scheduler) Add(vm *VM, vcpu int) {
+	s.queue = append(s.queue, &schedEntry{vm: vm, vcpu: vcpu})
+}
+
+// RunAll round-robins the queue on hart h until every vCPU has shut
+// down, returning per-vCPU results in enqueue order.
+func (s *Scheduler) RunAll(h *hart.Hart) ([]VMResult, error) {
+	remaining := len(s.queue)
+	for guard := 0; remaining > 0; guard++ {
+		if guard > 1_000_000 {
+			return nil, fmt.Errorf("hv: scheduler livelock with %d vCPUs left", remaining)
+		}
+		for _, e := range s.queue {
+			if e.done {
+				continue
+			}
+			e.rounds++
+			if e.vm.Confidential {
+				info, err := s.k.RunCVM(h, e.vm, e.vcpu)
+				if err != nil {
+					return nil, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
+				}
+				switch info.Reason {
+				case sm.ExitShutdown:
+					e.done, e.result = true, info
+					remaining--
+				case sm.ExitTimer:
+					// Quantum expired: next entry's turn.
+				default:
+					return nil, fmt.Errorf("hv: %s/%d: unexpected exit %v", e.vm.Name, e.vcpu, info.Reason)
+				}
+				continue
+			}
+			exit, err := s.k.RunNormalVCPU(h, e.vm, e.vcpu)
+			if err != nil {
+				return nil, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
+			}
+			switch exit.Reason {
+			case sm.ExitShutdown:
+				e.done = true
+				e.result = sm.ExitInfo{Reason: sm.ExitShutdown, Data: exit.Data, Data2: exit.Data2}
+				remaining--
+			case sm.ExitTimer:
+			default:
+				return nil, fmt.Errorf("hv: %s/%d: unexpected exit %v", e.vm.Name, e.vcpu, exit.Reason)
+			}
+		}
+	}
+	out := make([]VMResult, len(s.queue))
+	for i, e := range s.queue {
+		out[i] = VMResult{VM: e.vm, VCPU: e.vcpu, Data: e.result.Data,
+			Data2: e.result.Data2, Rounds: e.rounds}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package iopmp
+
+import (
+	"testing"
+
+	"zion/internal/pmp"
+)
+
+func newUnitWithWindow(t *testing.T) *Unit {
+	t.Helper()
+	u := New()
+	u.DefineDomain(1)
+	if err := u.AssignSource(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddEntry(1, Entry{Base: 0x9000_0000, Size: 1 << 20, Perm: pmp.PermR | pmp.PermW}); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestDefaultDeny(t *testing.T) {
+	u := New()
+	if err := u.Check(3, 0x8000_0000, 8, pmp.AccessRead); err == nil {
+		t.Error("unenrolled source must be denied")
+	}
+	if u.Violations != 1 {
+		t.Errorf("Violations = %d, want 1", u.Violations)
+	}
+}
+
+func TestWindowGrant(t *testing.T) {
+	u := newUnitWithWindow(t)
+	if err := u.Check(7, 0x9000_0000, 4096, pmp.AccessRead); err != nil {
+		t.Errorf("read in window: %v", err)
+	}
+	if err := u.Check(7, 0x900F_F000, 4096, pmp.AccessWrite); err != nil {
+		t.Errorf("write at window end: %v", err)
+	}
+	if err := u.Check(7, 0x9010_0000, 8, pmp.AccessRead); err == nil {
+		t.Error("access past window must be denied")
+	}
+}
+
+func TestPartialOverlapDenied(t *testing.T) {
+	u := newUnitWithWindow(t)
+	if err := u.Check(7, 0x900F_FFFC, 8, pmp.AccessRead); err == nil {
+		t.Error("straddling access must be denied")
+	}
+}
+
+func TestReadOnlyWindow(t *testing.T) {
+	u := New()
+	u.DefineDomain(2)
+	_ = u.AssignSource(9, 2)
+	_ = u.AddEntry(2, Entry{Base: 0xA000_0000, Size: 4096, Perm: pmp.PermR})
+	if err := u.Check(9, 0xA000_0000, 8, pmp.AccessRead); err != nil {
+		t.Errorf("read: %v", err)
+	}
+	if err := u.Check(9, 0xA000_0000, 8, pmp.AccessWrite); err == nil {
+		t.Error("write to read-only window must be denied")
+	}
+	if err := u.Check(9, 0xA000_0000, 4, pmp.AccessExec); err == nil {
+		t.Error("DMA exec is never allowed")
+	}
+}
+
+func TestSecurePoolInvisible(t *testing.T) {
+	// The ZION posture: device windows cover normal memory only; any DMA
+	// aimed at the secure pool (here 0xB000_0000) has no covering entry.
+	u := newUnitWithWindow(t)
+	if err := u.Check(7, 0xB000_0000, 64, pmp.AccessWrite); err == nil {
+		t.Error("DMA into secure pool must be denied")
+	}
+}
+
+func TestClearDomain(t *testing.T) {
+	u := newUnitWithWindow(t)
+	u.ClearDomain(1)
+	if err := u.Check(7, 0x9000_0000, 8, pmp.AccessRead); err == nil {
+		t.Error("access must fail after domain clear")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	u := New()
+	if err := u.AssignSource(1, 5); err == nil {
+		t.Error("assigning to undefined domain must fail")
+	}
+	u.DefineDomain(5)
+	if err := u.AddEntry(6, Entry{Base: 0, Size: 8}); err == nil {
+		t.Error("adding to undefined domain must fail")
+	}
+	if err := u.AddEntry(5, Entry{Base: 0, Size: 0}); err == nil {
+		t.Error("zero-size entry must fail")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	u := newUnitWithWindow(t)
+	if err := u.Check(7, 0x9000_0000, 0, pmp.AccessRead); err != nil {
+		t.Errorf("zero-length treated as 1 byte: %v", err)
+	}
+}
+
+func TestEntryHelpers(t *testing.T) {
+	e := Entry{Base: 0x1000, Size: 0x1000}
+	if !e.Contains(0x1000, 0x1000) || e.Contains(0xFFF, 2) || e.Contains(0x1FFF, 2) {
+		t.Error("Contains wrong")
+	}
+	if !e.Overlaps(0xFFF, 2) || e.Overlaps(0x2000, 1) || e.Overlaps(0, 0x1000) {
+		t.Error("Overlaps wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package isa
+
+import "fmt"
+
+// Encoding helpers. Each returns the 32-bit instruction word for one format.
+// The assembler package builds on these; they panic on out-of-range operands
+// because operand ranges are programming errors in hand-written kernels, not
+// runtime conditions.
+
+func checkReg(r uint8) uint32 {
+	if r > 31 {
+		panic(fmt.Sprintf("isa: register x%d out of range", r))
+	}
+	return uint32(r)
+}
+
+// EncodeR encodes an R-type instruction.
+func EncodeR(opcode, funct3, funct7 uint32, rd, rs1, rs2 uint8) uint32 {
+	return funct7<<25 | checkReg(rs2)<<20 | checkReg(rs1)<<15 |
+		funct3<<12 | checkReg(rd)<<7 | opcode
+}
+
+// EncodeI encodes an I-type instruction; imm must fit in 12 signed bits.
+func EncodeI(opcode, funct3 uint32, rd, rs1 uint8, imm int64) uint32 {
+	if imm < -2048 || imm > 2047 {
+		panic(fmt.Sprintf("isa: I-immediate %d out of range", imm))
+	}
+	return uint32(imm&0xFFF)<<20 | checkReg(rs1)<<15 |
+		funct3<<12 | checkReg(rd)<<7 | opcode
+}
+
+// EncodeS encodes an S-type (store) instruction.
+func EncodeS(opcode, funct3 uint32, rs1, rs2 uint8, imm int64) uint32 {
+	if imm < -2048 || imm > 2047 {
+		panic(fmt.Sprintf("isa: S-immediate %d out of range", imm))
+	}
+	u := uint32(imm & 0xFFF)
+	return (u>>5)<<25 | checkReg(rs2)<<20 | checkReg(rs1)<<15 |
+		funct3<<12 | (u&0x1F)<<7 | opcode
+}
+
+// EncodeB encodes a B-type (branch) instruction; imm is a byte offset that
+// must be even and fit in 13 signed bits.
+func EncodeB(opcode, funct3 uint32, rs1, rs2 uint8, imm int64) uint32 {
+	if imm < -4096 || imm > 4095 || imm%2 != 0 {
+		panic(fmt.Sprintf("isa: B-immediate %d out of range", imm))
+	}
+	u := uint32(imm & 0x1FFF)
+	return (u>>12)<<31 | ((u>>5)&0x3F)<<25 | checkReg(rs2)<<20 |
+		checkReg(rs1)<<15 | funct3<<12 | ((u>>1)&0xF)<<8 | ((u>>11)&1)<<7 | opcode
+}
+
+// EncodeU encodes a U-type instruction; imm supplies bits [31:12].
+func EncodeU(opcode uint32, rd uint8, imm int64) uint32 {
+	return uint32(imm)&0xFFFFF000 | checkReg(rd)<<7 | opcode
+}
+
+// EncodeJ encodes a J-type (jal) instruction; imm is a byte offset that must
+// be even and fit in 21 signed bits.
+func EncodeJ(opcode uint32, rd uint8, imm int64) uint32 {
+	if imm < -(1<<20) || imm >= 1<<20 || imm%2 != 0 {
+		panic(fmt.Sprintf("isa: J-immediate %d out of range", imm))
+	}
+	u := uint32(imm & 0x1FFFFF)
+	return (u>>20)<<31 | ((u>>1)&0x3FF)<<21 | ((u>>11)&1)<<20 |
+		((u>>12)&0xFF)<<12 | checkReg(rd)<<7 | opcode
+}
+
+// EncodeCSR encodes a Zicsr instruction with a register source.
+func EncodeCSR(funct3 uint32, rd, rs1 uint8, csr uint16) uint32 {
+	return uint32(csr)<<20 | checkReg(rs1)<<15 | funct3<<12 | checkReg(rd)<<7 | 0x73
+}
+
+// EncodeAMO encodes an A-extension instruction.
+func EncodeAMO(funct5, funct3 uint32, rd, rs1, rs2 uint8) uint32 {
+	return funct5<<27 | checkReg(rs2)<<20 | checkReg(rs1)<<15 |
+		funct3<<12 | checkReg(rd)<<7 | 0x2F
+}
+
+// Fixed system-instruction words.
+const (
+	WordECALL  = uint32(0x00000073)
+	WordEBREAK = uint32(0x00100073)
+	WordSRET   = uint32(0x10200073)
+	WordMRET   = uint32(0x30200073)
+	WordWFI    = uint32(0x10500073)
+	WordNOP    = uint32(0x00000013) // addi x0, x0, 0
+	WordFENCE  = uint32(0x0FF0000F)
+)
+
+// TransformedInst builds the htinst/mtinst "transformed instruction" the
+// hypervisor extension exposes for guest-page-fault-causing loads and
+// stores. Per the privileged spec, the transformation replaces the
+// address-source register rs1 with zero and sets bit 1 of the encoding to
+// indicate a transformed (not raw) value; the hypervisor uses Rd/Rs2 and the
+// funct3 width bits to emulate MMIO without reading guest memory.
+func TransformedInst(in Inst) uint64 {
+	if !in.IsLoad() && !in.IsStore() {
+		return 0
+	}
+	raw := in.Raw
+	raw &^= 0x1F << 15 // clear rs1: the address is conveyed via htval/mtval2
+	return uint64(raw)
+}
+
+// DecodeTransformed parses an htinst value back into a load/store
+// description. ok is false if the value is not a transformed load/store.
+// (Loads and stores keep opcode bits [1:0] = 11, which per the spec marks
+// the value as a transformed 32-bit standard instruction.)
+func DecodeTransformed(htinst uint64) (in Inst, ok bool) {
+	if htinst == 0 || htinst&3 != 3 {
+		return Inst{}, false
+	}
+	in = Decode(uint32(htinst))
+	if !in.IsLoad() && !in.IsStore() {
+		return Inst{}, false
+	}
+	return in, true
+}

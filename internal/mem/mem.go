@@ -1,0 +1,184 @@
+// Package mem implements the simulated physical memory of the ZION
+// platform: a sparse, page-granular RAM holding real bytes. Page tables,
+// virtqueue rings, guest images and SM metadata all live in this memory,
+// so isolation checks performed above it (PMP, IOPMP, two-stage
+// translation) gate access to genuine state rather than to a mock.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zion/internal/isa"
+)
+
+// PhysMemory is a sparse physical address space. Pages are allocated lazily
+// on first touch; reads of untouched pages observe zeros, matching DRAM
+// after platform reset in the simulator's model.
+//
+// PhysMemory performs no protection checks itself: it is the raw DRAM
+// below PMP/IOPMP/MMU. Callers must route accesses through those layers.
+type PhysMemory struct {
+	base  uint64
+	size  uint64
+	pages map[uint64][]byte // page index -> backing bytes
+}
+
+// NewPhysMemory creates a RAM of size bytes starting at physical address
+// base. Both must be page-aligned.
+func NewPhysMemory(base, size uint64) *PhysMemory {
+	if base%isa.PageSize != 0 || size%isa.PageSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned RAM base=%#x size=%#x", base, size))
+	}
+	return &PhysMemory{base: base, size: size, pages: make(map[uint64][]byte)}
+}
+
+// Base returns the first physical address of the RAM.
+func (m *PhysMemory) Base() uint64 { return m.base }
+
+// Size returns the RAM size in bytes.
+func (m *PhysMemory) Size() uint64 { return m.size }
+
+// Contains reports whether [addr, addr+n) lies entirely inside the RAM.
+func (m *PhysMemory) Contains(addr, n uint64) bool {
+	return addr >= m.base && n <= m.size && addr-m.base <= m.size-n
+}
+
+func (m *PhysMemory) page(addr uint64, alloc bool) ([]byte, uint64) {
+	idx := (addr - m.base) >> isa.PageShift
+	p := m.pages[idx]
+	if p == nil && alloc {
+		p = make([]byte, isa.PageSize)
+		m.pages[idx] = p
+	}
+	return p, addr & (isa.PageSize - 1)
+}
+
+// Read copies n bytes starting at addr into a fresh slice. It reports an
+// error if the range escapes the RAM.
+func (m *PhysMemory) Read(addr, n uint64) ([]byte, error) {
+	if !m.Contains(addr, n) {
+		return nil, fmt.Errorf("mem: read [%#x,+%d) outside RAM [%#x,+%#x)", addr, n, m.base, m.size)
+	}
+	out := make([]byte, n)
+	off := uint64(0)
+	for off < n {
+		p, po := m.page(addr+off, false)
+		chunk := isa.PageSize - po
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if p != nil {
+			copy(out[off:off+chunk], p[po:po+chunk])
+		}
+		off += chunk
+	}
+	return out, nil
+}
+
+// Write copies data into RAM at addr.
+func (m *PhysMemory) Write(addr uint64, data []byte) error {
+	n := uint64(len(data))
+	if !m.Contains(addr, n) {
+		return fmt.Errorf("mem: write [%#x,+%d) outside RAM [%#x,+%#x)", addr, n, m.base, m.size)
+	}
+	off := uint64(0)
+	for off < n {
+		p, po := m.page(addr+off, true)
+		chunk := isa.PageSize - po
+		if chunk > n-off {
+			chunk = n - off
+		}
+		copy(p[po:po+chunk], data[off:off+chunk])
+		off += chunk
+	}
+	return nil
+}
+
+// ReadUint reads a little-endian unsigned integer of width 1, 2, 4 or 8
+// bytes at addr.
+func (m *PhysMemory) ReadUint(addr uint64, width int) (uint64, error) {
+	b, err := m.Read(addr, uint64(width))
+	if err != nil {
+		return 0, err
+	}
+	switch width {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	case 8:
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	return 0, fmt.Errorf("mem: bad access width %d", width)
+}
+
+// WriteUint writes a little-endian unsigned integer of width 1, 2, 4 or 8
+// bytes at addr.
+func (m *PhysMemory) WriteUint(addr, val uint64, width int) error {
+	var b [8]byte
+	switch width {
+	case 1:
+		b[0] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(b[:2], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(b[:4], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(b[:8], val)
+	default:
+		return fmt.Errorf("mem: bad access width %d", width)
+	}
+	return m.Write(addr, b[:width])
+}
+
+// ReadUint64 is a convenience wrapper for 8-byte reads (page-table walks).
+func (m *PhysMemory) ReadUint64(addr uint64) (uint64, error) { return m.ReadUint(addr, 8) }
+
+// WriteUint64 is a convenience wrapper for 8-byte writes.
+func (m *PhysMemory) WriteUint64(addr, val uint64) error { return m.WriteUint(addr, val, 8) }
+
+// ReadUint32 reads a 4-byte little-endian value (instruction fetch).
+func (m *PhysMemory) ReadUint32(addr uint64) (uint32, error) {
+	v, err := m.ReadUint(addr, 4)
+	return uint32(v), err
+}
+
+// Zero clears n bytes starting at addr. Used by the SM when scrubbing
+// reclaimed confidential memory.
+func (m *PhysMemory) Zero(addr, n uint64) error {
+	if !m.Contains(addr, n) {
+		return fmt.Errorf("mem: zero [%#x,+%d) outside RAM", addr, n)
+	}
+	off := uint64(0)
+	for off < n {
+		p, po := m.page(addr+off, false)
+		chunk := isa.PageSize - po
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if p != nil {
+			for i := po; i < po+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// Copy moves n bytes from src to dst within the RAM (bounce-buffer copies).
+// Overlapping ranges behave like memmove.
+func (m *PhysMemory) Copy(dst, src, n uint64) error {
+	b, err := m.Read(src, n)
+	if err != nil {
+		return err
+	}
+	return m.Write(dst, b)
+}
+
+// TouchedPages returns how many distinct pages have been materialized,
+// which tests use to verify lazy allocation.
+func (m *PhysMemory) TouchedPages() int { return len(m.pages) }

@@ -1,0 +1,202 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"zion/internal/isa"
+)
+
+const (
+	testBase = 0x8000_0000
+	testSize = 16 << 20
+)
+
+func newTestRAM() *PhysMemory { return NewPhysMemory(testBase, testSize) }
+
+func TestNewPhysMemoryAlignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unaligned base")
+		}
+	}()
+	NewPhysMemory(testBase+1, testSize)
+}
+
+func TestContains(t *testing.T) {
+	m := newTestRAM()
+	cases := []struct {
+		addr, n uint64
+		want    bool
+	}{
+		{testBase, 1, true},
+		{testBase, testSize, true},
+		{testBase + testSize - 1, 1, true},
+		{testBase + testSize, 1, false},
+		{testBase - 1, 1, false},
+		{testBase + testSize - 4, 8, false},
+		{0, 0, false},
+		{^uint64(0) - 3, 8, false}, // overflow probe
+	}
+	for _, c := range cases {
+		if got := m.Contains(c.addr, c.n); got != c.want {
+			t.Errorf("Contains(%#x, %d) = %v, want %v", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+func TestReadZeroFill(t *testing.T) {
+	m := newTestRAM()
+	b, err := m.Read(testBase+0x1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, make([]byte, 64)) {
+		t.Error("untouched memory should read as zeros")
+	}
+	if m.TouchedPages() != 0 {
+		t.Error("reads must not materialize pages")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := newTestRAM()
+	data := []byte("zion secure monitor")
+	addr := uint64(testBase + 0x2FF0) // crosses a page boundary
+	if err := m.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(addr, uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip: got %q want %q", got, data)
+	}
+	if m.TouchedPages() != 2 {
+		t.Errorf("page-crossing write should touch 2 pages, touched %d", m.TouchedPages())
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	m := newTestRAM()
+	if _, err := m.Read(testBase+testSize, 8); err == nil {
+		t.Error("read past end should fail")
+	}
+	if err := m.Write(testBase-8, make([]byte, 8)); err == nil {
+		t.Error("write before start should fail")
+	}
+	if err := m.Zero(testBase+testSize-4, 8); err == nil {
+		t.Error("zero past end should fail")
+	}
+}
+
+func TestUintAccessors(t *testing.T) {
+	m := newTestRAM()
+	addr := uint64(testBase + 0x100)
+	for _, w := range []int{1, 2, 4, 8} {
+		val := uint64(0xDEADBEEFCAFEF00D) & ((1 << (8 * uint(w))) - 1)
+		if w == 8 {
+			val = 0xDEADBEEFCAFEF00D
+		}
+		if err := m.WriteUint(addr, val, w); err != nil {
+			t.Fatalf("WriteUint width %d: %v", w, err)
+		}
+		got, err := m.ReadUint(addr, w)
+		if err != nil {
+			t.Fatalf("ReadUint width %d: %v", w, err)
+		}
+		if got != val {
+			t.Errorf("width %d: got %#x want %#x", w, got, val)
+		}
+	}
+	if _, err := m.ReadUint(addr, 3); err == nil {
+		t.Error("width 3 read should fail")
+	}
+	if err := m.WriteUint(addr, 0, 5); err == nil {
+		t.Error("width 5 write should fail")
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := newTestRAM()
+	if err := m.WriteUint64(testBase, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Read(testBase, 8)
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(b, want) {
+		t.Errorf("layout = %v, want %v", b, want)
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := newTestRAM()
+	addr := uint64(testBase + 0x3000)
+	if err := m.Write(addr, bytes.Repeat([]byte{0xFF}, 3*isa.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(addr+100, 2*isa.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Read(addr+100, 2*isa.PageSize)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d not zeroed: %#x", i, v)
+		}
+	}
+	// Bytes outside the zeroed window survive.
+	if v, _ := m.ReadUint(addr+99, 1); v != 0xFF {
+		t.Error("byte before zero window was clobbered")
+	}
+	end, _ := m.ReadUint(addr+100+2*isa.PageSize, 1)
+	if end != 0xFF {
+		t.Error("byte after zero window was clobbered")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	m := newTestRAM()
+	src := uint64(testBase + 0x5000)
+	dst := uint64(testBase + 0x9000)
+	payload := []byte("bounce buffer payload spanning boundary")
+	if err := m.Write(src, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Copy(dst, src, uint64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Read(dst, uint64(len(payload)))
+	if !bytes.Equal(got, payload) {
+		t.Error("copy did not preserve payload")
+	}
+	// Overlapping copy behaves like memmove.
+	if err := m.Copy(src+4, src, uint64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = m.Read(src+4, uint64(len(payload)))
+	if !bytes.Equal(got, payload) {
+		t.Error("overlapping copy corrupted payload")
+	}
+}
+
+// Property: any in-range write followed by a read of the same span returns
+// the written bytes, regardless of alignment or page crossings.
+func TestWriteReadProperty(t *testing.T) {
+	m := newTestRAM()
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := testBase + uint64(off)%(testSize-uint64(len(data)))
+		if err := m.Write(addr, data); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, uint64(len(data)))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package platform
+
+import "sync"
+
+// CLINT is the core-local interruptor: per-hart mtimecmp registers and a
+// machine timer. In this simulator each hart's mtime is its own cycle
+// counter (per-hart virtual time), which is exact for the single-vCPU
+// macro benchmarks the paper runs and keeps multi-hart runs independent.
+type CLINT struct {
+	mu       sync.Mutex
+	mtimecmp []uint64
+	armed    []bool
+}
+
+// NewCLINT creates a CLINT for n harts with all timers disarmed.
+func NewCLINT(n int) *CLINT {
+	return &CLINT{mtimecmp: make([]uint64, n), armed: make([]bool, n)}
+}
+
+// Range implements MMIODevice.
+func (c *CLINT) Range() (uint64, uint64) { return CLINTBase, CLINTSize }
+
+// mtimecmp registers live at offset 0x4000 + 8*hart, as on SiFive CLINTs.
+const mtimecmpOff = 0x4000
+
+// Access implements MMIODevice: guests and the hypervisor program
+// mtimecmp through MMIO exactly as on hardware.
+func (c *CLINT) Access(hartID int, off uint64, size int, write bool, val uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.mtimecmp)) {
+		idx := int((off - mtimecmpOff) / 8)
+		if write {
+			c.mtimecmp[idx] = val
+			c.armed[idx] = true
+			return 0
+		}
+		return c.mtimecmp[idx]
+	}
+	return 0
+}
+
+// SetTimer arms hart i's comparator directly (used by the Go-implemented
+// SM/hypervisor, which on hardware would use the SBI TIME extension).
+func (c *CLINT) SetTimer(i int, deadline uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mtimecmp[i] = deadline
+	c.armed[i] = true
+}
+
+// DisarmTimer cancels hart i's timer.
+func (c *CLINT) DisarmTimer(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed[i] = false
+}
+
+// TimerPending reports whether hart i's timer has fired at time now.
+func (c *CLINT) TimerPending(i int, now uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.armed[i] && now >= c.mtimecmp[i]
+}
+
+// NextDeadline returns hart i's armed deadline.
+func (c *CLINT) NextDeadline(i int) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mtimecmp[i], c.armed[i]
+}
+
+// UART is a write-only console device: bytes stored for inspection.
+type UART struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// Range implements MMIODevice.
+func (u *UART) Range() (uint64, uint64) { return UARTBase, UARTSize }
+
+// Access implements MMIODevice. Offset 0 is the THR (transmit) register;
+// reads of offset 5 (LSR) report transmitter-empty, as drivers expect.
+func (u *UART) Access(hartID int, off uint64, size int, write bool, val uint64) uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	switch {
+	case off == 0 && write:
+		u.buf = append(u.buf, byte(val))
+	case off == 5 && !write:
+		return 0x60 // THRE | TEMT
+	}
+	return 0
+}
+
+// Output returns everything written to the UART.
+func (u *UART) Output() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return string(u.buf)
+}
+
+// Reset clears the captured output.
+func (u *UART) Reset() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.buf = nil
+}

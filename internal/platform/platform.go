@@ -1,0 +1,156 @@
+// Package platform assembles the simulated machine: harts, physical RAM,
+// the CLINT timer, a UART, the IOPMP, and an MMIO bus. It also owns the
+// run loop that steps guest code and dispatches trap events to the
+// Go-implemented privileged software (the Secure Monitor at M, the
+// hypervisor at HS, the mini guest kernel at VS).
+package platform
+
+import (
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/iopmp"
+	"zion/internal/isa"
+	"zion/internal/mem"
+)
+
+// Physical memory map of the simulated SoC (matches common RISC-V virt
+// platforms: CLINT low, UART at 0x1000_0000, DRAM from 2 GiB).
+const (
+	CLINTBase = 0x0200_0000
+	CLINTSize = 0x0001_0000
+	UARTBase  = 0x1000_0000
+	UARTSize  = 0x100
+	RAMBase   = 0x8000_0000
+)
+
+// MMIODevice is a device mapped on the physical bus.
+type MMIODevice interface {
+	// Range returns the device's physical window.
+	Range() (base, size uint64)
+	// Access performs a read (write=false) or write. The return value is
+	// the loaded value for reads.
+	Access(hartID int, offset uint64, size int, write bool, val uint64) uint64
+}
+
+// TrapHandler is implemented by the Go privileged components.
+type TrapHandler interface {
+	// HandleTrap services a trap that architecturally entered this
+	// handler's privilege level. The handler must leave the hart in a
+	// runnable state (typically by preparing CSRs and calling MRet/SRet)
+	// or return false to stop the run loop.
+	HandleTrap(h *hart.Hart, t hart.Trap) bool
+}
+
+// TrapHandlerFunc adapts a function to the TrapHandler interface.
+type TrapHandlerFunc func(h *hart.Hart, t hart.Trap) bool
+
+// HandleTrap implements TrapHandler.
+func (f TrapHandlerFunc) HandleTrap(h *hart.Hart, t hart.Trap) bool { return f(h, t) }
+
+// Machine is the simulated SoC.
+type Machine struct {
+	RAM   *mem.PhysMemory
+	Harts []*hart.Hart
+	CLINT *CLINT
+	UART  *UART
+	IOPMP *iopmp.Unit
+
+	devices []MMIODevice
+
+	// Privileged software, registered by the integration layer.
+	MHandler  TrapHandler // Secure Monitor (M-mode)
+	HSHandler TrapHandler // hypervisor (HS-mode)
+	VSHandler TrapHandler // guest kernel's Go half (VS-mode)
+}
+
+// New builds a machine with the given hart count and RAM size.
+func New(nharts int, ramSize uint64) *Machine {
+	m := &Machine{
+		RAM:   mem.NewPhysMemory(RAMBase, ramSize),
+		IOPMP: iopmp.New(),
+	}
+	m.CLINT = NewCLINT(nharts)
+	m.UART = &UART{}
+	m.AddDevice(m.CLINT)
+	m.AddDevice(m.UART)
+	for i := 0; i < nharts; i++ {
+		h := hart.New(i, m.RAM, (*busAdapter)(m))
+		m.Harts = append(m.Harts, h)
+	}
+	return m
+}
+
+// AddDevice maps a device on the bus.
+func (m *Machine) AddDevice(d MMIODevice) { m.devices = append(m.devices, d) }
+
+// busAdapter implements hart.Bus over the device list.
+type busAdapter Machine
+
+// Access implements hart.Bus.
+func (b *busAdapter) Access(hartID int, pa uint64, size int, write bool, val uint64) (uint64, bool) {
+	for _, d := range b.devices {
+		base, dsz := d.Range()
+		if pa >= base && pa+uint64(size) <= base+dsz {
+			return d.Access(hartID, pa-base, size, write, val), true
+		}
+	}
+	return 0, false
+}
+
+// tickTimer refreshes the hart's machine-timer pending bit from the CLINT.
+func (m *Machine) tickTimer(h *hart.Hart) {
+	if m.CLINT.TimerPending(h.ID, h.Cycles) {
+		h.SetPending(isa.IntMTimer)
+	} else {
+		h.ClearPending(isa.IntMTimer)
+	}
+}
+
+// RunHart steps hart i until a handler stops the loop or maxSteps guest
+// instructions retire. It returns the number of steps executed.
+func (m *Machine) RunHart(i int, maxSteps uint64) uint64 {
+	h := m.Harts[i]
+	var steps uint64
+	for steps < maxSteps {
+		m.tickTimer(h)
+		ev := h.Step()
+		steps++
+		switch ev.Kind {
+		case hart.EvNone:
+			continue
+		case hart.EvWFI:
+			// Advance virtual time to the next timer deadline so the
+			// machine makes progress while the guest idles.
+			if dl, ok := m.CLINT.NextDeadline(h.ID); ok && dl > h.Cycles {
+				h.Cycles = dl
+				h.Advance(h.Cost.WFIWake)
+				continue
+			}
+			return steps // idle forever: nothing to wake the hart
+		case hart.EvTrap:
+			if !m.dispatch(h, ev.Trap) {
+				return steps
+			}
+		}
+	}
+	return steps
+}
+
+// dispatch routes a trap event to the registered privileged component.
+func (m *Machine) dispatch(h *hart.Hart, t hart.Trap) bool {
+	var handler TrapHandler
+	switch t.Target {
+	case isa.ModeM:
+		handler = m.MHandler
+	case isa.ModeS:
+		handler = m.HSHandler
+	case isa.ModeVS:
+		handler = m.VSHandler
+	}
+	if handler == nil {
+		panic(fmt.Sprintf("platform: unhandled trap %s to %v at pc=%#x",
+			isa.CauseName(t.Cause), t.Target, t.PC))
+	}
+	return handler.HandleTrap(h, t)
+}

@@ -1,0 +1,206 @@
+package platform
+
+import (
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/hart"
+	"zion/internal/isa"
+)
+
+func TestMachineBootAndRun(t *testing.T) {
+	m := New(1, 16<<20)
+	h := m.Harts[0]
+	p := asm.New(RAMBase)
+	p.LI(asm.A0, 7)
+	p.LI(asm.A1, 6)
+	p.MUL(asm.A2, asm.A0, asm.A1)
+	p.ECALL()
+	code := p.MustAssemble()
+	if err := m.RAM.Write(RAMBase, code); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+
+	var got hart.Trap
+	m.MHandler = TrapHandlerFunc(func(h *hart.Hart, tr hart.Trap) bool {
+		got = tr
+		return false
+	})
+	m.RunHart(0, 1000)
+	if got.Cause != isa.ExcEcallM {
+		t.Fatalf("trap = %+v", got)
+	}
+	if h.Reg(asm.A2) != 42 {
+		t.Errorf("a2 = %d", h.Reg(asm.A2))
+	}
+}
+
+func TestUARTWriteThroughMMIO(t *testing.T) {
+	m := New(1, 16<<20)
+	h := m.Harts[0]
+	p := asm.New(RAMBase)
+	p.LI(asm.T0, UARTBase)
+	for _, ch := range "ok" {
+		p.LI(asm.T1, int64(ch))
+		p.SB(asm.T1, asm.T0, 0)
+	}
+	p.ECALL()
+	if err := m.RAM.Write(RAMBase, p.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+	m.MHandler = TrapHandlerFunc(func(*hart.Hart, hart.Trap) bool { return false })
+	m.RunHart(0, 1000)
+	if m.UART.Output() != "ok" {
+		t.Errorf("uart = %q", m.UART.Output())
+	}
+	m.UART.Reset()
+	if m.UART.Output() != "" {
+		t.Error("reset did not clear output")
+	}
+}
+
+func TestCLINTTimerFiresDuringRun(t *testing.T) {
+	m := New(1, 16<<20)
+	h := m.Harts[0]
+	p := asm.New(RAMBase)
+	p.Label("spin")
+	p.J("spin")
+	if err := m.RAM.Write(RAMBase, p.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+	h.SetCSR(isa.CSRMie, 1<<isa.IntMTimer)
+	h.SetCSR(isa.CSRMstatus, h.CSR(isa.CSRMstatus)|isa.MstatusMIE)
+	m.CLINT.SetTimer(0, h.Cycles+500)
+
+	var fired bool
+	m.MHandler = TrapHandlerFunc(func(h *hart.Hart, tr hart.Trap) bool {
+		if tr.Cause == isa.CauseInterruptBit|isa.IntMTimer {
+			fired = true
+		}
+		return false
+	})
+	m.RunHart(0, 100000)
+	if !fired {
+		t.Fatal("timer interrupt did not fire")
+	}
+	if h.Cycles < 500 {
+		t.Errorf("cycles = %d, want >= 500", h.Cycles)
+	}
+}
+
+func TestWFIAdvancesToDeadline(t *testing.T) {
+	m := New(1, 16<<20)
+	h := m.Harts[0]
+	p := asm.New(RAMBase)
+	p.WFI()
+	p.Label("spin")
+	p.J("spin")
+	if err := m.RAM.Write(RAMBase, p.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+	h.SetCSR(isa.CSRMie, 1<<isa.IntMTimer)
+	h.SetCSR(isa.CSRMstatus, h.CSR(isa.CSRMstatus)|isa.MstatusMIE)
+	m.CLINT.SetTimer(0, 100000)
+	var woke bool
+	m.MHandler = TrapHandlerFunc(func(h *hart.Hart, tr hart.Trap) bool {
+		woke = true
+		return false
+	})
+	steps := m.RunHart(0, 1000)
+	if !woke {
+		t.Fatal("hart never woke from wfi")
+	}
+	if h.Cycles < 100000 {
+		t.Errorf("cycles = %d, want fast-forward past deadline", h.Cycles)
+	}
+	if steps > 10 {
+		t.Errorf("steps = %d; wfi should skip the wait, not spin", steps)
+	}
+}
+
+func TestWFIWithNoTimerStops(t *testing.T) {
+	m := New(1, 16<<20)
+	h := m.Harts[0]
+	p := asm.New(RAMBase)
+	p.WFI()
+	if err := m.RAM.Write(RAMBase, p.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+	steps := m.RunHart(0, 1000)
+	if steps != 1 {
+		t.Errorf("steps = %d, want 1 (wfi with nothing armed halts)", steps)
+	}
+}
+
+func TestCLINTMMIOProgramsComparator(t *testing.T) {
+	m := New(2, 16<<20)
+	h := m.Harts[1]
+	p := asm.New(RAMBase)
+	p.LI(asm.T0, CLINTBase+mtimecmpOff+8) // hart 1 comparator
+	p.LI(asm.T1, 12345)
+	p.SD(asm.T1, asm.T0, 0)
+	p.LD(asm.A0, asm.T0, 0)
+	p.ECALL()
+	if err := m.RAM.Write(RAMBase, p.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+	m.MHandler = TrapHandlerFunc(func(*hart.Hart, hart.Trap) bool { return false })
+	m.RunHart(1, 1000)
+	if h.Reg(asm.A0) != 12345 {
+		t.Errorf("mtimecmp readback = %d", h.Reg(asm.A0))
+	}
+	if dl, ok := m.CLINT.NextDeadline(1); !ok || dl != 12345 {
+		t.Errorf("deadline = %d, %v", dl, ok)
+	}
+	if dl, ok := m.CLINT.NextDeadline(0); ok {
+		t.Errorf("hart 0 comparator should be disarmed, got %d", dl)
+	}
+	m.CLINT.DisarmTimer(1)
+	if _, ok := m.CLINT.NextDeadline(1); ok {
+		t.Error("disarm failed")
+	}
+}
+
+func TestUnmappedMMIOFaults(t *testing.T) {
+	m := New(1, 16<<20)
+	h := m.Harts[0]
+	p := asm.New(RAMBase)
+	p.LI(asm.T0, 0x4000_0000) // nothing mapped here
+	p.LD(asm.A0, asm.T0, 0)
+	if err := m.RAM.Write(RAMBase, p.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+	var cause uint64
+	m.MHandler = TrapHandlerFunc(func(h *hart.Hart, tr hart.Trap) bool {
+		cause = tr.Cause
+		return false
+	})
+	m.RunHart(0, 1000)
+	if cause != isa.ExcLoadAccessFault {
+		t.Errorf("cause = %s", isa.CauseName(cause))
+	}
+}
+
+func TestDispatchPanicsWithoutHandler(t *testing.T) {
+	m := New(1, 16<<20)
+	h := m.Harts[0]
+	p := asm.New(RAMBase)
+	p.ECALL()
+	if err := m.RAM.Write(RAMBase, p.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = RAMBase
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unhandled trap")
+		}
+	}()
+	m.RunHart(0, 10)
+}

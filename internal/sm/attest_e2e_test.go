@@ -1,0 +1,69 @@
+package sm
+
+import (
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/attest"
+	"zion/internal/isa"
+	"zion/internal/ptw"
+)
+
+// TestEndToEndAttestation plays the full protocol: the verifier issues a
+// challenge, the guest binds it into an SM-signed report via the SBI
+// extension, the (untrusted) hypervisor ferries the bytes out, and the
+// verifier checks MAC + policy + freshness.
+func TestEndToEndAttestation(t *testing.T) {
+	f := newFixture(t, Config{})
+	verifier := attest.NewVerifier(f.s.PlatformKey())
+	nonce := verifier.Challenge()
+
+	reportGPA := int64(PrivateBase) + 0x8000
+	f.buildCVM(shutdownProgram(func(p *asm.Program) {
+		p.LI(asm.A0, reportGPA)
+		p.LIU(asm.A1, nonce)
+		p.LI(asm.A6, ZionFnAttest)
+		p.LI(asm.A7, EIDZion)
+		p.ECALL()
+	}))
+	// Policy: approve this CVM's launch measurement.
+	meas, err := f.s.Measurement(f.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.Approve(meas, "fixture-guest"); err != nil {
+		t.Fatal(err)
+	}
+	if info := f.run(); info.Reason != ExitShutdown {
+		t.Fatalf("reason = %v", info.Reason)
+	}
+
+	// Ferry the report out through guest memory (the hypervisor's role in
+	// a deployment is moving these bytes over the network).
+	c := f.s.cvms[f.id]
+	w := &ptw.Walker{Mem: f.m.RAM}
+	res, err := w.Walk(c.hgatpRoot, uint64(reportGPA), ptw.AccessRead, ptw.Opts{Stage2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.m.RAM.Read(res.PA, attest.ReportLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, label, err := verifier.Verify(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "fixture-guest" {
+		t.Errorf("label = %q", label)
+	}
+	if rep.Nonce != nonce || rep.CVMID != uint64(f.id) {
+		t.Errorf("report fields: %+v", rep)
+	}
+	// Replay is rejected.
+	if _, _, err := verifier.Verify(raw); err == nil {
+		t.Error("replayed report accepted")
+	}
+	_ = isa.PageSize
+}

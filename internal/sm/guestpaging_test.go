@@ -1,0 +1,135 @@
+package sm
+
+import (
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/isa"
+)
+
+// TestGuestEnablesOwnPaging exercises the full nested-translation path: a
+// confidential guest builds its own Sv39 page table in private memory,
+// enables vsatp, and runs code through two-stage translation — the
+// configuration a real guest kernel uses. The SM never sees any of it;
+// stage-1 is entirely guest-private.
+func TestGuestEnablesOwnPaging(t *testing.T) {
+	f := newFixture(t, Config{})
+
+	// Guest physical layout (all private):
+	//	PrivateBase          code (identity-mapped and also at VA 0x40000000)
+	//	PrivateBase+0x10000  L2 root
+	//	PrivateBase+0x11000  L1
+	//	PrivateBase+0x12000  L0
+	//	PrivateBase+0x20000  data page, remapped at VA 0x40001000
+	root := int64(PrivateBase) + 0x10000
+	l1 := int64(PrivateBase) + 0x11000
+	l0 := int64(PrivateBase) + 0x12000
+	data := int64(PrivateBase) + 0x20000
+	const codeVA = 0x4000_0000
+	const dataVA = 0x4000_1000
+
+	p := asm.New(PrivateBase)
+	// Build PTEs with stores. pte(pa, flags) = (pa>>12)<<10 | flags | V.
+	pte := func(pa int64, flags int64) int64 {
+		return (pa>>12)<<10 | flags | 1
+	}
+	wr := func(table int64, idx int64, val int64) {
+		p.LI(asm.T0, table)
+		p.LIU(asm.T1, uint64(val))
+		p.SD(asm.T1, asm.T0, idx*8)
+	}
+	// VA 0x4000_0000: VPN2=1, VPN1=0, VPN0=0 -> code page (X|R).
+	// VA 0x4000_1000: VPN0=1 -> data page (R|W).
+	// Also identity-map the code+table region as a 1 GiB superpage at
+	// VPN2=2 (GPA 0x8000_0000) so execution continues after satp flips.
+	wr(root, 1, pte(l1, 0))
+	wr(root, 2, pte(int64(PrivateBase), int64(isa.PTERead|isa.PTEWrite|isa.PTEExec)))
+	wr(l1, 0, pte(l0, 0))
+	wr(l0, 0, pte(int64(PrivateBase), int64(isa.PTERead|isa.PTEExec)))
+	wr(l0, 1, pte(data, int64(isa.PTERead|isa.PTEWrite)))
+
+	// Seed the data page (through the identity GPA) before paging is on.
+	p.LI(asm.T0, data)
+	p.LI(asm.T1, 0xFEED)
+	p.SD(asm.T1, asm.T0, 0)
+
+	// Enable Sv39: vsatp = (8 << 60) | root >> 12. The csrrw on satp
+	// remaps to vsatp in VS-mode.
+	p.LIU(asm.T0, uint64(isa.SatpModeSv39)<<isa.SatpModeShift|uint64(root)>>12)
+	p.CSRRW(asm.Zero, isa.CSRSatp, asm.T0)
+
+	// Now read the data page through its *virtual* address.
+	p.LI(asm.T2, dataVA)
+	p.LD(asm.S2, asm.T2, 0) // expect 0xFEED
+	// Write through VA, read back through the identity GPA mapping.
+	p.LI(asm.T1, 0xBEEF)
+	p.SD(asm.T1, asm.T2, 8)
+	p.LI(asm.T0, data)
+	p.LD(asm.S3, asm.T0, 8) // expect 0xBEEF
+	// Jump to the code's VA alias and run one instruction there.
+	p.LA(asm.T0, "va_target")
+	p.LI(asm.T1, int64(PrivateBase))
+	p.SUB(asm.T0, asm.T0, asm.T1) // offset of va_target in the page
+	p.LI(asm.T1, codeVA)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.JALR(asm.Zero, asm.T0, 0)
+	p.Label("va_target")
+	p.LI(asm.S4, 0xA11A)
+	p.LI(asm.A7, EIDReset)
+	p.ECALL()
+
+	f.buildCVM(p)
+	info := f.run()
+	if info.Reason != ExitShutdown {
+		t.Fatalf("reason = %v", info.Reason)
+	}
+	c := f.s.cvms[f.id]
+	v := c.vcpus[0]
+	if v.sec.X[asm.S2] != 0xFEED {
+		t.Errorf("read through guest VA = %#x, want 0xFEED", v.sec.X[asm.S2])
+	}
+	if v.sec.X[asm.S3] != 0xBEEF {
+		t.Errorf("write through guest VA lost: %#x", v.sec.X[asm.S3])
+	}
+	if v.sec.X[asm.S4] != 0xA11A {
+		t.Errorf("execution at VA alias failed: %#x", v.sec.X[asm.S4])
+	}
+	if v.sec.Vsatp>>isa.SatpModeShift != isa.SatpModeSv39 {
+		t.Error("vsatp not preserved in the secure vCPU")
+	}
+}
+
+// TestGuestPagingFaultsDelegated: with guest paging on, a stage-1 fault
+// (unmapped VA) is the guest's own problem — it must vector to vstvec,
+// not reach the SM or the hypervisor.
+func TestGuestPagingFaultsDelegated(t *testing.T) {
+	f := newFixture(t, Config{})
+	root := int64(PrivateBase) + 0x10000
+
+	p := asm.New(PrivateBase)
+	// Identity 1 GiB superpage for GPA 0x8000_0000 only.
+	p.LI(asm.T0, root)
+	p.LIU(asm.T1, uint64((int64(PrivateBase)>>12)<<10|int64(isa.PTERead|isa.PTEWrite|isa.PTEExec)|1))
+	p.SD(asm.T1, asm.T0, 2*8)
+	// Install a VS-mode trap handler before enabling paging.
+	p.LA(asm.T0, "handler")
+	p.CSRRW(asm.Zero, isa.CSRStvec, asm.T0) // -> vstvec
+	p.LIU(asm.T0, uint64(isa.SatpModeSv39)<<isa.SatpModeShift|uint64(root)>>12)
+	p.CSRRW(asm.Zero, isa.CSRSatp, asm.T0)
+	// Touch an unmapped VA: stage-1 load page fault, delegated to VS.
+	p.LI(asm.T0, 0x7000_0000)
+	p.LD(asm.S2, asm.T0, 0)
+	p.Label("handler")
+	p.CSRR(asm.S3, isa.CSRScause) // -> vscause: load page fault (13)
+	p.LI(asm.A7, EIDReset)
+	p.ECALL()
+
+	f.buildCVM(p)
+	if info := f.run(); info.Reason != ExitShutdown {
+		t.Fatalf("reason = %v", info.Reason)
+	}
+	c := f.s.cvms[f.id]
+	if got := c.vcpus[0].sec.X[asm.S3]; got != isa.ExcLoadPageFault {
+		t.Errorf("guest saw cause %d, want load-page-fault", got)
+	}
+}

@@ -1,0 +1,109 @@
+package sm
+
+import (
+	"zion/internal/hart"
+	"zion/internal/isa"
+)
+
+// This file implements the remaining lifecycle operations §III.A lists —
+// suspension and resumption — plus cooperative memory reclamation
+// (a guest ballooning primitive layered on the hierarchical allocator).
+
+// suspend freezes a runnable CVM: its secure vCPU state stays inside the
+// SM (the hypervisor never sees it) and FnRun refuses until resume. The
+// hypervisor uses this to deschedule or migrate-prepare a tenant.
+func (s *SM) suspend(id int) error {
+	c, err := s.cvm(id)
+	if err != nil {
+		return err
+	}
+	if c.state != stRunnable {
+		return ErrBadState
+	}
+	c.state = stSuspended
+	return nil
+}
+
+// resume thaws a suspended CVM.
+func (s *SM) resume(id int) error {
+	c, err := s.cvm(id)
+	if err != nil {
+		return err
+	}
+	if c.state != stSuspended {
+		return ErrBadState
+	}
+	c.state = stRunnable
+	return nil
+}
+
+// relinquishPage implements the guest-initiated page release
+// (ZionFnRelinquish): the guest donates a private page back to the
+// secure pool. The SM unmaps it, scrubs it, and returns it to the owning
+// vCPU's cache block so the next fault reuses it — the reclamation half
+// of §IV.D's allocation story.
+func (s *SM) relinquishPage(h *hart.Hart, c *CVM, gpa uint64) error {
+	if gpa < PrivateBase || gpa%isa.PageSize != 0 {
+		return ErrBadArgs
+	}
+	b := s.tableBuilder(c)
+	pte, level, err := b.Lookup(c.hgatpRoot, gpa, true)
+	if err != nil {
+		return ErrNotFound
+	}
+	if level != 0 {
+		return ErrBadArgs // only 4 KiB private leaves are donatable
+	}
+	pa := (pte >> isa.PTEPPNShift) << isa.PageShift
+	if !c.owned[pa] {
+		return ErrOwnership
+	}
+	if _, err := b.Unmap(c.hgatpRoot, gpa, true); err != nil {
+		return err
+	}
+	// Scrub before the frame can ever be handed to anyone else.
+	if err := s.ram.Zero(pa, isa.PageSize); err != nil {
+		return err
+	}
+	delete(c.owned, pa)
+	delete(c.mappings, gpa)
+	// Return the page to whichever cache block carries it.
+	freed := false
+	for _, cache := range append([]*pageCache{&c.tableCache}, vcpuCaches(c)...) {
+		if blk := cache.ownerOf(pa); blk != nil {
+			if err := blk.freePage(pa); err != nil {
+				return err
+			}
+			freed = true
+			break
+		}
+	}
+	if !freed {
+		return ErrNotFound
+	}
+	// The unmapped translation may be cached.
+	for _, hh := range s.machine.Harts {
+		hh.TLB.FlushVMID(c.vmid)
+		hh.Advance(hh.Cost.TLBFlushAll / 4)
+	}
+	h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy / 2)
+	return nil
+}
+
+func vcpuCaches(c *CVM) []*pageCache {
+	out := make([]*pageCache, 0, len(c.vcpus))
+	for _, v := range c.vcpus {
+		out = append(out, &v.memCache)
+	}
+	return out
+}
+
+// OwnedPages reports how many secure frames a CVM currently owns
+// (observability for ballooning policies and tests).
+func (s *SM) OwnedPages(id int) (int, error) {
+	c, err := s.cvm(id)
+	if err != nil {
+		return 0, err
+	}
+	return len(c.owned), nil
+}

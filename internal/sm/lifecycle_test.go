@@ -1,0 +1,118 @@
+package sm
+
+import (
+	"errors"
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/isa"
+)
+
+func TestSuspendResume(t *testing.T) {
+	f := newFixture(t, Config{SchedQuantum: 10_000})
+	f.buildCVM(shutdownProgram(func(p *asm.Program) {
+		p.LI(asm.T1, 100_000)
+		p.Label("spin")
+		p.ADDI(asm.T1, asm.T1, -1)
+		p.BNE(asm.T1, asm.Zero, "spin")
+	}))
+	// Run one quantum, then suspend.
+	if info := f.run(); info.Reason != ExitTimer {
+		t.Fatalf("first run: %v", info.Reason)
+	}
+	if _, err := f.s.HVCall(f.h, FnSuspend, uint64(f.id)); err != nil {
+		t.Fatal(err)
+	}
+	// Running while suspended is refused.
+	if _, err := f.s.RunVCPU(f.h, f.id, 0); !errors.Is(err, ErrBadState) {
+		t.Fatalf("run while suspended: %v", err)
+	}
+	// Double suspend is refused.
+	if _, err := f.s.HVCall(f.h, FnSuspend, uint64(f.id)); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double suspend: %v", err)
+	}
+	// Resume and finish; state survived intact.
+	if _, err := f.s.HVCall(f.h, FnResume, uint64(f.id)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		info := f.run()
+		if info.Reason == ExitShutdown {
+			break
+		}
+		if info.Reason != ExitTimer {
+			t.Fatalf("reason = %v", info.Reason)
+		}
+	}
+	// Resume of a runnable CVM is refused.
+	if _, err := f.s.HVCall(f.h, FnResume, uint64(f.id)); !errors.Is(err, ErrBadState) {
+		t.Fatalf("resume runnable: %v", err)
+	}
+}
+
+func TestGuestRelinquishPage(t *testing.T) {
+	f := newFixture(t, Config{})
+	target := int64(PrivateBase) + 0x20_0000
+	f.buildCVM(shutdownProgram(func(p *asm.Program) {
+		// Touch a page (demand-mapped), store a secret, then donate it.
+		p.LI(asm.T0, target)
+		p.LI(asm.T1, 0x5EC12E7)
+		p.SD(asm.T1, asm.T0, 0)
+		p.MV(asm.A0, asm.T0)
+		p.LI(asm.A6, ZionFnRelinquish)
+		p.LI(asm.A7, EIDZion)
+		p.ECALL()
+		p.MV(asm.S2, asm.A0) // 0 on success
+		// Touch it again: demand paging must hand back a *zeroed* page.
+		p.LI(asm.T0, target)
+		p.LD(asm.S3, asm.T0, 0)
+	}))
+	before, _ := f.s.OwnedPages(f.id)
+	if info := f.run(); info.Reason != ExitShutdown {
+		t.Fatalf("reason = %v", info.Reason)
+	}
+	c := f.s.cvms[f.id]
+	if c.vcpus[0].sec.X[asm.S2] != 0 {
+		t.Fatal("relinquish SBI call failed")
+	}
+	if got := c.vcpus[0].sec.X[asm.S3]; got != 0 {
+		t.Errorf("re-faulted page leaked old contents: %#x", got)
+	}
+	after, _ := f.s.OwnedPages(f.id)
+	if after > before+8 {
+		t.Errorf("ownership grew unexpectedly: %d -> %d", before, after)
+	}
+}
+
+func TestRelinquishValidation(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.buildCVM(shutdownProgram(func(p *asm.Program) {
+		// Unmapped GPA: error 1 in a0.
+		p.LI(asm.A0, int64(PrivateBase)+0x3F_0000)
+		p.LI(asm.A6, ZionFnRelinquish)
+		p.LI(asm.A7, EIDZion)
+		p.ECALL()
+		p.MV(asm.S2, asm.A0)
+		// Shared-window GPA: also refused.
+		p.LI(asm.A0, int64(SharedBase))
+		p.LI(asm.A6, ZionFnRelinquish)
+		p.LI(asm.A7, EIDZion)
+		p.ECALL()
+		p.MV(asm.S3, asm.A0)
+		// Misaligned: refused.
+		p.LI(asm.A0, int64(PrivateBase)+0x20_0008)
+		p.LI(asm.A6, ZionFnRelinquish)
+		p.LI(asm.A7, EIDZion)
+		p.ECALL()
+		p.MV(asm.S4, asm.A0)
+	}))
+	if info := f.run(); info.Reason != ExitShutdown {
+		t.Fatalf("reason = %v", info.Reason)
+	}
+	v := f.s.cvms[f.id].vcpus[0]
+	if v.sec.X[asm.S2] != 1 || v.sec.X[asm.S3] != 1 || v.sec.X[asm.S4] != 1 {
+		t.Errorf("validation results: %d %d %d, want 1 1 1",
+			v.sec.X[asm.S2], v.sec.X[asm.S3], v.sec.X[asm.S4])
+	}
+	_ = isa.PageSize
+}

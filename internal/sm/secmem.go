@@ -1,0 +1,272 @@
+package sm
+
+import (
+	"errors"
+	"fmt"
+
+	"zion/internal/isa"
+)
+
+// BlockSize is the secure-memory block granule (§IV.D: default 256 KiB).
+const BlockSize = 256 << 10
+
+// BlockPages is the number of 4 KiB pages per block.
+const BlockPages = BlockSize / isa.PageSize
+
+// ErrPoolEmpty reports that the secure pool has no free blocks left; the
+// caller must trigger the stage-3 expansion protocol with the hypervisor.
+var ErrPoolEmpty = errors.New("sm: secure memory pool exhausted")
+
+// block is one 256 KiB secure memory block: a node in the address-ordered
+// circular doubly-linked free list, carrying a page-allocation bitmap once
+// it has been handed out as a vCPU page cache or table arena.
+type block struct {
+	base       uint64
+	prev, next *block
+	// used marks allocated pages within the block.
+	used [BlockPages]bool
+	free int
+}
+
+func (b *block) allocPage() (uint64, bool) {
+	if b.free == 0 {
+		return 0, false
+	}
+	for i := range b.used {
+		if !b.used[i] {
+			b.used[i] = true
+			b.free--
+			return b.base + uint64(i)*isa.PageSize, true
+		}
+	}
+	return 0, false
+}
+
+// allocRun allocates n contiguous pages aligned to n*PageSize (page-table
+// roots need a 16 KiB-aligned run of 4).
+func (b *block) allocRun(n int) (uint64, bool) {
+	if b.free < n {
+		return 0, false
+	}
+	for i := 0; i+n <= BlockPages; i += n {
+		ok := true
+		for j := i; j < i+n; j++ {
+			if b.used[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for j := i; j < i+n; j++ {
+				b.used[j] = true
+			}
+			b.free -= n
+			return b.base + uint64(i)*isa.PageSize, true
+		}
+	}
+	return 0, false
+}
+
+func (b *block) freePage(pa uint64) error {
+	i := int((pa - b.base) / isa.PageSize)
+	if i < 0 || i >= BlockPages || !b.used[i] {
+		return fmt.Errorf("sm: double free or bad page %#x in block %#x", pa, b.base)
+	}
+	b.used[i] = false
+	b.free++
+	return nil
+}
+
+// securePool is the SM's secure memory: every registered region is split
+// into blocks linked in a circular list ordered by address, with
+// allocation from the head (§IV.D, Figure 2).
+type securePool struct {
+	head   *block // lowest-address free block; nil when empty
+	nfree  int
+	ntotal int
+	// regions records registered [base, end) ranges for membership tests
+	// (PMP/IOPMP programming and ownership checks).
+	regions []region
+}
+
+type region struct{ base, end uint64 }
+
+// contains reports whether [pa, pa+n) lies inside secure memory.
+func (p *securePool) contains(pa, n uint64) bool {
+	for _, r := range p.regions {
+		if pa >= r.base && pa+n <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// register splits a new contiguous physical region into blocks and links
+// them into the free list. base and size must be block-aligned.
+func (p *securePool) register(base, size uint64) error {
+	if base%BlockSize != 0 || size%BlockSize != 0 || size == 0 {
+		return fmt.Errorf("sm: pool region [%#x,+%#x) not %d-aligned", base, size, BlockSize)
+	}
+	for _, r := range p.regions {
+		if base < r.end && base+size > r.base {
+			return fmt.Errorf("sm: pool region overlaps existing region [%#x,%#x)", r.base, r.end)
+		}
+	}
+	p.regions = append(p.regions, region{base, base + size})
+	for off := uint64(0); off < size; off += BlockSize {
+		b := &block{base: base + off, free: BlockPages}
+		p.insert(b)
+	}
+	return nil
+}
+
+// insert links b into the circular list keeping address order.
+func (p *securePool) insert(b *block) {
+	p.nfree++
+	p.ntotal++
+	if p.head == nil {
+		b.prev, b.next = b, b
+		p.head = b
+		return
+	}
+	// Find insertion point: the first node with a larger base, scanning
+	// from the head (blocks arrive mostly in order, so this is cheap).
+	cur := p.head
+	for {
+		if cur.base > b.base {
+			break
+		}
+		cur = cur.next
+		if cur == p.head {
+			break
+		}
+	}
+	// Insert before cur.
+	b.prev, b.next = cur.prev, cur
+	cur.prev.next = b
+	cur.prev = b
+	if b.base < p.head.base {
+		p.head = b
+	}
+}
+
+// takeHead unlinks and returns the head block (O(1), §IV.D stage 2).
+func (p *securePool) takeHead() (*block, error) {
+	if p.head == nil {
+		return nil, ErrPoolEmpty
+	}
+	b := p.head
+	if b.next == b {
+		p.head = nil
+	} else {
+		b.prev.next = b.next
+		b.next.prev = b.prev
+		p.head = b.next
+	}
+	b.prev, b.next = nil, nil
+	p.nfree--
+	return b, nil
+}
+
+// giveBack reinserts a fully free block into the list.
+func (p *securePool) giveBack(b *block) {
+	p.ntotal-- // insert() re-increments
+	p.insert(b)
+}
+
+// FreeBlocks returns the number of blocks on the free list.
+func (p *securePool) FreeBlocks() int { return p.nfree }
+
+// pageCache is a per-vCPU (or per-arena) fast allocation cache: the block
+// currently assigned plus previously assigned blocks that still hold live
+// pages (needed for reclamation).
+type pageCache struct {
+	current *block
+	retired []*block
+}
+
+// AllocStage identifies which stage of the hierarchical allocator
+// satisfied a request (drives the §V.C cycle accounting).
+type AllocStage int
+
+// Allocation stages per §IV.D.
+const (
+	StageCache  AllocStage = 1 // page cache hit
+	StageBlock  AllocStage = 2 // new block unlinked from the pool
+	StageExpand AllocStage = 3 // pool exhausted; hypervisor must expand
+)
+
+// allocPage implements the three-stage allocation of Figure 2. On
+// ErrPoolEmpty the caller drives expansion and retries.
+func (p *securePool) allocPage(c *pageCache) (uint64, AllocStage, error) {
+	if c.current != nil {
+		if pa, ok := c.current.allocPage(); ok {
+			return pa, StageCache, nil
+		}
+		// Cache block exhausted: retire it and fall through.
+		c.retired = append(c.retired, c.current)
+		c.current = nil
+	}
+	b, err := p.takeHead()
+	if err != nil {
+		return 0, StageExpand, err
+	}
+	c.current = b
+	pa, _ := b.allocPage()
+	return pa, StageBlock, nil
+}
+
+// allocRun allocates n contiguous, n*PageSize-aligned pages for page-table
+// roots, trying the cache first.
+func (p *securePool) allocRun(c *pageCache, n int) (uint64, error) {
+	if c.current != nil {
+		if pa, ok := c.current.allocRun(n); ok {
+			return pa, nil
+		}
+	}
+	b, err := p.takeHead()
+	if err != nil {
+		return 0, err
+	}
+	if c.current != nil {
+		c.retired = append(c.retired, c.current)
+	}
+	c.current = b
+	pa, ok := b.allocRun(n)
+	if !ok {
+		return 0, fmt.Errorf("sm: fresh block cannot satisfy %d-page run", n)
+	}
+	return pa, nil
+}
+
+// releaseAll frees every page the cache ever allocated and returns the
+// blocks to the pool (CVM teardown; pages must be scrubbed by the caller
+// first).
+func (p *securePool) releaseAll(c *pageCache) {
+	give := func(b *block) {
+		b.used = [BlockPages]bool{}
+		b.free = BlockPages
+		p.giveBack(b)
+	}
+	if c.current != nil {
+		give(c.current)
+		c.current = nil
+	}
+	for _, b := range c.retired {
+		give(b)
+	}
+	c.retired = nil
+}
+
+// ownerOf finds the cache block containing pa, for free operations.
+func (c *pageCache) ownerOf(pa uint64) *block {
+	if c.current != nil && pa >= c.current.base && pa < c.current.base+BlockSize {
+		return c.current
+	}
+	for _, b := range c.retired {
+		if pa >= b.base && pa < b.base+BlockSize {
+			return b
+		}
+	}
+	return nil
+}

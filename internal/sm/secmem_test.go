@@ -1,0 +1,240 @@
+package sm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"zion/internal/isa"
+)
+
+const smBase = 0x9000_0000
+
+func newPool(t *testing.T, blocks int) *securePool {
+	t.Helper()
+	p := &securePool{}
+	if err := p.register(smBase, uint64(blocks)*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPoolRegisterValidation(t *testing.T) {
+	p := &securePool{}
+	if err := p.register(smBase+7, BlockSize); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if err := p.register(smBase, BlockSize/2); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	if err := p.register(smBase, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if err := p.register(smBase, 2*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping second region rejected.
+	if err := p.register(smBase+BlockSize, 2*BlockSize); err == nil {
+		t.Error("overlapping region accepted")
+	}
+	// Adjacent region fine.
+	if err := p.register(smBase+2*BlockSize, BlockSize); err != nil {
+		t.Errorf("adjacent region rejected: %v", err)
+	}
+	if p.FreeBlocks() != 3 {
+		t.Errorf("free blocks = %d", p.FreeBlocks())
+	}
+}
+
+func TestPoolContains(t *testing.T) {
+	p := newPool(t, 2)
+	if !p.contains(smBase, isa.PageSize) {
+		t.Error("start page should be contained")
+	}
+	if !p.contains(smBase+2*BlockSize-isa.PageSize, isa.PageSize) {
+		t.Error("last page should be contained")
+	}
+	if p.contains(smBase+2*BlockSize, 1) {
+		t.Error("past end should not be contained")
+	}
+	if p.contains(smBase-1, 2) {
+		t.Error("before start should not be contained")
+	}
+}
+
+func TestAllocationStages(t *testing.T) {
+	p := newPool(t, 2)
+	c := &pageCache{}
+
+	// First allocation: no cache block yet -> stage 2.
+	_, stage, err := p.allocPage(c)
+	if err != nil || stage != StageBlock {
+		t.Fatalf("first alloc: stage=%v err=%v", stage, err)
+	}
+	// Next BlockPages-1 allocations: stage 1.
+	for i := 0; i < BlockPages-1; i++ {
+		_, stage, err := p.allocPage(c)
+		if err != nil || stage != StageCache {
+			t.Fatalf("alloc %d: stage=%v err=%v", i, stage, err)
+		}
+	}
+	// Block exhausted: next is stage 2 again.
+	_, stage, err = p.allocPage(c)
+	if err != nil || stage != StageBlock {
+		t.Fatalf("block rollover: stage=%v err=%v", stage, err)
+	}
+	// Drain the second block, then the pool is empty: stage 3.
+	for i := 0; i < BlockPages-1; i++ {
+		if _, _, err := p.allocPage(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, stage, err := p.allocPage(c); !errors.Is(err, ErrPoolEmpty) || stage != StageExpand {
+		t.Fatalf("exhaustion: stage=%v err=%v", stage, err)
+	}
+	// Expansion resolves it.
+	if err := p.register(smBase+16*BlockSize, BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, stage, err := p.allocPage(c); err != nil || stage != StageBlock {
+		t.Fatalf("post-expansion: stage=%v err=%v", stage, err)
+	}
+}
+
+func TestAddressOrderedAllocation(t *testing.T) {
+	p := newPool(t, 4)
+	c := &pageCache{}
+	pa1, _, _ := p.allocPage(c)
+	if pa1 != smBase {
+		t.Errorf("first page at %#x, want head of list %#x", pa1, uint64(smBase))
+	}
+	// Blocks are taken from the head in address order.
+	c2 := &pageCache{}
+	pa2, _, _ := p.allocPage(c2)
+	if pa2 != smBase+BlockSize {
+		t.Errorf("second cache's block at %#x, want %#x", pa2, uint64(smBase+BlockSize))
+	}
+}
+
+func TestReleaseAllReturnsBlocks(t *testing.T) {
+	p := newPool(t, 4)
+	c := &pageCache{}
+	for i := 0; i < BlockPages+5; i++ { // spans two blocks
+		if _, _, err := p.allocPage(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.FreeBlocks() != 2 {
+		t.Fatalf("free = %d, want 2", p.FreeBlocks())
+	}
+	p.releaseAll(c)
+	if p.FreeBlocks() != 4 {
+		t.Errorf("free after release = %d, want 4", p.FreeBlocks())
+	}
+	// Released blocks are reusable.
+	c2 := &pageCache{}
+	if _, _, err := p.allocPage(c2); err != nil {
+		t.Errorf("alloc after release: %v", err)
+	}
+}
+
+func TestAllocRunAlignment(t *testing.T) {
+	p := newPool(t, 2)
+	c := &pageCache{}
+	// Misalign the cache by taking one page first.
+	if _, _, err := p.allocPage(c); err != nil {
+		t.Fatal(err)
+	}
+	root, err := p.allocRun(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root%(4*isa.PageSize) != 0 {
+		t.Errorf("run at %#x not 16 KiB aligned", root)
+	}
+	// Runs and pages never overlap.
+	pages := map[uint64]bool{root: true, root + 4096: true, root + 8192: true, root + 12288: true}
+	for i := 0; i < 32; i++ {
+		pa, _, err := p.allocPage(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pages[pa] {
+			t.Fatalf("page %#x overlaps the run", pa)
+		}
+		pages[pa] = true
+	}
+}
+
+func TestFreePageErrors(t *testing.T) {
+	b := &block{base: smBase, free: BlockPages}
+	pa, _ := b.allocPage()
+	if err := b.freePage(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.freePage(pa); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := b.freePage(smBase + BlockSize); err == nil {
+		t.Error("foreign page accepted")
+	}
+}
+
+// Property: however allocations interleave across caches, no physical
+// page is ever handed out twice, and every page lies inside the pool.
+func TestNoDoubleAllocationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := &securePool{}
+		if err := p.register(smBase, 8*BlockSize); err != nil {
+			return false
+		}
+		caches := []*pageCache{{}, {}, {}}
+		seen := map[uint64]bool{}
+		for _, op := range ops {
+			c := caches[int(op)%len(caches)]
+			pa, _, err := p.allocPage(c)
+			if errors.Is(err, ErrPoolEmpty) {
+				return true // clean exhaustion is fine
+			}
+			if err != nil {
+				return false
+			}
+			if seen[pa] || !p.contains(pa, isa.PageSize) || pa%isa.PageSize != 0 {
+				return false
+			}
+			seen[pa] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: release/realloc cycles conserve the total page population.
+func TestReleaseConservationProperty(t *testing.T) {
+	f := func(rounds uint8) bool {
+		p := &securePool{}
+		if err := p.register(smBase, 4*BlockSize); err != nil {
+			return false
+		}
+		total := p.FreeBlocks()
+		for r := 0; r < int(rounds%8)+1; r++ {
+			c := &pageCache{}
+			n := (r*37)%200 + 1
+			for i := 0; i < n; i++ {
+				if _, _, err := p.allocPage(c); err != nil {
+					break
+				}
+			}
+			p.releaseAll(c)
+			if p.FreeBlocks() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package sm
+
+import (
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/isa"
+)
+
+// registerShared implements the split-page-table handshake of §IV.E: the
+// hypervisor builds a level-1 subtable (covering the 1 GiB shared window)
+// in *normal* memory and hands its physical address to the SM. After
+// validation the SM splices it into the CVM's root table. From then on
+// the hypervisor updates shared mappings directly — no SM round trips,
+// no synchronization protocol — while the private subtrees remain in
+// secure memory where the hypervisor cannot even read them.
+func (s *SM) registerShared(h *hart.Hart, id int, subtablePA uint64) error {
+	c, err := s.cvm(id)
+	if err != nil {
+		return err
+	}
+	if subtablePA%isa.PageSize != 0 || !s.ram.Contains(subtablePA, isa.PageSize) {
+		return ErrBadArgs
+	}
+	if s.pool.contains(subtablePA, isa.PageSize) {
+		// The subtable itself must be hypervisor-writable, i.e. normal
+		// memory; a secure-memory subtable would deadlock the design.
+		return ErrNotNormal
+	}
+	if err := s.validateSharedSubtable(h, subtablePA); err != nil {
+		return err
+	}
+	b := s.tableBuilder(c)
+	if err := b.SpliceRootEntry(c.hgatpRoot, SharedSlot, subtablePA, true); err != nil {
+		return err
+	}
+	c.sharedSubtable = subtablePA
+	// The root changed: stale translations for this VMID must go.
+	for _, hh := range s.machine.Harts {
+		hh.TLB.FlushVMID(c.vmid)
+		hh.Advance(hh.Cost.TLBFlushAll)
+	}
+	return nil
+}
+
+// revokeShared unsplices the shared subtable (virtio teardown).
+func (s *SM) revokeShared(h *hart.Hart, id int) error {
+	c, err := s.cvm(id)
+	if err != nil {
+		return err
+	}
+	if c.sharedSubtable == 0 {
+		return ErrBadState
+	}
+	if err := s.ram.WriteUint64(c.hgatpRoot+SharedSlot*8, 0); err != nil {
+		return err
+	}
+	c.sharedSubtable = 0
+	for _, hh := range s.machine.Harts {
+		hh.TLB.FlushVMID(c.vmid)
+		hh.Advance(hh.Cost.TLBFlushAll)
+	}
+	return nil
+}
+
+// validateSharedSubtable walks the hypervisor-supplied subtree and rejects
+// it unless every table frame and every leaf target lies in normal memory.
+// This is the structural guarantee behind §IV.E's security claim: the
+// shared path can name normal memory only, so it can never become a
+// window into any CVM's secure pool.
+func (s *SM) validateSharedSubtable(h *hart.Hart, tablePA uint64) error {
+	return s.validateTableLevel(h, tablePA, 1)
+}
+
+func (s *SM) validateTableLevel(h *hart.Hart, tablePA uint64, level int) error {
+	if s.pool.contains(tablePA, isa.PageSize) {
+		return fmt.Errorf("%w: shared subtable frame %#x in secure memory", ErrNotNormal, tablePA)
+	}
+	for i := uint64(0); i < 512; i++ {
+		pte, err := s.ram.ReadUint64(tablePA + i*8)
+		if err != nil {
+			return err
+		}
+		if pte&isa.PTEValid == 0 {
+			continue
+		}
+		h.Advance(h.Cost.RegCheck)
+		target := (pte >> isa.PTEPPNShift) << isa.PageShift
+		if pte&(isa.PTERead|isa.PTEWrite|isa.PTEExec) == 0 {
+			// Pointer to a lower-level table.
+			if level == 0 {
+				return fmt.Errorf("%w: non-leaf at level 0", ErrBadArgs)
+			}
+			if err := s.validateTableLevel(h, target, level-1); err != nil {
+				return err
+			}
+			continue
+		}
+		span := uint64(isa.PageSize) << (9 * uint(level))
+		if s.leafTouchesSecure(target, span) {
+			return fmt.Errorf("%w: shared leaf %#x maps secure memory", ErrOwnership, target)
+		}
+	}
+	return nil
+}
+
+// leafTouchesSecure reports whether [pa, pa+span) intersects any secure
+// region.
+func (s *SM) leafTouchesSecure(pa, span uint64) bool {
+	for _, r := range s.pool.regions {
+		if pa < r.end && pa+span > r.base {
+			return true
+		}
+	}
+	return false
+}

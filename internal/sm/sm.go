@@ -1,0 +1,538 @@
+// Package sm implements ZION's Secure Monitor — the paper's core
+// contribution. The SM is the machine-mode trusted computing base: it
+// owns the secure memory pool (PMP + paging isolation, §IV.C), the
+// hierarchical secure allocator (§IV.D), confidential-VM lifecycle and the
+// short-path world switch (§IV.A), secure/shared vCPU state management
+// with Check-after-Load (§IV.B), split-page-table memory sharing (§IV.E),
+// and measurement/attestation.
+//
+// The SM is invoked two ways, both charging the architectural trap costs:
+// the hypervisor calls HVCall (the ecall-from-HS path), and guest traps
+// that target M-mode during a confidential run are dispatched inside
+// Run's stepping loop.
+package sm
+
+import (
+	"errors"
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/iopmp"
+	"zion/internal/isa"
+	"zion/internal/mem"
+	"zion/internal/platform"
+	"zion/internal/pmp"
+	"zion/internal/ptw"
+)
+
+// FuncID selects an SM entry point in the hypervisor-facing ECALL ABI.
+type FuncID uint64
+
+// Hypervisor-facing functions (ecall from HS-mode).
+const (
+	FnRegisterPool FuncID = iota + 1
+	FnCreateCVM
+	FnLoadPage
+	FnFinalize
+	FnCreateVCPU
+	FnRun
+	FnDestroy
+	FnRegisterShared
+	FnRevokeShared
+	FnGrantDMA
+	FnSuspend
+	FnResume
+)
+
+// Guest-facing SBI extension IDs (ecall from VS-mode inside a CVM).
+const (
+	// EIDZion is the ZION guest extension: attestation, entropy, sharing.
+	EIDZion = 0x5A494F4E // "ZION"
+	// Legacy console putchar (SBI v0.1), kept for guest prints.
+	EIDPutchar = 0x01
+	// EIDTime is the SBI TIME extension (set_timer).
+	EIDTime = 0x54494D45
+	// EIDReset is the SBI SRST extension (shutdown).
+	EIDReset = 0x53525354
+)
+
+// ZION guest-extension function IDs.
+const (
+	ZionFnAttest    = 0 // a0 = report buffer GPA (private), a1 = nonce
+	ZionFnRandom    = 1 // returns entropy in a0
+	ZionFnMeasure   = 2 // a0 = buffer GPA; writes the 32-byte measurement
+	ZionFnShareHint = 3 // guest declares [gpa, +len) will be used as shared
+	// ZionFnRelinquish donates a private page back to the secure pool
+	// (guest ballooning): a0 = page-aligned GPA.
+	ZionFnRelinquish = 4
+)
+
+// Errors returned through the ABI.
+var (
+	ErrBadArgs     = errors.New("sm: bad arguments")
+	ErrNotFound    = errors.New("sm: no such CVM or vCPU")
+	ErrBadState    = errors.New("sm: operation invalid in current state")
+	ErrNotSecure   = errors.New("sm: address not in secure memory")
+	ErrNotNormal   = errors.New("sm: address not in normal memory")
+	ErrOwnership   = errors.New("sm: frame owned by another CVM")
+	ErrTampered    = errors.New("sm: shared vCPU failed Check-after-Load validation")
+	ErrConcurrency = errors.New("sm: concurrent CVM limit reached")
+)
+
+// cvmState tracks the lifecycle.
+type cvmState int
+
+const (
+	stBuilding cvmState = iota
+	stRunnable
+	stSuspended
+	stDead
+)
+
+// CVM is the SM-side record of one confidential VM.
+type CVM struct {
+	ID    int
+	state cvmState
+
+	hgatpRoot uint64
+	vmid      uint16
+
+	// tableCache feeds stage-2 page-table frames (secure memory).
+	tableCache pageCache
+	vcpus      []*VCPU
+
+	// owned tracks the secure frames this CVM may map (inter-CVM
+	// isolation, §IV.C: "memory allocated to the confidential VM is not
+	// shared with other confidential VMs").
+	owned map[uint64]bool
+	// mappings records the private GPA -> PA leaves the SM installed
+	// (image load + demand paging), for snapshot enumeration.
+	mappings map[uint64]uint64
+
+	measurer *measurer
+	entryPC  uint64
+
+	// Split page table (§IV.E): the hypervisor-managed shared subtable
+	// spliced into root slot sharedSlot.
+	sharedSubtable uint64 // 0 = none
+}
+
+// GPA-space layout for confidential VMs.
+const (
+	// SharedSlot is the 1 GiB root slot whose subtree the hypervisor
+	// manages (shared address space, §IV.E). GPA [1 GiB, 2 GiB).
+	SharedSlot = 1
+	// SharedBase is the first shared GPA.
+	SharedBase = uint64(SharedSlot) << 30
+	// PrivateBase is where private (secure) guest RAM begins: GPA 2 GiB,
+	// mirroring the physical DRAM base.
+	PrivateBase = uint64(0x8000_0000)
+	// MMIOBase/MMIOSize: GPAs below 1 GiB are never mapped; guest accesses
+	// there exit to the hypervisor for device emulation.
+	MMIOBase = uint64(0)
+	MMIOSize = uint64(1) << 30
+)
+
+// MaxCVMs bounds concurrent confidential VMs. Unlike region-based designs
+// (CURE/VirTEE, ~13 enclaves), the bound is bookkeeping-only: page-granular
+// isolation needs no per-CVM PMP entry.
+const MaxCVMs = 4096
+
+// Config tunes the Secure Monitor.
+type Config struct {
+	// ValidateSharedOnEntry re-checks the spliced shared subtable on every
+	// CVM entry (defence against post-splice remapping by the hypervisor).
+	// Costs a range check per shared leaf on the entry path.
+	ValidateSharedOnEntry bool
+	// SchedQuantum is the scheduler timeslice in cycles used when the
+	// hypervisor arms preemption (0 = no preemption).
+	SchedQuantum uint64
+	// DisableSharedVCPU turns off the shared-vCPU fast path (§V.B.1
+	// baseline): every hypervisor round trip marshals and validates the
+	// full register file through SM services instead of the trap-related
+	// subset.
+	DisableSharedVCPU bool
+	// LongPath inserts the secure-hypervisor hop of conventional CVM
+	// architectures on both halves of the world switch (§V.B.2 baseline).
+	LongPath bool
+	// TraceEvents sizes the SM's diagnostic event ring (0 = tracing off).
+	TraceEvents int
+}
+
+// ExitInfo is returned to the hypervisor by FnRun.
+type ExitInfo struct {
+	Reason ExitReason
+	// MMIO details (also published in the shared vCPU).
+	GPA    uint64
+	Write  bool
+	Width  int
+	Data   uint64 // store data for ExitMMIOWrite; guest a0 at shutdown
+	Data2  uint64 // guest a1 at shutdown (secondary result channel)
+	Target uint8  // destination register for ExitMMIORead
+}
+
+// SM is the Secure Monitor.
+type SM struct {
+	machine *platform.Machine
+	ram     *mem.PhysMemory
+	pool    securePool
+	cvms    map[int]*CVM
+	nextID  int
+	cfg     Config
+
+	key []byte // platform attestation key
+	rng *drbg
+
+	events *eventLog
+
+	// Stats observable by the harness.
+	Stats Stats
+}
+
+// Stats counts SM events for the experiment harness.
+type Stats struct {
+	Entries, Exits  uint64
+	FaultStage      [4]uint64 // count, indexed by AllocStage
+	FaultCycles     [4]uint64 // cycles, indexed by AllocStage
+	SharedChecks    uint64
+	TamperDetected  uint64
+	ExpansionRounds uint64
+
+	// World-switch timing (§V.B): cycles from the hypervisor's run
+	// request until the guest executes, and from the guest's trap until
+	// the hypervisor regains control.
+	EntryCycles, ExitCycles   uint64
+	EntrySamples, ExitSamples uint64
+}
+
+// New installs a Secure Monitor on the machine. It programs the baseline
+// PMP plan on every hart: S/U gets RAM and the MMIO window; registered
+// secure-pool regions are carved out on registration.
+func New(m *platform.Machine, cfg Config) *SM {
+	s := &SM{
+		machine: m,
+		ram:     m.RAM,
+		cvms:    make(map[int]*CVM),
+		nextID:  1,
+		cfg:     cfg,
+		key:     []byte("zion-platform-sealing-key-v1"),
+		rng:     newDRBG([]byte("zion-platform-entropy-seed")),
+	}
+	if cfg.TraceEvents > 0 {
+		s.events = &eventLog{buf: make([]Event, cfg.TraceEvents)}
+	}
+	for _, h := range m.Harts {
+		s.programBasePMP(h)
+	}
+	return s
+}
+
+// PMP entry plan (per hart):
+//
+//	0..7  secure-pool regions — perm 0 in Normal mode, RWX in CVM mode
+//	13    MMIO window [0, RAMBase) RW for S/U
+//	14    all RAM RWX for S/U
+const (
+	pmpPoolFirst = 0
+	pmpPoolLast  = 7
+	pmpMMIO      = 13
+	pmpRAM       = 14
+)
+
+func (s *SM) programBasePMP(h *hart.Hart) {
+	mmio, err := pmp.EncodeNAPOT(0, platform.RAMBase)
+	if err != nil {
+		panic(err)
+	}
+	h.PMP.SetAddr(pmpMMIO, mmio)
+	h.PMP.SetCfg(pmpMMIO, pmp.PermR|pmp.PermW|pmp.ANAPOT<<3)
+	ram, err := pmp.EncodeNAPOT(s.ram.Base(), roundPow2(s.ram.Size()))
+	if err != nil {
+		panic(err)
+	}
+	h.PMP.SetAddr(pmpRAM, ram)
+	h.PMP.SetCfg(pmpRAM, pmp.PermR|pmp.PermW|pmp.PermX|pmp.ANAPOT<<3)
+	h.Advance(4 * h.Cost.PMPWriteEntry)
+}
+
+func roundPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// HVCall is the hypervisor's ECALL gateway into the SM. It charges the
+// trap-entry, dispatch and trap-return costs of a real ecall round trip.
+func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
+	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
+	defer h.Advance(h.Cost.TrapReturn)
+	a := func(i int) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch fn {
+	case FnRegisterPool:
+		return 0, s.registerPool(h, a(0), a(1))
+	case FnCreateCVM:
+		return s.createCVM(h)
+	case FnLoadPage:
+		return 0, s.loadPage(h, int(a(0)), a(1), a(2))
+	case FnFinalize:
+		return 0, s.finalize(int(a(0)), a(1))
+	case FnCreateVCPU:
+		return s.createVCPU(int(a(0)), a(1))
+	case FnDestroy:
+		return 0, s.destroy(h, int(a(0)))
+	case FnRegisterShared:
+		return 0, s.registerShared(h, int(a(0)), a(1))
+	case FnRevokeShared:
+		return 0, s.revokeShared(h, int(a(0)))
+	case FnGrantDMA:
+		return 0, s.grantDMA(h, iopmp.SourceID(a(0)), a(1), a(2))
+	case FnSuspend:
+		return 0, s.suspend(int(a(0)))
+	case FnResume:
+		return 0, s.resume(int(a(0)))
+	case FnRun:
+		// Run has a richer result; hypervisors use RunVCPU instead.
+		return 0, ErrBadArgs
+	}
+	return 0, ErrBadArgs
+}
+
+// registerPool accepts a contiguous physical region from the hypervisor
+// and converts it to secure memory: PMP carve-out on every hart, IOPMP
+// default-deny (devices are never granted windows into it), block split.
+func (s *SM) registerPool(h *hart.Hart, base, size uint64) error {
+	if !s.ram.Contains(base, size) {
+		return ErrBadArgs
+	}
+	if err := s.pool.register(base, size); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadArgs, err)
+	}
+	idx := pmpPoolFirst + len(s.pool.regions) - 1
+	if idx > pmpPoolLast {
+		return fmt.Errorf("%w: out of PMP pool entries", ErrBadArgs)
+	}
+	raw, err := pmp.EncodeNAPOT(base, roundPow2(size))
+	if err != nil {
+		return fmt.Errorf("%w: pool region must be NAPOT-encodable: %v", ErrBadArgs, err)
+	}
+	for _, hh := range s.machine.Harts {
+		hh.PMP.SetAddr(idx, raw)
+		hh.PMP.SetCfg(idx, pmp.ANAPOT<<3) // perm 0: Normal mode locked out
+		hh.Advance(hh.Cost.PMPWriteEntry)
+	}
+	// TLB shootdown: translations into the region may be cached.
+	for _, hh := range s.machine.Harts {
+		hh.TLB.FlushAll()
+		hh.Advance(hh.Cost.TLBFlushAll)
+	}
+	h.Advance(h.Cost.IOPMPUpdate)
+	return nil
+}
+
+// grantDMA programs an IOPMP window for a device source on behalf of the
+// hypervisor. The SM is the only software that touches the IOPMP (§IV.C);
+// it refuses any window that intersects secure memory, so DMA-capable
+// devices can never read or corrupt confidential state.
+func (s *SM) grantDMA(h *hart.Hart, sid iopmp.SourceID, base, size uint64) error {
+	if size == 0 || !s.ram.Contains(base, size) {
+		return ErrBadArgs
+	}
+	for _, r := range s.pool.regions {
+		if base < r.end && base+size > r.base {
+			return fmt.Errorf("%w: DMA window intersects secure pool", ErrOwnership)
+		}
+	}
+	md := int(sid) // one memory domain per source keeps windows independent
+	s.machine.IOPMP.DefineDomain(md)
+	if err := s.machine.IOPMP.AssignSource(sid, md); err != nil {
+		return err
+	}
+	if err := s.machine.IOPMP.AddEntry(md, iopmp.Entry{Base: base, Size: size,
+		Perm: pmp.PermR | pmp.PermW}); err != nil {
+		return err
+	}
+	h.Advance(h.Cost.IOPMPUpdate)
+	return nil
+}
+
+// createCVM allocates the CVM record and its stage-2 root (in secure
+// memory, §IV.C: "the SM configures page tables for confidential VMs
+// within the secure memory pool").
+func (s *SM) createCVM(h *hart.Hart) (uint64, error) {
+	if len(s.cvms) >= MaxCVMs {
+		return 0, ErrConcurrency
+	}
+	c := &CVM{
+		ID:       s.nextID,
+		owned:    make(map[uint64]bool),
+		mappings: make(map[uint64]uint64),
+		measurer: newMeasurer(),
+	}
+	s.nextID++
+	c.vmid = uint16(c.ID & 0x3FFF)
+	b := s.tableBuilder(c)
+	root, err := b.NewRoot(true)
+	if err != nil {
+		return 0, err
+	}
+	c.hgatpRoot = root
+	s.cvms[c.ID] = c
+	h.Advance(4 * h.Cost.Mem)
+	s.trace(h.Cycles, EvLifecycle, c.ID, 0, "create")
+	return uint64(c.ID), nil
+}
+
+// tableBuilder returns a page-table builder drawing frames from the CVM's
+// secure table cache.
+func (s *SM) tableBuilder(c *CVM) *ptw.Builder {
+	return &ptw.Builder{
+		Mem: s.ram,
+		Alloc: func() (uint64, error) {
+			pa, _, err := s.pool.allocPage(&c.tableCache)
+			if err != nil {
+				return 0, err
+			}
+			c.owned[pa] = true
+			return pa, nil
+		},
+	}
+}
+
+// loadPage copies one page of the initial image from normal memory into a
+// fresh secure page, maps it at gpa, and extends the measurement.
+func (s *SM) loadPage(h *hart.Hart, id int, gpa, srcPA uint64) error {
+	c, err := s.cvm(id)
+	if err != nil {
+		return err
+	}
+	if c.state != stBuilding {
+		return ErrBadState
+	}
+	if gpa%isa.PageSize != 0 || srcPA%isa.PageSize != 0 {
+		return ErrBadArgs
+	}
+	if gpa >= SharedBase && gpa < SharedBase+(1<<30) {
+		return fmt.Errorf("%w: cannot load image into the shared window", ErrBadArgs)
+	}
+	if s.pool.contains(srcPA, isa.PageSize) {
+		return ErrNotNormal // image source must come from normal memory
+	}
+	pa, _, err := s.pool.allocPage(&c.tableCache)
+	if err != nil {
+		return err
+	}
+	c.owned[pa] = true
+	if err := s.ram.Copy(pa, srcPA, isa.PageSize); err != nil {
+		return err
+	}
+	b := s.tableBuilder(c)
+	flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
+	if err := b.Map(c.hgatpRoot, gpa, pa, flags, 0, true); err != nil {
+		return err
+	}
+	c.mappings[gpa] = pa
+	data, err := s.ram.Read(pa, isa.PageSize)
+	if err != nil {
+		return err
+	}
+	c.measurer.extendPage(gpa, data)
+	h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy)
+	return nil
+}
+
+// finalize seals the measurement and marks the CVM runnable.
+func (s *SM) finalize(id int, entryPC uint64) error {
+	c, err := s.cvm(id)
+	if err != nil {
+		return err
+	}
+	if c.state != stBuilding {
+		return ErrBadState
+	}
+	c.entryPC = entryPC
+	c.measurer.extendEntry(entryPC)
+	c.measurer.seal()
+	c.state = stRunnable
+	s.trace(0, EvLifecycle, c.ID, entryPC, "finalize")
+	return nil
+}
+
+// createVCPU attaches a vCPU with its shared page (normal memory).
+func (s *SM) createVCPU(id int, sharedPA uint64) (uint64, error) {
+	c, err := s.cvm(id)
+	if err != nil {
+		return 0, err
+	}
+	if c.state != stRunnable {
+		return 0, ErrBadState // vCPUs boot from the sealed entry point
+	}
+	if sharedPA%isa.PageSize != 0 || !s.ram.Contains(sharedPA, isa.PageSize) {
+		return 0, ErrBadArgs
+	}
+	if s.pool.contains(sharedPA, isa.PageSize) {
+		return 0, ErrNotNormal // shared vCPU must be hypervisor-accessible
+	}
+	v := &VCPU{ID: len(c.vcpus), sharedPA: sharedPA}
+	v.sec.PC = c.entryPC
+	c.vcpus = append(c.vcpus, v)
+	return uint64(v.ID), nil
+}
+
+// destroy scrubs and releases everything the CVM owned.
+func (s *SM) destroy(h *hart.Hart, id int) error {
+	c, err := s.cvm(id)
+	if err != nil {
+		return err
+	}
+	// Scrub every owned frame before the pool can hand it to anyone else.
+	for pa := range c.owned {
+		if err := s.ram.Zero(pa, isa.PageSize); err != nil {
+			return err
+		}
+		h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy / 2)
+	}
+	s.pool.releaseAll(&c.tableCache)
+	for _, v := range c.vcpus {
+		s.pool.releaseAll(&v.memCache)
+	}
+	c.state = stDead
+	delete(s.cvms, id)
+	s.trace(h.Cycles, EvLifecycle, id, 0, "destroy")
+	// Stage-2 translations for this VMID die with it.
+	for _, hh := range s.machine.Harts {
+		hh.TLB.FlushVMID(c.vmid)
+		hh.Advance(hh.Cost.TLBFlushAll)
+	}
+	return nil
+}
+
+func (s *SM) cvm(id int) (*CVM, error) {
+	c, ok := s.cvms[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+// Measurement returns the sealed measurement of a CVM (hypervisor-visible;
+// it is not secret, only integrity-relevant).
+func (s *SM) Measurement(id int) ([]byte, error) {
+	c, err := s.cvm(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.state == stBuilding {
+		return nil, ErrBadState
+	}
+	return c.measurer.value(), nil
+}
+
+// PoolFreeBlocks exposes free-list depth (harness / hypervisor heuristics).
+func (s *SM) PoolFreeBlocks() int { return s.pool.FreeBlocks() }

@@ -1,0 +1,96 @@
+package sm
+
+import (
+	"fmt"
+
+	"zion/internal/isa"
+)
+
+// EventKind classifies Secure Monitor trace events.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvEntry     EventKind = iota // world switch into CVM mode
+	EvExit                       // world switch back to Normal mode
+	EvFault                      // stage-2 fault handled (arg = stage)
+	EvSBI                        // guest SBI call (arg = EID)
+	EvViolation                  // Check-after-Load / validation failure
+	EvLifecycle                  // create/finalize/destroy/suspend/resume
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvEntry:
+		return "entry"
+	case EvExit:
+		return "exit"
+	case EvFault:
+		return "fault"
+	case EvSBI:
+		return "sbi"
+	case EvViolation:
+		return "violation"
+	case EvLifecycle:
+		return "lifecycle"
+	}
+	return "?"
+}
+
+// Event is one trace record.
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	CVM   int
+	Arg   uint64
+	Note  string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("[%12d] cvm%-3d %-9s arg=%#x %s", e.Cycle, e.CVM, e.Kind, e.Arg, e.Note)
+}
+
+// eventLog is a fixed-capacity ring of events, enabled by
+// Config.TraceEvents. Disabled it costs one branch per record site.
+type eventLog struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+func (l *eventLog) record(e Event) {
+	if l == nil || len(l.buf) == 0 {
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.next == 0 {
+		l.full = true
+	}
+}
+
+// snapshot returns events oldest-first.
+func (l *eventLog) snapshot() []Event {
+	if l == nil || len(l.buf) == 0 {
+		return nil
+	}
+	var out []Event
+	if l.full {
+		out = append(out, l.buf[l.next:]...)
+	}
+	return append(out, l.buf[:l.next]...)
+}
+
+// trace records an event if tracing is enabled.
+func (s *SM) trace(cycle uint64, kind EventKind, cvm int, arg uint64, note string) {
+	s.events.record(Event{Cycle: cycle, Kind: kind, CVM: cvm, Arg: arg, Note: note})
+}
+
+// Trace returns the recorded events, oldest first (empty unless
+// Config.TraceEvents was set).
+func (s *SM) Trace() []Event { return s.events.snapshot() }
+
+// causeNote renders a trap cause for trace annotations.
+func causeNote(cause uint64) string { return isa.CauseName(cause) }

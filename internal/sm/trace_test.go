@@ -1,0 +1,104 @@
+package sm
+
+import (
+	"strings"
+	"testing"
+
+	"zion/internal/asm"
+)
+
+func TestEventTraceRecordsLifecycle(t *testing.T) {
+	f := newFixture(t, Config{TraceEvents: 64})
+	f.buildCVM(shutdownProgram(func(p *asm.Program) {
+		p.LI(asm.T0, int64(PrivateBase)+0x10_0000)
+		p.SD(asm.Zero, asm.T0, 0) // one stage-2 fault
+	}))
+	if info := f.run(); info.Reason != ExitShutdown {
+		t.Fatal(info.Reason)
+	}
+	events := f.s.Trace()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.String() == "" {
+			t.Error("empty event render")
+		}
+	}
+	for _, want := range []EventKind{EvLifecycle, EvEntry, EvExit, EvFault, EvSBI} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v events recorded", want)
+		}
+	}
+	// Entry precedes exit.
+	var sawEntry bool
+	for _, e := range events {
+		if e.Kind == EvEntry {
+			sawEntry = true
+		}
+		if e.Kind == EvExit && !sawEntry {
+			t.Error("exit recorded before any entry")
+		}
+	}
+}
+
+func TestEventTraceRingWraps(t *testing.T) {
+	f := newFixture(t, Config{TraceEvents: 4, SchedQuantum: 10_000})
+	f.buildCVM(shutdownProgram(func(p *asm.Program) {
+		p.LI(asm.T1, 100_000)
+		p.Label("spin")
+		p.ADDI(asm.T1, asm.T1, -1)
+		p.BNE(asm.T1, asm.Zero, "spin")
+	}))
+	for {
+		info := f.run()
+		if info.Reason == ExitShutdown {
+			break
+		}
+	}
+	events := f.s.Trace()
+	if len(events) != 4 {
+		t.Fatalf("ring size = %d, want 4", len(events))
+	}
+	// Oldest-first ordering by cycle stamp.
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Error("events out of order after wrap")
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.buildCVM(shutdownProgram(func(p *asm.Program) { p.NOP() }))
+	if info := f.run(); info.Reason != ExitShutdown {
+		t.Fatal(info.Reason)
+	}
+	if got := f.s.Trace(); got != nil {
+		t.Errorf("trace enabled without config: %d events", len(got))
+	}
+}
+
+func TestViolationTraced(t *testing.T) {
+	f := newFixture(t, Config{TraceEvents: 32})
+	f.buildCVM(shutdownProgram(func(p *asm.Program) {
+		p.LI(asm.T0, 0x1000_0000)
+		p.LD(asm.S4, asm.T0, 0)
+	}))
+	if info := f.run(); info.Reason != ExitMMIORead {
+		t.Fatal(info.Reason)
+	}
+	_ = f.m.RAM.WriteUint64(sharedPA+shvTargetReg, uint64(asm.SP))
+	_, _ = f.s.RunVCPU(f.h, f.id, 0)
+	found := false
+	for _, e := range f.s.Trace() {
+		if e.Kind == EvViolation && strings.Contains(e.Note, "Check-after-Load") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tamper violation not traced")
+	}
+}

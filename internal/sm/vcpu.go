@@ -1,0 +1,146 @@
+package sm
+
+import (
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/isa"
+)
+
+// ExitReason tells the hypervisor why a confidential VM stopped running.
+type ExitReason uint64
+
+// Exit reasons surfaced to the hypervisor by FnRun.
+const (
+	ExitNone        ExitReason = iota
+	ExitMMIORead               // guest load hit an unmapped GPA window
+	ExitMMIOWrite              // guest store hit an unmapped GPA window
+	ExitTimer                  // scheduler quantum expired
+	ExitPoolEmpty              // stage-3 allocation: expand the secure pool
+	ExitShutdown               // guest requested shutdown
+	ExitError                  // unrecoverable guest or protocol error
+	ExitSharedFault            // unmapped shared-window GPA: hypervisor must map it
+)
+
+// String implements fmt.Stringer.
+func (r ExitReason) String() string {
+	switch r {
+	case ExitNone:
+		return "none"
+	case ExitMMIORead:
+		return "mmio-read"
+	case ExitMMIOWrite:
+		return "mmio-write"
+	case ExitTimer:
+		return "timer"
+	case ExitPoolEmpty:
+		return "pool-empty"
+	case ExitShutdown:
+		return "shutdown"
+	case ExitError:
+		return "error"
+	case ExitSharedFault:
+		return "shared-fault"
+	}
+	return fmt.Sprintf("exit(%d)", uint64(r))
+}
+
+// secureVCPU is the protected vCPU state (§IV.B): it lives in SM memory
+// (a Go struct here, physically inside the monitor's footprint) and is the
+// only authoritative copy of the guest's registers between runs.
+type secureVCPU struct {
+	X    [32]uint64
+	PC   uint64
+	Mode isa.PrivMode // VS or VU at the moment of exit
+
+	// Guest supervisor CSRs saved/restored on the world switch.
+	Vsstatus, Vsepc, Vscause, Vstval, Vstvec, Vsscratch, Vsatp uint64
+
+	// Guest timer deadline (absolute cycles; 0 = disarmed).
+	TimerDeadline uint64
+}
+
+// Offsets within the shared vCPU page (§IV.B). The shared structure lives
+// in *normal* memory so the hypervisor can read trap parameters and write
+// emulation results without any SM round trip.
+const (
+	shvExitReason = 0x00 // ExitReason
+	shvHtval      = 0x08 // faulting GPA >> 2
+	shvHtinst     = 0x10 // transformed instruction
+	shvTargetReg  = 0x18 // MMIO read: destination register index
+	shvData       = 0x20 // MMIO data (HV->SM for reads, SM->HV for writes)
+	shvSeq        = 0x28 // sequence number (Check-after-Load)
+	shvWidth      = 0x30 // access width in bytes
+	shvSize       = 0x38 // one 64-byte line in practice
+)
+
+// pendingExit is the SM-private record of the in-flight hypervisor
+// round trip, kept to validate the shared vCPU on resume (Check-after-Load,
+// TwinVisor-style): every field the hypervisor could tamper with is
+// re-derived from this secure copy.
+type pendingExit struct {
+	reason    ExitReason
+	seq       uint64
+	targetReg uint8
+	width     int
+	signExt   bool
+	gpa       uint64
+}
+
+// VCPU binds the secure state, the shared page, and run bookkeeping.
+type VCPU struct {
+	ID       int
+	sec      secureVCPU
+	sharedPA uint64 // shared vCPU page in normal memory (0 = not set)
+	seq      uint64
+	pending  *pendingExit
+
+	// memCache is this vCPU's page cache (§IV.D stage 1).
+	memCache pageCache
+}
+
+// writeShared stores one shared-vCPU field, bypassing PMP (the SM runs in
+// M-mode; the shared page is in normal memory).
+func (s *SM) writeShared(v *VCPU, off uint64, val uint64) {
+	if err := s.ram.WriteUint64(v.sharedPA+off, val); err != nil {
+		panic(fmt.Sprintf("sm: shared vCPU write escaped RAM: %v", err))
+	}
+}
+
+func (s *SM) readShared(v *VCPU, off uint64) uint64 {
+	val, err := s.ram.ReadUint64(v.sharedPA + off)
+	if err != nil {
+		panic(fmt.Sprintf("sm: shared vCPU read escaped RAM: %v", err))
+	}
+	return val
+}
+
+// saveGuestState copies the hart's guest-visible state into the secure
+// vCPU, charging the per-register copy costs of the exit path. The resume
+// PC is NOT taken from the hart (at exit time the hart's PC points into
+// the SM's trap vector); each exit path records v.sec.PC explicitly.
+func (s *SM) saveGuestState(h *hart.Hart, v *VCPU) {
+	v.sec.X = h.X
+	v.sec.Vsstatus = h.CSR(isa.CSRVsstatus)
+	v.sec.Vsepc = h.CSR(isa.CSRVsepc)
+	v.sec.Vscause = h.CSR(isa.CSRVscause)
+	v.sec.Vstval = h.CSR(isa.CSRVstval)
+	v.sec.Vstvec = h.CSR(isa.CSRVstvec)
+	v.sec.Vsscratch = h.CSR(isa.CSRVsscratch)
+	v.sec.Vsatp = h.CSR(isa.CSRVsatp)
+	h.Advance(31*h.Cost.RegCopy + 7*h.Cost.RegCopy)
+}
+
+// restoreGuestState loads the secure vCPU into the hart.
+func (s *SM) restoreGuestState(h *hart.Hart, v *VCPU) {
+	h.X = v.sec.X
+	h.X[0] = 0
+	h.SetCSR(isa.CSRVsstatus, v.sec.Vsstatus)
+	h.SetCSR(isa.CSRVsepc, v.sec.Vsepc)
+	h.SetCSR(isa.CSRVscause, v.sec.Vscause)
+	h.SetCSR(isa.CSRVstval, v.sec.Vstval)
+	h.SetCSR(isa.CSRVstvec, v.sec.Vstvec)
+	h.SetCSR(isa.CSRVsscratch, v.sec.Vsscratch)
+	h.SetCSR(isa.CSRVsatp, v.sec.Vsatp)
+	h.Advance(31*h.Cost.RegCopy + 7*h.Cost.RegCopy)
+}

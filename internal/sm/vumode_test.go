@@ -1,0 +1,112 @@
+package sm
+
+import (
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/isa"
+)
+
+// TestGuestKernelRunsUserProcess exercises the full in-guest privilege
+// stack: the CVM's kernel (VS-mode) installs a trap handler, drops to
+// VU-mode with sret, the "user process" computes and issues an ecall,
+// which — per ZION's delegation plan — vectors straight back into the
+// guest kernel without any SM or hypervisor involvement.
+func TestGuestKernelRunsUserProcess(t *testing.T) {
+	f := newFixture(t, Config{})
+
+	p := asm.New(PrivateBase)
+	// Kernel: stvec -> handler (remaps to vstvec), sepc -> user code,
+	// vsstatus.SPP=0 (return to VU), then sret.
+	p.LA(asm.T0, "handler")
+	p.CSRRW(asm.Zero, isa.CSRStvec, asm.T0)
+	p.LA(asm.T0, "user")
+	p.CSRRW(asm.Zero, isa.CSRSepc, asm.T0) // -> vsepc
+	p.SRET()
+
+	// User process (VU): compute, then syscall.
+	p.Label("user")
+	p.LI(asm.A0, 40)
+	p.ADDI(asm.A0, asm.A0, 2)
+	p.ECALL() // ecall-from-VU -> delegated to VS
+
+	// Kernel trap handler: verify the cause is ecall-from-U as the guest
+	// sees it, collect the user's result, shut down.
+	p.Label("handler")
+	p.CSRR(asm.S2, isa.CSRScause) // -> vscause (ecall-U = 8)
+	p.MV(asm.S3, asm.A0)
+	p.LI(asm.A7, EIDReset)
+	p.ECALL()
+
+	f.buildCVM(p)
+	info := f.run()
+	if info.Reason != ExitShutdown {
+		t.Fatalf("reason = %v", info.Reason)
+	}
+	v := f.s.cvms[f.id].vcpus[0]
+	if v.sec.X[asm.S2] != isa.ExcEcallU {
+		t.Errorf("guest kernel saw cause %d, want ecall-from-U (%d)",
+			v.sec.X[asm.S2], isa.ExcEcallU)
+	}
+	if v.sec.X[asm.S3] != 42 {
+		t.Errorf("user result = %d", v.sec.X[asm.S3])
+	}
+	// The whole exchange stayed inside the guest: one entry, one exit.
+	if f.s.Stats.Entries != 1 || f.s.Stats.Exits != 1 {
+		t.Errorf("world switches = %d/%d, want 1/1 (delegation bypassed the SM)",
+			f.s.Stats.Entries, f.s.Stats.Exits)
+	}
+}
+
+// TestVUModePreservedAcrossPreemption: a quantum expiry while the guest
+// runs user code must save Mode=VU and resume back into VU.
+func TestVUModePreservedAcrossPreemption(t *testing.T) {
+	f := newFixture(t, Config{SchedQuantum: 10_000})
+
+	p := asm.New(PrivateBase)
+	p.LA(asm.T0, "handler")
+	p.CSRRW(asm.Zero, isa.CSRStvec, asm.T0)
+	p.LA(asm.T0, "user")
+	p.CSRRW(asm.Zero, isa.CSRSepc, asm.T0)
+	p.SRET()
+	p.Label("user")
+	p.LI(asm.S2, 0)
+	p.LI(asm.T1, 60_000) // long enough to eat several quanta
+	p.Label("spin")
+	p.ADDI(asm.S2, asm.S2, 1)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "spin")
+	p.ECALL()
+	p.Label("handler")
+	p.MV(asm.S3, asm.S2)
+	p.LI(asm.A7, EIDReset)
+	p.ECALL()
+
+	f.buildCVM(p)
+	preempted := 0
+	for {
+		info := f.run()
+		if info.Reason == ExitShutdown {
+			break
+		}
+		if info.Reason != ExitTimer {
+			t.Fatalf("reason = %v", info.Reason)
+		}
+		preempted++
+		if preempted > 1000 {
+			t.Fatal("never finished")
+		}
+		// Between runs the saved mode must be VU while the user spins.
+		c := f.s.cvms[f.id]
+		if got := c.vcpus[0].sec.Mode; got != isa.ModeVU {
+			t.Fatalf("saved guest mode = %v, want VU", got)
+		}
+	}
+	if preempted < 2 {
+		t.Errorf("preemptions = %d, want several", preempted)
+	}
+	v := f.s.cvms[f.id].vcpus[0]
+	if v.sec.X[asm.S3] != 60_000 {
+		t.Errorf("user loop count = %d (state corrupted across VU resumes)", v.sec.X[asm.S3])
+	}
+}

@@ -1,0 +1,640 @@
+package sm
+
+import (
+	"fmt"
+
+	"zion/internal/hart"
+	"zion/internal/isa"
+	"zion/internal/pmp"
+	"zion/internal/ptw"
+)
+
+// cvmMedeleg is the CVM-mode exception delegation (§IV.A): traps the
+// confidential VM can process itself go straight to VS-mode; everything
+// else — guest-page faults, ecall-from-VS (SBI), illegal instructions —
+// lands in the SM. A single privilege switch either way: the short path.
+const cvmMedeleg = uint64(1)<<isa.ExcBreakpoint |
+	uint64(1)<<isa.ExcEcallU |
+	uint64(1)<<isa.ExcInstAddrMisaligned |
+	uint64(1)<<isa.ExcLoadAddrMisaligned |
+	uint64(1)<<isa.ExcStoreAddrMisaligned |
+	uint64(1)<<isa.ExcInstPageFault |
+	uint64(1)<<isa.ExcLoadPageFault |
+	uint64(1)<<isa.ExcStorePageFault
+
+// cvmMideleg delegates VS-level interrupt lines so SM-injected virtual
+// interrupts vector directly into the guest.
+const cvmMideleg = uint64(1)<<isa.IntVSSoft | uint64(1)<<isa.IntVSTimer |
+	uint64(1)<<isa.IntVSExt
+
+// hvCtx snapshots the Normal-mode CSR context the SM must restore when the
+// hypervisor gets the hart back.
+type hvCtx struct {
+	medeleg, mideleg, hedeleg, hideleg uint64
+	hgatp, hstatus                     uint64
+	stvec, sscratch, satp, sepc        uint64
+	mie                                uint64
+}
+
+var hvCtxCSRs = []uint16{isa.CSRMedeleg, isa.CSRMideleg, isa.CSRHedeleg,
+	isa.CSRHideleg, isa.CSRHgatp, isa.CSRHstatus, isa.CSRStvec,
+	isa.CSRSscratch, isa.CSRSatp, isa.CSRSepc, isa.CSRMie}
+
+func (s *SM) saveHVCtx(h *hart.Hart) hvCtx {
+	h.Advance(uint64(len(hvCtxCSRs)) * h.Cost.RegCopy)
+	return hvCtx{
+		medeleg: h.CSR(isa.CSRMedeleg), mideleg: h.CSR(isa.CSRMideleg),
+		hedeleg: h.CSR(isa.CSRHedeleg), hideleg: h.CSR(isa.CSRHideleg),
+		hgatp: h.CSR(isa.CSRHgatp), hstatus: h.CSR(isa.CSRHstatus),
+		stvec: h.CSR(isa.CSRStvec), sscratch: h.CSR(isa.CSRSscratch),
+		satp: h.CSR(isa.CSRSatp), sepc: h.CSR(isa.CSRSepc),
+		mie: h.CSR(isa.CSRMie),
+	}
+}
+
+func (s *SM) restoreHVCtx(h *hart.Hart, c hvCtx) {
+	h.SetCSR(isa.CSRMedeleg, c.medeleg)
+	h.SetCSR(isa.CSRMideleg, c.mideleg)
+	h.SetCSR(isa.CSRHedeleg, c.hedeleg)
+	h.SetCSR(isa.CSRHideleg, c.hideleg)
+	h.SetCSR(isa.CSRHgatp, c.hgatp)
+	h.SetCSR(isa.CSRHstatus, c.hstatus)
+	h.SetCSR(isa.CSRStvec, c.stvec)
+	h.SetCSR(isa.CSRSscratch, c.sscratch)
+	h.SetCSR(isa.CSRSatp, c.satp)
+	h.SetCSR(isa.CSRSepc, c.sepc)
+	h.SetCSR(isa.CSRMie, c.mie)
+	h.Advance(uint64(len(hvCtxCSRs)) * h.Cost.RegCopy)
+}
+
+// setPoolPMP flips the secure-pool PMP entries between Normal-mode
+// (no access) and CVM-mode (full access) views.
+func (s *SM) setPoolPMP(h *hart.Hart, open bool) {
+	perm := uint8(0)
+	if open {
+		perm = pmp.PermR | pmp.PermW | pmp.PermX
+	}
+	for i := range s.pool.regions {
+		h.PMP.SetCfg(pmpPoolFirst+i, perm|pmp.ANAPOT<<3)
+		h.Advance(h.Cost.PMPWriteEntry)
+	}
+}
+
+// RunVCPU is the FnRun implementation: the short-path world switch into
+// CVM mode, the confidential run loop, and the switch back. It returns
+// when the hypervisor's help is required or the guest stops.
+func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
+	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
+	c, err := s.cvm(cvmID)
+	if err != nil {
+		return ExitInfo{}, err
+	}
+	if c.state != stRunnable {
+		return ExitInfo{}, ErrBadState
+	}
+	if vcpuID < 0 || vcpuID >= len(c.vcpus) {
+		return ExitInfo{}, ErrNotFound
+	}
+	v := c.vcpus[vcpuID]
+	// Entry latency is measured from the hypervisor's ecall (§V.B), so
+	// Check-after-Load state loading counts toward it.
+	entryStart := h.Cycles - h.Cost.TrapEntry - h.Cost.SMDispatch
+
+	// Check-after-Load: consume the hypervisor's answer to the previous
+	// exit before touching any guest state.
+	if v.pending != nil {
+		if err := s.resumeFromExit(h, c, v); err != nil {
+			s.Stats.TamperDetected++
+			s.trace(h.Cycles, EvViolation, c.ID, 0, err.Error())
+			_ = s.destroy(h, c.ID)
+			return ExitInfo{Reason: ExitError}, err
+		}
+	}
+
+	ctx := s.saveHVCtx(h)
+	s.enterCVM(h, c, v)
+	s.Stats.EntryCycles += h.Cycles - entryStart
+	s.Stats.EntrySamples++
+	s.trace(h.Cycles, EvEntry, c.ID, uint64(vcpuID), "")
+	info, exitStart := s.runLoop(h, c, v)
+	s.exitCVM(h, c, v, ctx, info)
+	h.Advance(h.Cost.TrapReturn)
+	s.Stats.ExitCycles += h.Cycles - exitStart
+	s.Stats.ExitSamples++
+	s.trace(h.Cycles, EvExit, c.ID, uint64(info.Reason), info.Reason.String())
+	return info, nil
+}
+
+// enterCVM performs the CVM-mode entry half of the world switch.
+func (s *SM) enterCVM(h *hart.Hart, c *CVM, v *VCPU) {
+	s.Stats.Entries++
+	h.Advance(h.Cost.CVMEntryPad)
+	if s.cfg.LongPath {
+		// Conventional architectures hop through a secure hypervisor on
+		// the way in: SM -> TSM (extra trap legs, TSM dispatch and state
+		// handling) -> guest.
+		h.Advance(h.Cost.SecHVHopEntry)
+	}
+
+	// Trap delegation control (§IV.A).
+	h.SetCSR(isa.CSRMedeleg, cvmMedeleg)
+	h.SetCSR(isa.CSRHedeleg, cvmMedeleg)
+	h.SetCSR(isa.CSRMideleg, cvmMideleg)
+	h.SetCSR(isa.CSRHideleg, cvmMideleg)
+	h.SetCSR(isa.CSRMie, uint64(1)<<isa.IntMTimer)
+	h.Advance(5 * h.Cost.CSRAccess)
+
+	// Stage-2 root and VMID.
+	h.SetCSR(isa.CSRHgatp, uint64(isa.SatpModeSv39)<<isa.SatpModeShift|
+		uint64(c.vmid)<<isa.HgatpVMIDShift|c.hgatpRoot>>isa.PageShift)
+	h.Advance(h.Cost.CSRAccess)
+
+	// Open the secure pool for this hart.
+	s.setPoolPMP(h, true)
+
+	// Optional split-page-table revalidation (§IV.E hardening).
+	if s.cfg.ValidateSharedOnEntry && c.sharedSubtable != 0 {
+		if err := s.validateSharedSubtable(h, c.sharedSubtable); err != nil {
+			// A hostile remap after splice: unsplice and continue without
+			// the shared window rather than running exposed.
+			b := s.tableBuilder(c)
+			_ = b.SpliceRootEntry(c.hgatpRoot, SharedSlot, 0, true)
+			_ = s.ram.WriteUint64(c.hgatpRoot+SharedSlot*8, 0)
+			c.sharedSubtable = 0
+		}
+		s.Stats.SharedChecks++
+	}
+
+	// Restore the protected register file.
+	s.restoreGuestState(h, v)
+
+	// Arm the machine timer for the earlier of the scheduler quantum and
+	// the guest's own deadline.
+	s.armTimer(h, v)
+
+	// Stage-2 mappings changed ownership views; flush and return to guest.
+	h.TLB.FlushAll()
+	h.Advance(h.Cost.TLBFlushAll)
+
+	mst := h.CSR(isa.CSRMstatus)
+	mst = mst&^isa.MstatusMPP | v.guestPrivBase()<<isa.MstatusMPPShift | isa.MstatusMPV
+	h.SetCSR(isa.CSRMstatus, mst)
+	h.SetCSR(isa.CSRMepc, v.sec.PC)
+	h.MRet()
+}
+
+// guestPrivBase returns the MPP encoding for the guest's saved mode.
+func (v *VCPU) guestPrivBase() uint64 {
+	if v.sec.Mode == isa.ModeVU {
+		return 0
+	}
+	return 1
+}
+
+// armTimer programs the CLINT comparator for this run.
+func (s *SM) armTimer(h *hart.Hart, v *VCPU) {
+	deadline := uint64(0)
+	if s.cfg.SchedQuantum > 0 {
+		deadline = h.Cycles + s.cfg.SchedQuantum
+	}
+	if v.sec.TimerDeadline != 0 && (deadline == 0 || v.sec.TimerDeadline < deadline) {
+		deadline = v.sec.TimerDeadline
+	}
+	if deadline != 0 {
+		s.machine.CLINT.SetTimer(h.ID, deadline)
+	} else {
+		s.machine.CLINT.DisarmTimer(h.ID)
+	}
+	h.Advance(h.Cost.Mem)
+}
+
+// exitCVM performs the Normal-mode half of the world switch.
+func (s *SM) exitCVM(h *hart.Hart, c *CVM, v *VCPU, ctx hvCtx, info ExitInfo) {
+	s.Stats.Exits++
+	h.Advance(h.Cost.CVMExitPad)
+	if s.cfg.LongPath {
+		h.Advance(h.Cost.SecHVHopExit)
+	}
+	s.saveGuestState(h, v)
+	// The guest's interrupted privilege level: still current if the hart
+	// is in a virtualized mode (wfi yield); otherwise the trap to M
+	// recorded it in mstatus.MPV/MPP.
+	switch {
+	case h.Mode.Virtualized():
+		v.sec.Mode = h.Mode
+	case h.CSR(isa.CSRMstatus)&isa.MstatusMPV != 0:
+		if (h.CSR(isa.CSRMstatus)&isa.MstatusMPP)>>isa.MstatusMPPShift == 1 {
+			v.sec.Mode = isa.ModeVS
+		} else {
+			v.sec.Mode = isa.ModeVU
+		}
+	}
+	s.publishExit(h, c, v, info)
+	s.setPoolPMP(h, false)
+	s.restoreHVCtx(h, ctx)
+	h.TLB.FlushVMID(c.vmid)
+	h.Advance(h.Cost.TLBFlushAll)
+	h.Mode = isa.ModeS
+	h.PC = ctx.sepc
+}
+
+// publishExit writes the exit parameters the hypervisor needs into the
+// shared vCPU (§IV.B): with the shared-vCPU mechanism only the
+// trap-related registers cross the boundary; the no-shared baseline
+// marshals the full register file through SM services instead.
+func (s *SM) publishExit(h *hart.Hart, c *CVM, v *VCPU, info ExitInfo) {
+	if v.sharedPA == 0 {
+		return
+	}
+	v.seq++
+	s.writeShared(v, shvExitReason, uint64(info.Reason))
+	s.writeShared(v, shvHtval, info.GPA>>2)
+	s.writeShared(v, shvHtinst, h.CSR(isa.CSRMtinst))
+	s.writeShared(v, shvTargetReg, uint64(info.Target))
+	s.writeShared(v, shvData, info.Data)
+	s.writeShared(v, shvWidth, uint64(info.Width))
+	s.writeShared(v, shvSeq, v.seq)
+	h.Advance(7 * h.Cost.RegCopy)
+	if s.cfg.DisableSharedVCPU {
+		// Baseline: the SM marshals the full register file out through
+		// validated copy services instead of the trap-related subset.
+		h.Advance(33 * (h.Cost.RegCopy + h.Cost.RegCheck))
+	}
+}
+
+// resumeFromExit validates the hypervisor's answer (Check-after-Load) and
+// applies it to the secure vCPU.
+func (s *SM) resumeFromExit(h *hart.Hart, c *CVM, v *VCPU) error {
+	p := v.pending
+	v.pending = nil
+	if v.sharedPA == 0 {
+		return nil
+	}
+	// Check-after-Load: load the hypervisor-writable fields first, then
+	// validate every one against the SM's pendingExit record.
+	seq := s.readShared(v, shvSeq)
+	reason := ExitReason(s.readShared(v, shvExitReason))
+	target := s.readShared(v, shvTargetReg)
+	width := s.readShared(v, shvWidth)
+	data := s.readShared(v, shvData)
+
+	// Cost model: load each hypervisor-written field, validate it, and
+	// apply the sanctioned values to the secure state. The shared-vCPU
+	// design touches only the trap-related registers; the baseline round
+	// trips the whole register file.
+	fields := uint64(5)
+	if s.cfg.DisableSharedVCPU {
+		fields = 38
+	}
+	h.Advance(fields * (2*h.Cost.RegCopy + h.Cost.RegCheck))
+
+	if seq != p.seq || reason != p.reason ||
+		uint8(target) != p.targetReg || int(width) != p.width {
+		return fmt.Errorf("%w: seq=%d/%d reason=%v/%v target=%d/%d width=%d/%d",
+			ErrTampered, seq, p.seq, reason, p.reason, target, p.targetReg, width, p.width)
+	}
+	if p.reason == ExitMMIORead {
+		v.sec.X[p.targetReg] = extend(data, p.width, p.signExt)
+	}
+	return nil
+}
+
+// extend truncates and extends an MMIO load result per the original
+// instruction's width and signedness.
+func extend(data uint64, width int, signed bool) uint64 {
+	switch width {
+	case 1:
+		if signed {
+			return uint64(int64(int8(data)))
+		}
+		return data & 0xFF
+	case 2:
+		if signed {
+			return uint64(int64(int16(data)))
+		}
+		return data & 0xFFFF
+	case 4:
+		if signed {
+			return uint64(int64(int32(data)))
+		}
+		return data & 0xFFFFFFFF
+	}
+	return data
+}
+
+// runLoop steps the guest until an exit condition. Traps targeting M are
+// handled here (the SM *is* the M-mode software); traps delegated to VS
+// vector into the guest architecturally and interpretation continues.
+// The second return value is the cycle count at which the terminating
+// event began (for §V.B exit-latency accounting).
+func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
+	for {
+		if s.machine.CLINT.TimerPending(h.ID, h.Cycles) {
+			h.SetPending(isa.IntMTimer)
+		} else {
+			h.ClearPending(isa.IntMTimer)
+		}
+		ev := h.Step()
+		switch ev.Kind {
+		case hart.EvNone:
+			continue
+		case hart.EvWFI:
+			if dl, ok := s.machine.CLINT.NextDeadline(h.ID); ok && dl > h.Cycles {
+				h.Cycles = dl
+				h.Advance(h.Cost.WFIWake)
+				continue
+			}
+			// Idle with nothing armed: yield to the hypervisor. The hart
+			// already advanced past the wfi, so its PC is authoritative.
+			v.sec.PC = h.PC
+			return ExitInfo{Reason: ExitTimer}, h.Cycles
+		case hart.EvTrap:
+			t := ev.Trap
+			trapStart := h.Cycles - h.Cost.TrapEntry
+			switch t.Target {
+			case isa.ModeVS:
+				continue // architecturally delegated; guest handles it
+			case isa.ModeM:
+				info, done := s.handleCVMTrap(h, c, v, t)
+				if done {
+					if info.Reason == ExitPoolEmpty {
+						// The stage-3 fault handling that ran in the SM
+						// belongs to the page-fault accounting (§V.C),
+						// not to the world-switch exit latency (§V.B).
+						trapStart = h.Cycles
+					}
+					return info, trapStart
+				}
+			default:
+				// Nothing may reach HS while in CVM mode.
+				v.sec.PC = t.PC
+				return ExitInfo{Reason: ExitError}, trapStart
+			}
+		}
+	}
+}
+
+// handleCVMTrap services an M-mode trap raised during confidential
+// execution. done=true means the run ends with the returned ExitInfo.
+func (s *SM) handleCVMTrap(h *hart.Hart, c *CVM, v *VCPU, t hart.Trap) (ExitInfo, bool) {
+	h.Advance(h.Cost.SMDispatch)
+	switch {
+	case t.Cause == isa.CauseInterruptBit|isa.IntMTimer:
+		return s.handleTimer(h, c, v)
+
+	case t.Cause == isa.ExcEcallVS:
+		return s.handleGuestSBI(h, c, v)
+
+	case t.Cause == isa.ExcLoadGuestPageFault ||
+		t.Cause == isa.ExcStoreGuestPageFault ||
+		t.Cause == isa.ExcInstGuestPageFault:
+		return s.handleGuestPageFault(h, c, v, t)
+	}
+	// Anything else in M-mode during a confidential run is fatal for the
+	// guest (undelegated exceptions indicate a guest or protocol bug).
+	v.sec.PC = h.CSR(isa.CSRMepc)
+	return ExitInfo{Reason: ExitError}, true
+}
+
+// handleTimer distinguishes the guest's own deadline (inject a virtual
+// timer interrupt and keep running) from the scheduler quantum (exit).
+func (s *SM) handleTimer(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, bool) {
+	now := h.Cycles
+	if v.sec.TimerDeadline != 0 && now >= v.sec.TimerDeadline {
+		v.sec.TimerDeadline = 0
+		h.SetCSR(isa.CSRHvip, h.CSR(isa.CSRHvip)|1<<isa.IntVSTimer)
+		h.Advance(h.Cost.CSRAccess)
+		s.armTimer(h, v)
+		h.MRet()
+		return ExitInfo{}, false
+	}
+	// Scheduler quantum: leave mepc pointing at the interrupted
+	// instruction; the guest resumes exactly there next run.
+	v.sec.PC = h.CSR(isa.CSRMepc)
+	return ExitInfo{Reason: ExitTimer}, true
+}
+
+// handleGuestPageFault implements §IV.C/§IV.D: private-window faults are
+// satisfied from the hierarchical secure allocator without leaving the
+// SM; MMIO-window faults exit to the hypervisor; shared-window faults
+// exit so the hypervisor can update its own subtable (§IV.E).
+func (s *SM) handleGuestPageFault(h *hart.Hart, c *CVM, v *VCPU, t hart.Trap) (ExitInfo, bool) {
+	gpa := t.Tval2 << 2
+	switch {
+	case gpa >= PrivateBase:
+		return s.demandPage(h, c, v, gpa, t)
+	case gpa >= SharedBase:
+		// Hypervisor-managed window (§IV.E): the hypervisor updates its
+		// own subtable (no SM synchronization) and the guest *retries*
+		// the access, so no Check-after-Load contract is recorded.
+		v.sec.PC = h.CSR(isa.CSRMepc)
+		return ExitInfo{Reason: ExitSharedFault, GPA: gpa}, true
+	default:
+		reason := ExitMMIORead
+		if t.Cause == isa.ExcStoreGuestPageFault {
+			reason = ExitMMIOWrite
+		}
+		info := s.mmioExit(h, c, v, t, reason)
+		return info, true
+	}
+}
+
+// demandPage allocates and maps one private page (Figure 2's three-stage
+// flow); stage 3 exits to the hypervisor for pool expansion.
+func (s *SM) demandPage(h *hart.Hart, c *CVM, v *VCPU, gpa uint64, t hart.Trap) (ExitInfo, bool) {
+	faultStart := h.Cycles - h.Cost.TrapEntry - h.Cost.SMDispatch
+	h.Advance(h.Cost.SMFaultBase)
+	pageGPA := gpa &^ uint64(isa.PageSize-1)
+	pa, stage, err := s.pool.allocPage(&v.memCache)
+	if err != nil {
+		// Stage 3: ask the hypervisor for more secure memory, then the
+		// guest retries the faulting access. The full stage-3 fault cost
+		// (exit, hypervisor assist, re-entry) is accounted by the caller
+		// via RecordStage3, since it spans the world switch.
+		s.Stats.FaultStage[StageExpand]++
+		s.Stats.ExpansionRounds++
+		h.Advance(h.Cost.SMExpandPool)
+		s.Stats.FaultCycles[StageExpand] += h.Cycles - faultStart
+		v.sec.PC = h.CSR(isa.CSRMepc)
+		return ExitInfo{Reason: ExitPoolEmpty, GPA: pageGPA}, true
+	}
+	s.Stats.FaultStage[stage]++
+	s.trace(h.Cycles, EvFault, c.ID, uint64(stage), causeNote(t.Cause))
+	switch stage {
+	case StageCache:
+		h.Advance(h.Cost.SMAllocCache)
+	case StageBlock:
+		h.Advance(h.Cost.SMAllocBlock)
+	}
+	c.owned[pa] = true
+	// Fresh confidential memory must never leak prior contents.
+	if err := s.ram.Zero(pa, isa.PageSize); err != nil {
+		return ExitInfo{Reason: ExitError}, true
+	}
+	b := s.tableBuilder(c)
+	flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
+	if err := b.Map(c.hgatpRoot, pageGPA, pa, flags, 0, true); err != nil {
+		return ExitInfo{Reason: ExitError}, true
+	}
+	c.mappings[pageGPA] = pa
+	// Retry the faulting instruction (MRet charges the trap return).
+	h.MRet()
+	s.Stats.FaultCycles[stage] += h.Cycles - faultStart
+	return ExitInfo{}, false
+}
+
+// mmioExit prepares an exit that needs hypervisor emulation: decode the
+// trapped access from htinst/mtinst, expose only the trap-related state
+// through the shared vCPU, and record the Check-after-Load contract.
+func (s *SM) mmioExit(h *hart.Hart, c *CVM, v *VCPU, t hart.Trap, reason ExitReason) ExitInfo {
+	h.Advance(h.Cost.MMIODecode)
+	gpa := t.Tval2 << 2
+	info := ExitInfo{Reason: reason, GPA: gpa}
+	in, ok := isa.DecodeTransformed(t.Tinst)
+	if ok {
+		info.Width = in.MemBytes()
+		if in.IsStore() {
+			info.Write = true
+			info.Data = h.Reg(in.Rs2)
+		} else {
+			info.Target = in.Rd
+		}
+	}
+	signExt := false
+	if ok && !in.IsStore() {
+		switch in.Op {
+		case isa.OpLB, isa.OpLH, isa.OpLW:
+			signExt = true
+		}
+	}
+	v.pending = &pendingExit{
+		reason:    reason,
+		seq:       v.seq + 1, // publishExit increments before writing
+		targetReg: info.Target,
+		width:     info.Width,
+		signExt:   signExt,
+		gpa:       gpa,
+	}
+	// The emulated access completes; the guest resumes *after* it.
+	v.sec.PC = h.CSR(isa.CSRMepc) + 4
+	return info
+}
+
+// handleGuestSBI services ecall-from-VS: the guest-facing ABI.
+func (s *SM) handleGuestSBI(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, bool) {
+	eid := h.Reg(17) // a7
+	fid := h.Reg(16) // a6
+	a0, a1 := h.Reg(10), h.Reg(11)
+	s.trace(h.Cycles, EvSBI, c.ID, eid, "")
+
+	resume := func(ret uint64, errv uint64) {
+		h.SetReg(10, errv)
+		h.SetReg(11, ret)
+		h.SetCSR(isa.CSRMepc, h.CSR(isa.CSRMepc)+4)
+		h.MRet()
+	}
+
+	switch eid {
+	case EIDPutchar:
+		s.machine.UART.Access(h.ID, 0, 1, true, a0)
+		resume(0, 0)
+		return ExitInfo{}, false
+	case EIDTime:
+		v.sec.TimerDeadline = a0
+		h.SetCSR(isa.CSRHvip, h.CSR(isa.CSRHvip)&^uint64(1<<isa.IntVSTimer))
+		s.armTimer(h, v)
+		resume(0, 0)
+		return ExitInfo{}, false
+	case EIDReset:
+		v.sec.PC = h.CSR(isa.CSRMepc) + 4
+		// a0/a1 ride along: guests report self-measured results this way.
+		return ExitInfo{Reason: ExitShutdown, Data: a0, Data2: a1}, true
+	case EIDZion:
+		switch fid {
+		case ZionFnRandom:
+			resume(s.rng.next(), 0)
+			return ExitInfo{}, false
+		case ZionFnMeasure:
+			if err := s.copyToGuest(c, a0, c.measurer.value()); err != nil {
+				resume(0, 1)
+			} else {
+				h.Advance(uint64(len(c.measurer.value())/8) * h.Cost.RegCopy)
+				resume(0, 0)
+			}
+			return ExitInfo{}, false
+		case ZionFnAttest:
+			rep := s.attestationReport(c, a1)
+			if err := s.copyToGuest(c, a0, rep); err != nil {
+				resume(0, 1)
+			} else {
+				h.Advance(uint64(len(rep)/8) * h.Cost.RegCopy)
+				resume(uint64(len(rep)), 0)
+			}
+			return ExitInfo{}, false
+		case ZionFnShareHint:
+			// Bookkeeping only: the guest announces its bounce-buffer
+			// region; the SM records it for diagnostics.
+			resume(0, 0)
+			return ExitInfo{}, false
+		case ZionFnRelinquish:
+			if err := s.relinquishPage(h, c, a0); err != nil {
+				resume(0, 1)
+			} else {
+				resume(0, 0)
+			}
+			return ExitInfo{}, false
+		}
+	}
+	// Unknown SBI call: SBI_ERR_NOT_SUPPORTED (-2) per the SBI spec.
+	resume(0, ^uint64(1))
+	return ExitInfo{}, false
+}
+
+// copyToGuest writes data into the CVM's *private* memory at gpa after
+// translating through the CVM's own stage-2 tree and verifying frame
+// ownership — the hypervisor must never be able to alias this buffer.
+func (s *SM) copyToGuest(c *CVM, gpa uint64, data []byte) error {
+	if gpa < PrivateBase {
+		return ErrBadArgs
+	}
+	w := &ptw.Walker{Mem: s.ram}
+	off := uint64(0)
+	for off < uint64(len(data)) {
+		res, err := w.Walk(c.hgatpRoot, gpa+off, ptw.AccessWrite, ptw.Opts{Stage2: true})
+		if err != nil {
+			// The guest handed us a not-yet-touched buffer: demand-map it
+			// exactly as a stage-2 fault would.
+			pa, _, aerr := s.pool.allocPage(&c.tableCache)
+			if aerr != nil {
+				return aerr
+			}
+			c.owned[pa] = true
+			if zerr := s.ram.Zero(pa, isa.PageSize); zerr != nil {
+				return zerr
+			}
+			b := s.tableBuilder(c)
+			flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
+			pageGPA := (gpa + off) &^ uint64(isa.PageSize-1)
+			if merr := b.Map(c.hgatpRoot, pageGPA, pa, flags, 0, true); merr != nil {
+				return merr
+			}
+			c.mappings[pageGPA] = pa
+			res, err = w.Walk(c.hgatpRoot, gpa+off, ptw.AccessWrite, ptw.Opts{Stage2: true})
+			if err != nil {
+				return err
+			}
+		}
+		if !c.owned[res.PA&^uint64(isa.PageSize-1)] {
+			return ErrOwnership
+		}
+		n := isa.PageSize - (gpa+off)%isa.PageSize
+		if n > uint64(len(data))-off {
+			n = uint64(len(data)) - off
+		}
+		if err := s.ram.Write(res.PA, data[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package virtio
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Virtio-blk request types and status codes.
+const (
+	BlkTIn  = 0 // device -> driver (disk read)
+	BlkTOut = 1 // driver -> device (disk write)
+
+	BlkSOK    = 0
+	BlkSIOErr = 1
+	BlkSUnsup = 2
+
+	// SectorSize is the virtio-blk sector granule.
+	SectorSize = 512
+)
+
+// Blk is a virtio block device over an in-memory disk image.
+type Blk struct {
+	dev  *MMIODev
+	disk []byte
+
+	// Stats for the I/O benchmarks.
+	Reads, Writes   uint64
+	BytesR, BytesW  uint64
+	ProcessedChains uint64
+}
+
+// NewBlk creates a block device with the given disk capacity (bytes,
+// rounded down to whole sectors) and wraps it in an MMIO transport at
+// base. mem is the device's guest-memory view.
+func NewBlk(base uint64, capacity uint64, mem MemIO) *Blk {
+	b := &Blk{disk: make([]byte, capacity/SectorSize*SectorSize)}
+	b.dev = NewMMIODev(base, b, mem)
+	return b
+}
+
+// Dev returns the MMIO transport (attach it to a VM's device model).
+func (b *Blk) Dev() *MMIODev { return b.dev }
+
+// DeviceID implements Backend (2 = block device).
+func (b *Blk) DeviceID() uint32 { return 2 }
+
+// NumQueues implements Backend.
+func (b *Blk) NumQueues() int { return 1 }
+
+// Config implements Backend: capacity in sectors (first 8 config bytes).
+func (b *Blk) Config() []byte {
+	var cfg [8]byte
+	binary.LittleEndian.PutUint64(cfg[:], uint64(len(b.disk)/SectorSize))
+	return cfg[:]
+}
+
+// Disk exposes the raw image (tests and examples preload filesystem-ish
+// content through it).
+func (b *Blk) Disk() []byte { return b.disk }
+
+// Notify implements Backend: drain the request queue.
+func (b *Blk) Notify(q int) error {
+	if q != 0 {
+		return fmt.Errorf("virtio-blk: bad queue %d", q)
+	}
+	queue := b.dev.Queue(0)
+	mem := b.dev.Mem()
+	for {
+		ch, ok, err := queue.Pop(mem)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.ProcessedChains++
+		written, err := b.process(mem, &ch)
+		if err != nil {
+			return err
+		}
+		if err := queue.Push(mem, ch.Head, written); err != nil {
+			return err
+		}
+	}
+}
+
+// process executes one blk request chain: 16-byte header (readable),
+// data segments, one status byte (writable, last).
+func (b *Blk) process(mem MemIO, ch *Chain) (uint32, error) {
+	hdr, err := ch.ReadAll(mem)
+	if err != nil {
+		return 0, err
+	}
+	if len(hdr) < 16 || len(ch.WriteGPA) == 0 {
+		return 0, fmt.Errorf("virtio-blk: malformed request chain")
+	}
+	typ := binary.LittleEndian.Uint32(hdr[0:4])
+	sector := binary.LittleEndian.Uint64(hdr[8:16])
+	off := sector * SectorSize
+
+	status := byte(BlkSOK)
+	written := uint32(0)
+	switch typ {
+	case BlkTIn:
+		// Read: fill every writable segment except the final status byte.
+		dataCap := ch.WriteCap() - 1
+		if off+uint64(dataCap) > uint64(len(b.disk)) {
+			status = BlkSIOErr
+		} else {
+			data := b.disk[off : off+uint64(dataCap)]
+			// Scatter into all but the last writable segment byte.
+			w, err := scatterData(mem, ch, data)
+			if err != nil {
+				return 0, err
+			}
+			written = w
+			b.Reads++
+			b.BytesR += uint64(dataCap)
+		}
+	case BlkTOut:
+		data := hdr[16:]
+		if off+uint64(len(data)) > uint64(len(b.disk)) {
+			status = BlkSIOErr
+		} else {
+			copy(b.disk[off:], data)
+			b.Writes++
+			b.BytesW += uint64(len(data))
+		}
+	default:
+		status = BlkSUnsup
+	}
+	// Status byte goes into the last writable segment's final byte.
+	last := ch.WriteGPA[len(ch.WriteGPA)-1]
+	if err := mem.WriteBytes(last.GPA+uint64(last.Len)-1, []byte{status}); err != nil {
+		return 0, err
+	}
+	return written + 1, nil
+}
+
+// scatterData fills the chain's writable segments with data, reserving
+// the final byte of the final segment for the status.
+func scatterData(mem MemIO, ch *Chain, data []byte) (uint32, error) {
+	written := uint32(0)
+	for i, s := range ch.WriteGPA {
+		capacity := s.Len
+		if i == len(ch.WriteGPA)-1 {
+			capacity-- // status byte
+		}
+		if len(data) == 0 || capacity == 0 {
+			break
+		}
+		n := int(capacity)
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := mem.WriteBytes(s.GPA, data[:n]); err != nil {
+			return written, err
+		}
+		data = data[n:]
+		written += uint32(n)
+	}
+	return written, nil
+}

@@ -1,0 +1,223 @@
+package virtio
+
+import "fmt"
+
+// Backend is a virtio device implementation behind the MMIO transport.
+type Backend interface {
+	// DeviceID per the virtio spec (2 = blk, 1 = net).
+	DeviceID() uint32
+	// NumQueues the device exposes.
+	NumQueues() int
+	// Notify processes queue q after the driver rang its doorbell.
+	Notify(q int) error
+	// Config returns the device config space.
+	Config() []byte
+}
+
+// Virtio-mmio register offsets (version 2 layout).
+const (
+	regMagic       = 0x000
+	regVersion     = 0x004
+	regDeviceID    = 0x008
+	regVendorID    = 0x00C
+	regQueueSel    = 0x030
+	regQueueNumMax = 0x034
+	regQueueNum    = 0x038
+	regQueueReady  = 0x044
+	regQueueNotify = 0x050
+	regIntStatus   = 0x060
+	regIntACK      = 0x064
+	regStatus      = 0x070
+	regDescLow     = 0x080
+	regDescHigh    = 0x084
+	regAvailLow    = 0x090
+	regAvailHigh   = 0x094
+	regUsedLow     = 0x0A0
+	regUsedHigh    = 0x0A4
+	regConfig      = 0x100
+
+	magicValue = 0x74726976 // "virt"
+	vendorID   = 0x5A494F4E // "ZION"
+	maxQueue   = 256
+)
+
+// MMIODev is the virtio-mmio transport: it implements the hypervisor's
+// EmuDevice interface and owns the queue plumbing for a Backend.
+type MMIODev struct {
+	base    uint64
+	backend Backend
+	mem     MemIO
+
+	queues    []Queue
+	sel       uint32
+	status    uint32
+	intStatus uint32
+
+	// LastErr records the most recent backend failure (drivers observe
+	// it via the DEVICE_NEEDS_RESET status bit; tests read it directly).
+	LastErr error
+}
+
+// NewMMIODev wraps a backend at the given guest-physical base address.
+func NewMMIODev(base uint64, b Backend, mem MemIO) *MMIODev {
+	return &MMIODev{base: base, backend: b, mem: mem, queues: make([]Queue, b.NumQueues())}
+}
+
+// GPARange implements hv.EmuDevice.
+func (d *MMIODev) GPARange() (uint64, uint64) { return d.base, 0x200 }
+
+// Queue exposes queue state to back-ends and the guest-kernel setup path.
+func (d *MMIODev) Queue(i int) *Queue { return &d.queues[i] }
+
+// Mem returns the device's guest-memory view.
+func (d *MMIODev) Mem() MemIO { return d.mem }
+
+// MMIORead implements hv.EmuDevice.
+func (d *MMIODev) MMIORead(off uint64, width int) uint64 {
+	switch off {
+	case regMagic:
+		return magicValue
+	case regVersion:
+		return 2
+	case regDeviceID:
+		return uint64(d.backend.DeviceID())
+	case regVendorID:
+		return vendorID
+	case regQueueNumMax:
+		return maxQueue
+	case regQueueNum:
+		return uint64(d.q().Size)
+	case regQueueReady:
+		if d.q().Ready {
+			return 1
+		}
+		return 0
+	case regIntStatus:
+		return uint64(d.intStatus)
+	case regStatus:
+		return uint64(d.status)
+	}
+	if off >= regConfig {
+		cfg := d.backend.Config()
+		i := int(off - regConfig)
+		var v uint64
+		for b := 0; b < width && i+b < len(cfg); b++ {
+			v |= uint64(cfg[i+b]) << (8 * uint(b))
+		}
+		return v
+	}
+	return 0
+}
+
+func (d *MMIODev) q() *Queue {
+	if int(d.sel) < len(d.queues) {
+		return &d.queues[d.sel]
+	}
+	return &Queue{}
+}
+
+// MMIOWrite implements hv.EmuDevice.
+func (d *MMIODev) MMIOWrite(off uint64, width int, val uint64) {
+	switch off {
+	case regQueueSel:
+		d.sel = uint32(val)
+	case regQueueNum:
+		if val <= maxQueue {
+			d.q().Size = uint16(val)
+		}
+	case regQueueReady:
+		d.q().Ready = val&1 != 0
+	case regDescLow:
+		d.q().DescGPA = d.q().DescGPA&^uint64(0xFFFFFFFF) | val&0xFFFFFFFF
+	case regDescHigh:
+		d.q().DescGPA = d.q().DescGPA&0xFFFFFFFF | val<<32
+	case regAvailLow:
+		d.q().AvailGPA = d.q().AvailGPA&^uint64(0xFFFFFFFF) | val&0xFFFFFFFF
+	case regAvailHigh:
+		d.q().AvailGPA = d.q().AvailGPA&0xFFFFFFFF | val<<32
+	case regUsedLow:
+		d.q().UsedGPA = d.q().UsedGPA&^uint64(0xFFFFFFFF) | val&0xFFFFFFFF
+	case regUsedHigh:
+		d.q().UsedGPA = d.q().UsedGPA&0xFFFFFFFF | val<<32
+	case regQueueNotify:
+		if int(val) < len(d.queues) {
+			if err := d.backend.Notify(int(val)); err != nil {
+				d.LastErr = err
+				d.status |= 0x40 // DEVICE_NEEDS_RESET
+			} else {
+				d.intStatus |= 1 // used-buffer notification
+			}
+		}
+	case regIntACK:
+		d.intStatus &^= uint32(val)
+	case regStatus:
+		d.status = uint32(val)
+	}
+}
+
+// SetupQueue programs a queue through the register interface exactly as a
+// driver's probe path would (QueueSel, QueueNum, ring addresses,
+// QueueReady). The guest kernel's Go half calls this during boot.
+func (d *MMIODev) SetupQueue(q int, size uint16, descGPA, availGPA, usedGPA uint64) {
+	d.MMIOWrite(regQueueSel, 4, uint64(q))
+	d.MMIOWrite(regQueueNum, 4, uint64(size))
+	d.MMIOWrite(regDescLow, 4, descGPA&0xFFFFFFFF)
+	d.MMIOWrite(regDescHigh, 4, descGPA>>32)
+	d.MMIOWrite(regAvailLow, 4, availGPA&0xFFFFFFFF)
+	d.MMIOWrite(regAvailHigh, 4, availGPA>>32)
+	d.MMIOWrite(regUsedLow, 4, usedGPA&0xFFFFFFFF)
+	d.MMIOWrite(regUsedHigh, 4, usedGPA>>32)
+	d.MMIOWrite(regQueueReady, 4, 1)
+	d.MMIOWrite(regStatus, 4, 0xF) // ACKNOWLEDGE|DRIVER|DRIVER_OK|FEATURES_OK
+}
+
+// NotifyOffset returns the register offset an interpreted guest driver
+// stores to when ringing doorbell q (the value stored selects the queue).
+func NotifyOffset() uint64 { return regQueueNotify }
+
+// bytesMemIO adapts a plain byte slice for tests.
+type bytesMemIO struct {
+	base uint64
+	b    []byte
+}
+
+// NewBytesMemIO returns a MemIO over an in-memory buffer starting at base
+// (test helper, exported for the guest package's unit tests).
+func NewBytesMemIO(base uint64, size int) MemIO {
+	return &bytesMemIO{base: base, b: make([]byte, size)}
+}
+
+func (m *bytesMemIO) ReadBytes(gpa uint64, n int) ([]byte, error) {
+	off := int(gpa - m.base)
+	if off < 0 || off+n > len(m.b) {
+		return nil, errOut(gpa, n)
+	}
+	out := make([]byte, n)
+	copy(out, m.b[off:])
+	return out, nil
+}
+
+func (m *bytesMemIO) WriteBytes(gpa uint64, b []byte) error {
+	off := int(gpa - m.base)
+	if off < 0 || off+len(b) > len(m.b) {
+		return errOut(gpa, len(b))
+	}
+	copy(m.b[off:], b)
+	return nil
+}
+
+func errOut(gpa uint64, n int) error {
+	return &OutOfWindowError{GPA: gpa, Len: n}
+}
+
+// OutOfWindowError reports a DMA attempt outside the device's reachable
+// guest memory (for CVMs: outside the shared window).
+type OutOfWindowError struct {
+	GPA uint64
+	Len int
+}
+
+// Error implements error.
+func (e *OutOfWindowError) Error() string {
+	return fmt.Sprintf("virtio: DMA outside reachable window: gpa=%#x len=%d", e.GPA, e.Len)
+}

@@ -1,0 +1,278 @@
+// Package virtio implements the virtio 1.0 split-ring transport and two
+// device back-ends (blk over a RAM disk, net with a loopback peer),
+// together with a virtio-mmio register frontend that plugs into the
+// hypervisor's device model.
+//
+// Ring structures live in guest memory as real bytes. For confidential
+// VMs the device's MemIO view resolves only the shared GPA window
+// (SWIOTLB territory) — exactly the reachability the paper's split page
+// table grants the hypervisor, so a driver that posted a private-memory
+// buffer address would fail here just as it would on ZION.
+package virtio
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MemIO is the device's view of guest memory. Implementations enforce
+// the platform's DMA policy (IOPMP + shared-window resolution).
+type MemIO interface {
+	ReadBytes(gpa uint64, n int) ([]byte, error)
+	WriteBytes(gpa uint64, b []byte) error
+}
+
+func readU16(m MemIO, gpa uint64) (uint16, error) {
+	b, err := m.ReadBytes(gpa, 2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func writeU16(m MemIO, gpa uint64, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return m.WriteBytes(gpa, b[:])
+}
+
+func writeU32(m MemIO, gpa uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return m.WriteBytes(gpa, b[:])
+}
+
+// Descriptor flags.
+const (
+	descFNext  = 1
+	descFWrite = 2
+)
+
+// desc is one ring descriptor (16 bytes in guest memory).
+type desc struct {
+	addr  uint64
+	len   uint32
+	flags uint16
+	next  uint16
+}
+
+// Queue is the device-side state of one split virtqueue.
+type Queue struct {
+	Size      uint16
+	DescGPA   uint64
+	AvailGPA  uint64
+	UsedGPA   uint64
+	Ready     bool
+	lastAvail uint16
+}
+
+// Chain is one popped descriptor chain: the guest-readable segments
+// (device input) and guest-writable segments (device output), in order.
+type Chain struct {
+	Head     uint16
+	ReadGPA  []segment
+	WriteGPA []segment
+}
+
+type segment struct {
+	GPA uint64
+	Len uint32
+}
+
+// ReadAll concatenates every readable segment.
+func (c *Chain) ReadAll(m MemIO) ([]byte, error) {
+	var out []byte
+	for _, s := range c.ReadGPA {
+		b, err := m.ReadBytes(s.GPA, int(s.Len))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// WriteAll scatters data across the writable segments and returns the
+// number of bytes written.
+func (c *Chain) WriteAll(m MemIO, data []byte) (uint32, error) {
+	written := uint32(0)
+	for _, s := range c.WriteGPA {
+		if len(data) == 0 {
+			break
+		}
+		n := int(s.Len)
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := m.WriteBytes(s.GPA, data[:n]); err != nil {
+			return written, err
+		}
+		data = data[n:]
+		written += uint32(n)
+	}
+	return written, nil
+}
+
+// WriteCap returns the total writable capacity of the chain.
+func (c *Chain) WriteCap() uint32 {
+	var n uint32
+	for _, s := range c.WriteGPA {
+		n += s.Len
+	}
+	return n
+}
+
+func (q *Queue) readDesc(m MemIO, i uint16) (desc, error) {
+	b, err := m.ReadBytes(q.DescGPA+uint64(i)*16, 16)
+	if err != nil {
+		return desc{}, err
+	}
+	return desc{
+		addr:  binary.LittleEndian.Uint64(b[0:8]),
+		len:   binary.LittleEndian.Uint32(b[8:12]),
+		flags: binary.LittleEndian.Uint16(b[12:14]),
+		next:  binary.LittleEndian.Uint16(b[14:16]),
+	}, nil
+}
+
+// Pop takes the next available chain, or ok=false when the ring is empty.
+func (q *Queue) Pop(m MemIO) (Chain, bool, error) {
+	if !q.Ready {
+		return Chain{}, false, nil
+	}
+	availIdx, err := readU16(m, q.AvailGPA+2)
+	if err != nil {
+		return Chain{}, false, err
+	}
+	if q.lastAvail == availIdx {
+		return Chain{}, false, nil
+	}
+	slot := q.lastAvail % q.Size
+	head, err := readU16(m, q.AvailGPA+4+uint64(slot)*2)
+	if err != nil {
+		return Chain{}, false, err
+	}
+	q.lastAvail++
+
+	ch := Chain{Head: head}
+	i := head
+	for hops := 0; ; hops++ {
+		if hops > int(q.Size) {
+			return Chain{}, false, fmt.Errorf("virtio: descriptor loop at %d", head)
+		}
+		d, err := q.readDesc(m, i)
+		if err != nil {
+			return Chain{}, false, err
+		}
+		seg := segment{GPA: d.addr, Len: d.len}
+		if d.flags&descFWrite != 0 {
+			ch.WriteGPA = append(ch.WriteGPA, seg)
+		} else {
+			if len(ch.WriteGPA) > 0 {
+				return Chain{}, false, fmt.Errorf("virtio: readable segment after writable in chain %d", head)
+			}
+			ch.ReadGPA = append(ch.ReadGPA, seg)
+		}
+		if d.flags&descFNext == 0 {
+			break
+		}
+		i = d.next
+	}
+	return ch, true, nil
+}
+
+// Push returns a completed chain to the used ring.
+func (q *Queue) Push(m MemIO, head uint16, written uint32) error {
+	usedIdx, err := readU16(m, q.UsedGPA+2)
+	if err != nil {
+		return err
+	}
+	slot := usedIdx % q.Size
+	base := q.UsedGPA + 4 + uint64(slot)*8
+	if err := writeU32(m, base, uint32(head)); err != nil {
+		return err
+	}
+	if err := writeU32(m, base+4, written); err != nil {
+		return err
+	}
+	return writeU16(m, q.UsedGPA+2, usedIdx+1)
+}
+
+// DriverView is the guest-driver half of the protocol, used by the Go
+// portions of the mini guest kernel (and by tests) to post buffers the
+// way a real driver would: write descriptors, publish in avail, advance
+// idx, then ring the doorbell.
+type DriverView struct {
+	Q       *Queue
+	M       MemIO
+	freeIdx uint16
+	avail   uint16
+	used    uint16
+}
+
+// NewDriverView wraps a queue from the driver side.
+func NewDriverView(q *Queue, m MemIO) *DriverView {
+	return &DriverView{Q: q, M: m}
+}
+
+// PostChain writes a descriptor chain and publishes it. segs alternate
+// (gpa, len, writable); it returns the head index.
+func (d *DriverView) PostChain(segs []DriverSeg) (uint16, error) {
+	if len(segs) == 0 {
+		return 0, fmt.Errorf("virtio: empty chain")
+	}
+	head := d.freeIdx
+	for i, s := range segs {
+		idx := (head + uint16(i)) % d.Q.Size
+		var flags uint16
+		if s.Writable {
+			flags |= descFWrite
+		}
+		next := uint16(0)
+		if i < len(segs)-1 {
+			flags |= descFNext
+			next = (idx + 1) % d.Q.Size
+		}
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[0:8], s.GPA)
+		binary.LittleEndian.PutUint32(b[8:12], s.Len)
+		binary.LittleEndian.PutUint16(b[12:14], flags)
+		binary.LittleEndian.PutUint16(b[14:16], next)
+		if err := d.M.WriteBytes(d.Q.DescGPA+uint64(idx)*16, b[:]); err != nil {
+			return 0, err
+		}
+	}
+	d.freeIdx = (head + uint16(len(segs))) % d.Q.Size
+	slot := d.avail % d.Q.Size
+	if err := writeU16(d.M, d.Q.AvailGPA+4+uint64(slot)*2, head); err != nil {
+		return 0, err
+	}
+	d.avail++
+	return head, writeU16(d.M, d.Q.AvailGPA+2, d.avail)
+}
+
+// DriverSeg describes one buffer in a chain being posted.
+type DriverSeg struct {
+	GPA      uint64
+	Len      uint32
+	Writable bool
+}
+
+// PollUsed returns the next completion, or ok=false when none is pending.
+func (d *DriverView) PollUsed() (head uint16, written uint32, ok bool, err error) {
+	idx, err := readU16(d.M, d.Q.UsedGPA+2)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if d.used == idx {
+		return 0, 0, false, nil
+	}
+	slot := d.used % d.Q.Size
+	base := d.Q.UsedGPA + 4 + uint64(slot)*8
+	b, err := d.M.ReadBytes(base, 8)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	d.used++
+	return uint16(binary.LittleEndian.Uint32(b[0:4])), binary.LittleEndian.Uint32(b[4:8]), true, nil
+}

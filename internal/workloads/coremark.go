@@ -1,0 +1,234 @@
+package workloads
+
+import "zion/internal/asm"
+
+// Coremark returns the CoreMark-like composite kernel (§V.D): each
+// iteration traverses a linked list, multiplies two 8x8 matrices, and
+// runs a byte-driven state machine — the three CoreMark workloads — with
+// a CRC-ish fold into s0. The benchmark harness converts cycles into a
+// score (iterations per megacycle) to mirror the paper's CoreMark table.
+func Coremark() Kernel {
+	return Kernel{
+		Name:         "coremark",
+		Build:        buildCoremark,
+		Mirror:       mirrorCoremark,
+		DefaultScale: 3600,
+		Warmup:       func(int) uint64 { return 0x3000 },
+	}
+}
+
+const (
+	cmNodes  = 64 // linked-list nodes
+	cmMatrix = 8  // matrix dimension
+)
+
+func buildCoremark(p *asm.Program, scale int) {
+	list := int64(dataBase) // nodes: [next u64, value u64]
+	matA := list + cmNodes*16 + 0x100
+	matB := matA + cmMatrix*cmMatrix*8
+	matC := matB + cmMatrix*cmMatrix*8
+	input := matC + cmMatrix*cmMatrix*8 // state-machine input bytes
+
+	// Build the list: node i at list+16i, next -> i+1, value = i*7+1;
+	// last node's next = 0.
+	p.LI(asm.T0, list)
+	p.LI(asm.T1, 0)
+	p.LI(asm.A0, cmNodes)
+	p.Label("cm_ld")
+	p.ADDI(asm.T2, asm.T0, 16)
+	p.SD(asm.T2, asm.T0, 0)
+	p.SLLI(asm.A1, asm.T1, 3)
+	p.SUB(asm.A1, asm.A1, asm.T1) // i*7
+	p.ADDI(asm.A1, asm.A1, 1)
+	p.SD(asm.A1, asm.T0, 8)
+	p.ADDI(asm.T0, asm.T0, 16)
+	p.ADDI(asm.T1, asm.T1, 1)
+	p.BNE(asm.T1, asm.A0, "cm_ld")
+	p.ADDI(asm.T0, asm.T0, -16)
+	p.SD(asm.Zero, asm.T0, 0) // terminate
+
+	// Matrices: A[i] = i+1, B[i] = 2i+3 (flattened).
+	p.LI(asm.T0, matA)
+	p.LI(asm.T1, matB)
+	p.LI(asm.T2, 0)
+	p.LI(asm.A0, cmMatrix*cmMatrix)
+	p.Label("cm_mi")
+	p.ADDI(asm.A1, asm.T2, 1)
+	p.SD(asm.A1, asm.T0, 0)
+	p.SLLI(asm.A1, asm.T2, 1)
+	p.ADDI(asm.A1, asm.A1, 3)
+	p.SD(asm.A1, asm.T1, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 8)
+	p.ADDI(asm.T2, asm.T2, 1)
+	p.BNE(asm.T2, asm.A0, "cm_mi")
+
+	// State-machine input: 64 bytes from an LCG.
+	p.LI(asm.T0, input)
+	p.LI(asm.T1, 64)
+	p.LI(asm.T2, 12345)
+	p.Label("cm_in")
+	p.LI(asm.A0, 1103515245)
+	p.MUL(asm.T2, asm.T2, asm.A0)
+	p.LI(asm.A0, 12345)
+	p.ADD(asm.T2, asm.T2, asm.A0)
+	p.SRLI(asm.A1, asm.T2, 16)
+	p.ANDI(asm.A1, asm.A1, 255)
+	p.SB(asm.A1, asm.T0, 0)
+	p.ADDI(asm.T0, asm.T0, 1)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "cm_in")
+
+	p.LI(asm.S0, 0)
+	p.LI(asm.S2, int64(scale)) // iteration counter
+	p.Label("cm_iter")
+
+	// 1. List traversal: sum values.
+	p.LI(asm.T0, list)
+	p.LI(asm.A0, 0)
+	p.Label("cm_walk")
+	p.LD(asm.A1, asm.T0, 8)
+	p.ADD(asm.A0, asm.A0, asm.A1)
+	p.LD(asm.T0, asm.T0, 0)
+	p.BNE(asm.T0, asm.Zero, "cm_walk")
+	p.XOR(asm.S0, asm.S0, asm.A0)
+
+	// 2. Matrix multiply C = A*B; fold trace(C).
+	p.LI(asm.A6, 0) // i
+	p.Label("cm_i")
+	p.LI(asm.A7, 0) // j
+	p.Label("cm_j")
+	p.LI(asm.A0, 0) // acc
+	p.LI(asm.A1, 0) // k
+	p.Label("cm_k")
+	// A[i*8+k]
+	p.SLLI(asm.T0, asm.A6, 3)
+	p.ADD(asm.T0, asm.T0, asm.A1)
+	p.SLLI(asm.T0, asm.T0, 3)
+	p.LI(asm.T1, matA)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LD(asm.T2, asm.T0, 0)
+	// B[k*8+j]
+	p.SLLI(asm.T0, asm.A1, 3)
+	p.ADD(asm.T0, asm.T0, asm.A7)
+	p.SLLI(asm.T0, asm.T0, 3)
+	p.LI(asm.T1, matB)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LD(asm.T4, asm.T0, 0)
+	p.MUL(asm.T2, asm.T2, asm.T4)
+	p.ADD(asm.A0, asm.A0, asm.T2)
+	p.ADDI(asm.A1, asm.A1, 1)
+	p.LI(asm.T0, cmMatrix)
+	p.BNE(asm.A1, asm.T0, "cm_k")
+	// C[i*8+j] = acc
+	p.SLLI(asm.T0, asm.A6, 3)
+	p.ADD(asm.T0, asm.T0, asm.A7)
+	p.SLLI(asm.T0, asm.T0, 3)
+	p.LI(asm.T1, matC)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.SD(asm.A0, asm.T0, 0)
+	p.ADDI(asm.A7, asm.A7, 1)
+	p.LI(asm.T0, cmMatrix)
+	p.BNE(asm.A7, asm.T0, "cm_j")
+	p.ADDI(asm.A6, asm.A6, 1)
+	p.LI(asm.T0, cmMatrix)
+	p.BNE(asm.A6, asm.T0, "cm_i")
+	// trace
+	p.LI(asm.A0, 0)
+	p.LI(asm.A1, 0)
+	p.Label("cm_tr")
+	p.SLLI(asm.T0, asm.A1, 3)
+	p.ADD(asm.T0, asm.T0, asm.A1)
+	p.SLLI(asm.T0, asm.T0, 3)
+	p.LI(asm.T1, matC)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LD(asm.T2, asm.T0, 0)
+	p.ADD(asm.A0, asm.A0, asm.T2)
+	p.ADDI(asm.A1, asm.A1, 1)
+	p.LI(asm.T0, cmMatrix)
+	p.BNE(asm.A1, asm.T0, "cm_tr")
+	p.XOR(asm.S0, asm.S0, asm.A0)
+
+	// 3. State machine over the input bytes: states 0..3, transitions on
+	// byte classes (b&3), accumulating state visits.
+	p.LI(asm.T0, input)
+	p.LI(asm.T1, 64)
+	p.LI(asm.A0, 0) // state
+	p.LI(asm.A1, 0) // visit accumulator
+	p.Label("cm_sm")
+	p.LBU(asm.A2, asm.T0, 0)
+	p.ANDI(asm.A2, asm.A2, 3)
+	p.ADD(asm.A0, asm.A0, asm.A2)
+	p.ANDI(asm.A0, asm.A0, 3)
+	p.SLLI(asm.A3, asm.A1, 2)
+	p.ADD(asm.A1, asm.A3, asm.A0)
+	p.ADDI(asm.T0, asm.T0, 1)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "cm_sm")
+	p.XOR(asm.S0, asm.S0, asm.A1)
+
+	// CRC-ish fold per iteration: s0 = rotr(s0, 3) + iter.
+	rotr(p, asm.S0, asm.S0, asm.T2, 3)
+	p.ADD(asm.S0, asm.S0, asm.S2)
+	p.ADDI(asm.S2, asm.S2, -1)
+	p.BNE(asm.S2, asm.Zero, "cm_iter")
+}
+
+func mirrorCoremark(scale int) uint64 {
+	type node struct {
+		next  int
+		value uint64
+	}
+	nodes := make([]node, cmNodes)
+	for i := range nodes {
+		nodes[i] = node{next: i + 1, value: uint64(i)*7 + 1}
+	}
+	nodes[cmNodes-1].next = -1
+
+	var A, B, C [cmMatrix * cmMatrix]uint64
+	for i := range A {
+		A[i] = uint64(i) + 1
+		B[i] = uint64(i)*2 + 3
+	}
+	input := make([]byte, 64)
+	x := uint64(12345)
+	for i := range input {
+		x = x*1103515245 + 12345
+		input[i] = byte(x >> 16)
+	}
+	rr := func(v uint64, r uint) uint64 { return v>>r | v<<(64-r) }
+
+	var sum uint64
+	for it := uint64(scale); it != 0; it-- {
+		var lsum uint64
+		for i := 0; i != -1; i = nodes[i].next {
+			lsum += nodes[i].value
+		}
+		sum ^= lsum
+
+		for i := 0; i < cmMatrix; i++ {
+			for j := 0; j < cmMatrix; j++ {
+				var acc uint64
+				for k := 0; k < cmMatrix; k++ {
+					acc += A[i*cmMatrix+k] * B[k*cmMatrix+j]
+				}
+				C[i*cmMatrix+j] = acc
+			}
+		}
+		var tr uint64
+		for i := 0; i < cmMatrix; i++ {
+			tr += C[i*cmMatrix+i]
+		}
+		sum ^= tr
+
+		state, visits := uint64(0), uint64(0)
+		for _, b := range input {
+			state = (state + uint64(b&3)) & 3
+			visits = visits<<2 + state
+		}
+		sum ^= visits
+
+		sum = rr(sum, 3) + it
+	}
+	return sum
+}

@@ -1,0 +1,15 @@
+package workloads
+
+import "testing"
+
+func TestCoremarkMatchesMirror(t *testing.T) {
+	k := Coremark()
+	got := runBare(t, k, 40)
+	want := k.Mirror(40)
+	if got != want {
+		t.Errorf("coremark: interpreted %#x, mirror %#x", got, want)
+	}
+	if k.Mirror(40) == k.Mirror(20) {
+		t.Error("coremark mirror not scale-sensitive")
+	}
+}

@@ -1,0 +1,213 @@
+package workloads
+
+import (
+	"testing"
+
+	"zion/internal/guest"
+	"zion/internal/hart"
+	"zion/internal/hv"
+	"zion/internal/isa"
+	"zion/internal/platform"
+	"zion/internal/sm"
+)
+
+func newStack(t *testing.T) (*hv.Hypervisor, *hart.Hart) {
+	t.Helper()
+	m := platform.New(1, 256<<20)
+	monitor := sm.New(m, sm.Config{})
+	k := hv.New(m, monitor, platform.RAMBase+0x0100_0000, 0x0700_0000)
+	h := m.Harts[0]
+	h.Mode = isa.ModeS
+	if err := k.RegisterSecurePool(h, 16<<20); err != nil {
+		t.Fatal(err)
+	}
+	return k, h
+}
+
+// redisHarness drives the KV server program in a CVM.
+type redisHarness struct {
+	t    *testing.T
+	k    *hv.Hypervisor
+	h    *hart.Hart
+	vm   *hv.VM
+	net  interface{ Inject([]byte) error }
+	resp []byte
+}
+
+func newRedisHarness(t *testing.T) *redisHarness {
+	t.Helper()
+	k, h := newStack(t)
+	l := guest.LayoutFor(true)
+	vm, err := k.CreateCVM(h, "redis", RedisServerProgram(l), GuestBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetupSharedWindow(h, vm); err != nil {
+		t.Fatal(err)
+	}
+	n := guest.SetupNet(k, vm, h)
+	rh := &redisHarness{t: t, k: k, h: h, vm: vm, net: n}
+	n.Tap = func(f []byte) { rh.resp = append([]byte(nil), f...) }
+	// Boot until the server parks awaiting the first request.
+	if _, err := k.RunCVM(h, vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	return rh
+}
+
+func (rh *redisHarness) do(op RedisOp, key, val uint64) (byte, uint64) {
+	rh.t.Helper()
+	rh.resp = nil
+	if err := rh.net.Inject(EncodeRedisRequest(op, key, val)); err != nil {
+		rh.t.Fatal(err)
+	}
+	for i := 0; rh.resp == nil; i++ {
+		if i > 100 {
+			rh.t.Fatal("no response after 100 scheduling rounds")
+		}
+		if _, err := rh.k.RunCVM(rh.h, rh.vm, 0); err != nil {
+			rh.t.Fatal(err)
+		}
+	}
+	status, value, ok := DecodeRedisResponse(rh.resp)
+	if !ok {
+		rh.t.Fatalf("short response: %v", rh.resp)
+	}
+	return status, value
+}
+
+func TestRedisServerSemantics(t *testing.T) {
+	rh := newRedisHarness(t)
+
+	// GET of a missing key fails.
+	if st, _ := rh.do(OpGET, 42, 0); st != 1 {
+		t.Errorf("GET missing: status %d", st)
+	}
+	// SET then GET round-trips.
+	if st, _ := rh.do(OpSET, 42, 777); st != 0 {
+		t.Errorf("SET: status %d", st)
+	}
+	if st, v := rh.do(OpGET, 42, 0); st != 0 || v != 777 {
+		t.Errorf("GET: status %d value %d", st, v)
+	}
+	// INCR increments in place.
+	if st, v := rh.do(OpINCR, 42, 0); st != 0 || v != 778 {
+		t.Errorf("INCR: status %d value %d", st, v)
+	}
+	if _, v := rh.do(OpGET, 42, 0); v != 778 {
+		t.Errorf("GET after INCR: %d", v)
+	}
+	// EXISTS distinguishes present/absent.
+	if _, v := rh.do(OpEXISTS, 42, 0); v != 1 {
+		t.Error("EXISTS on present key should report 1")
+	}
+	if _, v := rh.do(OpEXISTS, 4242, 0); v != 0 {
+		t.Error("EXISTS on absent key should report 0")
+	}
+	// SADD only creates; second add reports 0.
+	if st, _ := rh.do(OpSADD, 99, 5); st != 0 {
+		t.Error("SADD create failed")
+	}
+	if _, v := rh.do(OpSADD, 99, 6); v != 0 {
+		t.Error("SADD on existing member should report 0")
+	}
+	// LPUSH grows the stored length.
+	rh.do(OpSET, 7, 0)
+	if _, v := rh.do(OpLPUSH, 7, 100); v != 1 {
+		t.Errorf("first LPUSH length = %d", v)
+	}
+	if _, v := rh.do(OpLPUSH, 7, 200); v != 2 {
+		t.Errorf("second LPUSH length = %d", v)
+	}
+	// Colliding keys still resolve via linear probing (same bucket class).
+	for i := uint64(0); i < 20; i++ {
+		rh.do(OpSET, 1000+i, 5000+i)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if _, v := rh.do(OpGET, 1000+i, 0); v != 5000+i {
+			t.Fatalf("probe chain broken at key %d: %d", 1000+i, v)
+		}
+	}
+}
+
+func TestIOZoneProgramCVM(t *testing.T) {
+	k, h := newStack(t)
+	l := guest.LayoutFor(true)
+	prm := IOZoneParams{FileBytes: 256 << 10, RecBytes: 2 << 10}
+	vm, err := k.CreateCVM(h, "iozone", IOZoneProgram(l, prm), GuestBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetupSharedWindow(h, vm); err != nil {
+		t.Fatal(err)
+	}
+	blk := guest.SetupBlk(k, vm, h, 8<<20)
+	info, err := k.RunCVM(h, vm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Reason != sm.ExitShutdown {
+		t.Fatalf("reason = %v (dev err %v)", info.Reason, blk.Dev().LastErr)
+	}
+	if info.Data == 0 {
+		t.Error("no self-measured cycles reported")
+	}
+	// 256 KiB file with a 64 KiB cache: whole file streams out and back.
+	wantIOs := uint64(256<<10) / FlushChunk
+	if blk.Writes != wantIOs {
+		t.Errorf("device writes = %d, want %d", blk.Writes, wantIOs)
+	}
+	if blk.Reads != wantIOs {
+		t.Errorf("device reads = %d, want %d", blk.Reads, wantIOs)
+	}
+	if blk.BytesW != 256<<10 {
+		t.Errorf("bytes written = %d", blk.BytesW)
+	}
+}
+
+func TestIOZoneCachedFileDoesNoDeviceIO(t *testing.T) {
+	k, h := newStack(t)
+	l := guest.LayoutFor(true)
+	prm := IOZoneParams{FileBytes: 16 << 10, RecBytes: 2 << 10} // fits the cache
+	vm, err := k.CreateCVM(h, "ioz-small", IOZoneProgram(l, prm), GuestBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetupSharedWindow(h, vm); err != nil {
+		t.Fatal(err)
+	}
+	blk := guest.SetupBlk(k, vm, h, 8<<20)
+	info, err := k.RunCVM(h, vm, 0)
+	if err != nil || info.Reason != sm.ExitShutdown {
+		t.Fatalf("reason=%v err=%v", info.Reason, err)
+	}
+	if blk.Writes != 0 || blk.Reads != 0 {
+		t.Errorf("cache-resident file touched the device: %d writes %d reads",
+			blk.Writes, blk.Reads)
+	}
+}
+
+func TestIOZoneParamValidation(t *testing.T) {
+	l := guest.LayoutFor(true)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad params")
+		}
+	}()
+	IOZoneProgram(l, IOZoneParams{FileBytes: 1000, RecBytes: 3})
+}
+
+func TestIOZoneSweepShape(t *testing.T) {
+	sweep := IOZoneSweep()
+	if len(sweep) < 12 {
+		t.Fatalf("sweep too small: %d cells", len(sweep))
+	}
+	for _, c := range sweep {
+		if c.FileBytes < c.RecBytes {
+			t.Errorf("cell %+v: file smaller than record", c)
+		}
+		if c.FileBytes%c.RecBytes != 0 {
+			t.Errorf("cell %+v: file not a record multiple", c)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package workloads
+
+import (
+	"fmt"
+
+	"zion/internal/asm"
+	"zion/internal/guest"
+	"zion/internal/isa"
+	"zion/internal/sm"
+)
+
+// The IOZone-like benchmark (Fig. 4): sequential file write then read
+// across a sweep of file sizes and record sizes, through a small guest
+// "filesystem" with a write-back page cache:
+//
+//   - every record is copied between the application buffer (private
+//     guest RAM) and the cache / SWIOTLB bounce buffer — the per-record
+//     cost that makes small records slow;
+//   - the cache absorbs up to CacheBytes of the file; beyond that, dirty
+//     data streams to the virtio-blk device in FlushChunk units — the
+//     per-I/O exits whose cost separates CVMs from normal VMs as files
+//     grow.
+//
+// The simulator runs a 1:256 scale model of the paper's sweep
+// (64 KiB–512 MiB files become 256 B–2 MiB) so a full sweep stays
+// interpretable; EXPERIMENTS.md documents the scaling.
+
+// IOZoneParams configures one cell of the sweep.
+type IOZoneParams struct {
+	FileBytes uint64
+	RecBytes  uint64
+}
+
+// IOZone guest filesystem geometry.
+const (
+	// CacheBytes is the guest page-cache capacity (scaled).
+	CacheBytes = 64 << 10
+	// FlushChunk is the device I/O unit the cache flushes in.
+	FlushChunk = 16 << 10
+
+	iozAppBuf = dataBase             // application buffer (private RAM)
+	iozCache  = dataBase + 0x40_0000 // guest page cache (private RAM)
+)
+
+// IOZoneProgram emits the guest program for one sweep cell: sequential
+// write of the whole file, then sequential read, then shutdown with a
+// data checksum in s0 and the record count in s1.
+func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
+	if prm.RecBytes%8 != 0 || prm.FileBytes%prm.RecBytes != 0 {
+		panic(fmt.Sprintf("iozone: bad params %+v", prm))
+	}
+	p := asm.New(GuestBase)
+	guest.EmitDriverInit(p)
+	records := prm.FileBytes / prm.RecBytes
+
+	// Warm-up: touch the ring pages, the bounce buffer, the cache and the
+	// application buffer so the timed window measures steady-state I/O,
+	// not first-touch faults (SWIOTLB and the page cache are set up at
+	// boot on a real guest).
+	touch := func(base, n int64) {
+		tag := fmt.Sprintf("wu_%d", p.PC())
+		p.LI(asm.T0, base)
+		p.LI(asm.T1, (n+4095)/4096)
+		p.Label(tag)
+		p.SD(asm.Zero, asm.T0, 0)
+		p.LI(asm.T2, 4096)
+		p.ADD(asm.T0, asm.T0, asm.T2)
+		p.ADDI(asm.T1, asm.T1, -1)
+		p.BNE(asm.T1, asm.Zero, tag)
+	}
+	touch(int64(l.Base), 0x8000)
+	touch(int64(l.Bounce), FlushChunk)
+	touch(int64(iozCache), CacheBytes)
+	touch(int64(iozAppBuf), int64(prm.RecBytes))
+
+	// Fill the application buffer (one record's worth) with a pattern.
+	p.LI(asm.T0, int64(iozAppBuf))
+	p.LI(asm.T1, int64(prm.RecBytes/8))
+	p.LIU(asm.T2, 0xF11E0000F11E0000)
+	p.Label("io_fill")
+	p.SD(asm.T2, asm.T0, 0)
+	p.ADDI(asm.T2, asm.T2, 1)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "io_fill")
+
+	p.LI(asm.S0, 0)              // checksum
+	p.LI(asm.S1, int64(records)) // record count (result)
+	p.CSRR(asm.S7, isa.CSRCycle) // timed window opens
+
+	// ---- Sequential write phase -----------------------------------------
+	// S2 = record index, S3 = bytes in cache (dirty), S4 = file offset of
+	// the next device flush (sector units handled below).
+	p.LI(asm.S2, 0)
+	p.LI(asm.S3, 0)
+	p.LI(asm.S4, 0)
+	p.Label("iow_rec")
+	emitSyscallOverhead(p)
+	// memcpy(app -> cache + (off % CacheBytes)): the write() syscall body.
+	p.LI(asm.T0, int64(iozAppBuf))
+	p.MV(asm.T1, asm.S3)
+	p.LI(asm.T2, CacheBytes-1)
+	p.AND(asm.T1, asm.T1, asm.T2)
+	p.LI(asm.T2, int64(iozCache))
+	p.ADD(asm.T1, asm.T1, asm.T2)
+	p.LI(asm.T2, int64(prm.RecBytes/8))
+	p.Label("iow_cp")
+	p.LD(asm.A0, asm.T0, 0)
+	p.SD(asm.A0, asm.T1, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 8)
+	p.ADDI(asm.T2, asm.T2, -1)
+	p.BNE(asm.T2, asm.Zero, "iow_cp")
+	p.LI(asm.T0, int64(prm.RecBytes))
+	p.ADD(asm.S3, asm.S3, asm.T0)
+
+	// Dirty high-water: flush FlushChunk to the device when exceeded.
+	p.LI(asm.T0, CacheBytes)
+	p.BLT(asm.S3, asm.T0, "iow_next")
+	emitFlushChunk(p, l, prm)
+	p.Label("iow_next")
+	p.ADDI(asm.S2, asm.S2, 1)
+	p.LI(asm.T0, int64(records))
+	p.BNE(asm.S2, asm.T0, "iow_rec")
+
+	// Final flush of remaining dirty data — only for files that exceed the
+	// cache. A cache-resident file is never written back inside the timed
+	// window, exactly like IOZone without O_SYNC.
+	if prm.FileBytes > CacheBytes {
+		p.Label("iow_drain")
+		p.BEQ(asm.S3, asm.Zero, "ior_start")
+		emitFlushChunk(p, l, prm)
+		p.J("iow_drain")
+	}
+
+	// ---- Sequential read phase -------------------------------------------
+	// Files within the cache are read back from it; larger files stream
+	// from the device in FlushChunk units, then records are copied out.
+	p.Label("ior_start")
+	p.LI(asm.S2, 0) // record index
+	p.LI(asm.S3, 0) // bytes available in cache
+	p.LI(asm.S4, 0) // device read offset (bytes)
+	cached := prm.FileBytes <= CacheBytes
+	p.Label("ior_rec")
+	emitSyscallOverhead(p)
+	if !cached {
+		// Refill when the cache window is empty.
+		p.BNE(asm.S3, asm.Zero, "ior_copy")
+		emitDeviceRead(p, l)
+		p.LI(asm.T0, FlushChunk)
+		p.ADD(asm.S3, asm.S3, asm.T0)
+		p.Label("ior_copy")
+	}
+	// memcpy(cache -> app), folding a checksum: the read() syscall body.
+	p.MV(asm.T0, asm.S2)
+	p.LI(asm.T1, int64(prm.RecBytes))
+	p.MUL(asm.T0, asm.T0, asm.T1)
+	p.LI(asm.T1, CacheBytes-1)
+	p.AND(asm.T0, asm.T0, asm.T1)
+	p.LI(asm.T1, int64(iozCache))
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LI(asm.T1, int64(iozAppBuf))
+	p.LI(asm.T2, int64(prm.RecBytes/8))
+	p.Label("ior_cp")
+	p.LD(asm.A0, asm.T0, 0)
+	p.SD(asm.A0, asm.T1, 0)
+	p.XOR(asm.S0, asm.S0, asm.A0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 8)
+	p.ADDI(asm.T2, asm.T2, -1)
+	p.BNE(asm.T2, asm.Zero, "ior_cp")
+	if !cached {
+		p.LI(asm.T0, int64(prm.RecBytes))
+		p.SUB(asm.S3, asm.S3, asm.T0)
+	}
+	p.ADDI(asm.S2, asm.S2, 1)
+	p.LI(asm.T0, int64(records))
+	p.BNE(asm.S2, asm.T0, "ior_rec")
+
+	p.CSRR(asm.T0, isa.CSRCycle) // timed window closes
+	p.SUB(asm.S7, asm.T0, asm.S7)
+	p.MV(asm.A0, asm.S7)
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+	return p.MustAssemble()
+}
+
+// emitSyscallOverhead stands in for the guest kernel's per-read()/write()
+// path length (entry, fd lookup, locking) — the cost that makes small
+// record sizes slower, CVM or not.
+func emitSyscallOverhead(p *asm.Program) {
+	tag := fmt.Sprintf("sc_%d", p.PC())
+	p.LI(asm.T0, 150)
+	p.Label(tag)
+	p.ADDI(asm.T0, asm.T0, -1)
+	p.BNE(asm.T0, asm.Zero, tag)
+}
+
+// emitFlushChunk writes one FlushChunk from the cache through the bounce
+// buffer to the device and decrements the dirty counter (S3). The device
+// offset advances in S4.
+func emitFlushChunk(p *asm.Program, l guest.DMALayout, prm IOZoneParams) {
+	tag := fmt.Sprintf("fl_%d", p.PC())
+	// SWIOTLB: memcpy(cache window -> bounce).
+	p.LI(asm.T0, int64(iozCache))
+	p.LI(asm.T1, int64(l.Bounce))
+	p.LI(asm.T2, FlushChunk/8)
+	p.Label(tag + "_cp")
+	p.LD(asm.A0, asm.T0, 0)
+	p.SD(asm.A0, asm.T1, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 8)
+	p.ADDI(asm.T2, asm.T2, -1)
+	p.BNE(asm.T2, asm.Zero, tag+"_cp")
+	// Device write of the chunk at sector S4/512.
+	p.LI(guest.RegBuf, int64(l.Bounce))
+	p.LI(guest.RegLen, FlushChunk)
+	p.SRLI(guest.RegSector, asm.S4, 9)
+	guest.EmitBlkIO(p, l, true)
+	p.LI(asm.T0, FlushChunk)
+	p.ADD(asm.S4, asm.S4, asm.T0)
+	// Dirty bytes drop (floor at zero for the drain loop).
+	p.LI(asm.T0, FlushChunk)
+	p.SUB(asm.S3, asm.S3, asm.T0)
+	p.BGE(asm.S3, asm.Zero, tag+"_ok")
+	p.LI(asm.S3, 0)
+	p.Label(tag + "_ok")
+}
+
+// emitDeviceRead reads one FlushChunk from the device into the bounce
+// buffer and copies it into the cache (readahead refill).
+func emitDeviceRead(p *asm.Program, l guest.DMALayout) {
+	tag := fmt.Sprintf("rd_%d", p.PC())
+	p.LI(guest.RegBuf, int64(l.Bounce))
+	p.LI(guest.RegLen, FlushChunk)
+	p.SRLI(guest.RegSector, asm.S4, 9)
+	guest.EmitBlkIO(p, l, false)
+	p.LI(asm.T0, FlushChunk)
+	p.ADD(asm.S4, asm.S4, asm.T0)
+	// memcpy(bounce -> cache).
+	p.LI(asm.T0, int64(l.Bounce))
+	p.LI(asm.T1, int64(iozCache))
+	p.LI(asm.T2, FlushChunk/8)
+	p.Label(tag + "_cp")
+	p.LD(asm.A0, asm.T0, 0)
+	p.SD(asm.A0, asm.T1, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 8)
+	p.ADDI(asm.T2, asm.T2, -1)
+	p.BNE(asm.T2, asm.Zero, tag+"_cp")
+}
+
+// IOZoneSweep returns the scaled sweep grid: file sizes 256 B–2 MiB
+// (paper: 64 KiB–512 MiB at 256x) × record sizes 512 B/2 KiB/8 KiB
+// (paper: 8/128/512 KiB, same spirit at the reduced scale).
+func IOZoneSweep() []IOZoneParams {
+	var out []IOZoneParams
+	for _, rec := range []uint64{512, 2 << 10, 8 << 10} {
+		for file := uint64(4 << 10); file <= 4<<20; file *= 4 {
+			if file < rec {
+				continue
+			}
+			out = append(out, IOZoneParams{FileBytes: file, RecBytes: rec})
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package workloads
+
+import (
+	"encoding/binary"
+
+	"zion/internal/asm"
+	"zion/internal/guest"
+	"zion/internal/sm"
+	"zion/internal/virtio"
+)
+
+// The Redis-like benchmark (Fig. 3): an in-guest key-value server spoken
+// to over virtio-net. The host plays redis-benchmark: it injects fixed-
+// format requests and measures per-operation latency and throughput in
+// simulated cycles. The guest runs a real open-addressing hash table in
+// its (private) RAM plus a protocol-processing loop standing in for the
+// network-stack path length a Linux guest spends per request.
+//
+// Wire format (single frame per request/response):
+//
+//	request:  op u8 | pad[7] | key u64 | value u64      (24 bytes)
+//	response: status u8 | pad[7] | value u64            (16 bytes)
+type RedisOp = byte
+
+// Operations, mirroring the redis-benchmark command mix of Fig. 3.
+const (
+	OpSET    RedisOp = 1 // store key -> value
+	OpGET    RedisOp = 2 // load key
+	OpINCR   RedisOp = 3 // increment stored value
+	OpLPUSH  RedisOp = 4 // append value to the key's list area
+	OpSADD   RedisOp = 5 // set-if-absent
+	OpEXISTS RedisOp = 6 // membership probe
+)
+
+// Hash-table geometry in guest memory.
+const (
+	rdBuckets   = 1024 // power of two (mask must fit an ANDI immediate)
+	rdEntrySize = 16   // key u64, value u64 (key 0 = empty)
+	rdTableGPA  = dataBase
+	rdListGPA   = dataBase + rdBuckets*rdEntrySize + 0x1000
+)
+
+// StackWork is the per-request protocol-processing loop count standing in
+// for the guest network stack; see EXPERIMENTS.md for calibration.
+const StackWork = 30000
+
+// RedisServerProgram builds the guest KV server. It loops forever:
+// post RX buffer, wait (wfi), parse, execute against the hash table,
+// respond via TX.
+func RedisServerProgram(l guest.DMALayout) []byte {
+	p := asm.New(GuestBase)
+	guest.EmitDriverInit(p)
+
+	rxBuf := int64(l.Bounce)
+	txBuf := int64(l.Bounce) + 0x1000
+
+	p.Label("rd_loop")
+	// Post the RX buffer and wait for a request.
+	p.LI(guest.RegBuf, rxBuf)
+	p.LI(guest.RegLen, 64)
+	guest.EmitNetRXPost(p, l)
+	guest.EmitNetRXWait(p, l)
+
+	// Protocol-processing stand-in: checksum over the frame plus header
+	// bookkeeping, StackWork iterations.
+	p.LI(asm.T0, rxBuf)
+	p.LI(asm.T1, StackWork)
+	p.LI(asm.A5, 0)
+	p.Label("rd_stack")
+	p.ANDI(asm.T2, asm.T1, 56)
+	p.ADD(asm.T2, asm.T2, asm.T0)
+	p.LD(asm.A0, asm.T2, 0)
+	p.ADD(asm.A5, asm.A5, asm.A0)
+	rotr(p, asm.A5, asm.A5, asm.T2, 9)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "rd_stack")
+
+	// Parse request (payload starts after the 12-byte virtio-net header).
+	hdr := int64(virtio.NetHdrLen)
+	p.LI(asm.T0, rxBuf)
+	p.LBU(asm.S2, asm.T0, hdr+0) // op
+	p.LD(asm.S3, asm.T0, hdr+8)  // key
+	p.LD(asm.S4, asm.T0, hdr+16) // value
+
+	// bucket = (key * fib) >> 52 & (buckets-1); linear probe.
+	p.LIU(asm.T1, 0x9E3779B97F4A7C15)
+	p.MUL(asm.T1, asm.S3, asm.T1)
+	p.SRLI(asm.T1, asm.T1, 52)
+	p.ANDI(asm.T1, asm.T1, rdBuckets-1)
+
+	// Probe loop: S5 = slot index, T2 = entry address.
+	p.MV(asm.S5, asm.T1)
+	p.Label("rd_probe")
+	p.SLLI(asm.T2, asm.S5, 4)
+	p.LI(asm.T0, int64(rdTableGPA))
+	p.ADD(asm.T2, asm.T2, asm.T0)
+	p.LD(asm.A0, asm.T2, 0) // slot key
+	p.BEQ(asm.A0, asm.S3, "rd_found")
+	p.BEQ(asm.A0, asm.Zero, "rd_empty")
+	p.ADDI(asm.S5, asm.S5, 1)
+	p.ANDI(asm.S5, asm.S5, rdBuckets-1)
+	p.J("rd_probe")
+
+	// Dispatch with the slot state in hand. A1 = status, A2 = result.
+	p.Label("rd_found") // key present at T2
+	p.LI(asm.A1, 0)
+	p.LI(asm.T0, int64(OpGET))
+	p.BEQ(asm.S2, asm.T0, "rd_get")
+	p.LI(asm.T0, int64(OpSET))
+	p.BEQ(asm.S2, asm.T0, "rd_set")
+	p.LI(asm.T0, int64(OpINCR))
+	p.BEQ(asm.S2, asm.T0, "rd_incr")
+	p.LI(asm.T0, int64(OpLPUSH))
+	p.BEQ(asm.S2, asm.T0, "rd_lpush")
+	p.LI(asm.T0, int64(OpSADD))
+	p.BEQ(asm.S2, asm.T0, "rd_exists") // SADD on existing = report 0
+	p.LI(asm.T0, int64(OpEXISTS))
+	p.BEQ(asm.S2, asm.T0, "rd_exists1")
+	p.J("rd_badop")
+
+	p.Label("rd_empty") // key absent, empty slot at T2
+	p.LI(asm.A1, 0)
+	p.LI(asm.T0, int64(OpSET))
+	p.BEQ(asm.S2, asm.T0, "rd_set")
+	p.LI(asm.T0, int64(OpSADD))
+	p.BEQ(asm.S2, asm.T0, "rd_set")
+	p.LI(asm.T0, int64(OpLPUSH))
+	p.BEQ(asm.S2, asm.T0, "rd_set") // first push creates the key
+	p.LI(asm.T0, int64(OpEXISTS))
+	p.BEQ(asm.S2, asm.T0, "rd_exists")
+	// GET/INCR on a missing key: status 1.
+	p.LI(asm.A1, 1)
+	p.LI(asm.A2, 0)
+	p.J("rd_respond")
+
+	p.Label("rd_get")
+	p.LD(asm.A2, asm.T2, 8)
+	p.J("rd_respond")
+
+	p.Label("rd_set")
+	p.SD(asm.S3, asm.T2, 0)
+	p.SD(asm.S4, asm.T2, 8)
+	p.MV(asm.A2, asm.S4)
+	p.J("rd_respond")
+
+	p.Label("rd_incr")
+	p.LD(asm.A2, asm.T2, 8)
+	p.ADDI(asm.A2, asm.A2, 1)
+	p.SD(asm.A2, asm.T2, 8)
+	p.J("rd_respond")
+
+	p.Label("rd_lpush")
+	// Append value into the list area at rdListGPA[slot*64 + (len&7)*8],
+	// bump the stored value as the list length.
+	p.LD(asm.A2, asm.T2, 8) // current length
+	p.SLLI(asm.A0, asm.S5, 6)
+	p.ANDI(asm.A3, asm.A2, 7)
+	p.SLLI(asm.A3, asm.A3, 3)
+	p.ADD(asm.A0, asm.A0, asm.A3)
+	p.LI(asm.T0, int64(rdListGPA))
+	p.ADD(asm.A0, asm.A0, asm.T0)
+	p.SD(asm.S4, asm.A0, 0)
+	p.ADDI(asm.A2, asm.A2, 1)
+	p.SD(asm.A2, asm.T2, 8)
+	p.J("rd_respond")
+
+	p.Label("rd_exists")
+	p.LI(asm.A2, 0)
+	p.J("rd_respond")
+	p.Label("rd_exists1")
+	p.LI(asm.A2, 1)
+	p.J("rd_respond")
+
+	p.Label("rd_badop")
+	p.LI(asm.A1, 2)
+	p.LI(asm.A2, 0)
+
+	// Respond: status + value, then TX (12-byte virtio-net header first).
+	p.Label("rd_respond")
+	p.LI(asm.T0, txBuf)
+	p.SD(asm.Zero, asm.T0, 0) // header
+	p.SB(asm.A1, asm.T0, hdr+0)
+	p.SD(asm.A2, asm.T0, hdr+8)
+	p.XOR(asm.A5, asm.A5, asm.A2) // keep the stack checksum live
+	p.LI(guest.RegBuf, txBuf)
+	p.LI(guest.RegLen, hdr+16)
+	guest.EmitNetTX(p, l)
+	p.J("rd_loop")
+
+	// Unreachable shutdown keeps the image well-formed.
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+	return p.MustAssemble()
+}
+
+// EncodeRedisRequest builds a request frame payload.
+func EncodeRedisRequest(op RedisOp, key, value uint64) []byte {
+	b := make([]byte, 24)
+	b[0] = op
+	binary.LittleEndian.PutUint64(b[8:], key)
+	binary.LittleEndian.PutUint64(b[16:], value)
+	return b
+}
+
+// DecodeRedisResponse parses a response frame payload.
+func DecodeRedisResponse(b []byte) (status byte, value uint64, ok bool) {
+	if len(b) < 16 {
+		return 0, 0, false
+	}
+	return b[0], binary.LittleEndian.Uint64(b[8:16]), true
+}

@@ -1,0 +1,836 @@
+// Package workloads implements the guest programs behind the paper's
+// evaluation: the eight RV8 CPU kernels (Table I), a CoreMark-like
+// composite (§V.D), a Redis-like key-value server driven over virtio-net
+// (Fig. 3), and an IOZone-like sequential I/O sweep over virtio-blk
+// (Fig. 4). The CPU kernels are real algorithms emitted through the
+// assembler DSL and executed instruction-by-instruction by the simulator;
+// each has a Go mirror computing the same checksum so tests can verify
+// the interpreted execution bit-for-bit.
+package workloads
+
+import (
+	"zion/internal/asm"
+	"zion/internal/isa"
+	"zion/internal/sm"
+)
+
+// GuestBase is where guest images load (same for normal VMs and CVMs).
+const GuestBase = sm.PrivateBase
+
+// dataBase is where kernels keep their working set (first touch of each
+// page demand-faults, exactly like a freshly booted benchmark process).
+const dataBase = GuestBase + 0x10_0000
+
+// Kernel is one CPU benchmark: an emitter that leaves a checksum in s0,
+// and a mirror computing the expected checksum.
+type Kernel struct {
+	Name   string
+	Build  func(p *asm.Program, scale int)
+	Mirror func(scale int) uint64
+	// DefaultScale sizes the kernel so the paper's relative runtimes are
+	// roughly preserved (miniz and primes are the long ones).
+	DefaultScale int
+	// Warmup returns the number of data bytes to pre-touch before the
+	// timed region, mirroring the paper's repeated-run averaging (page
+	// faults amortize away over 20 runs of a multi-second benchmark).
+	Warmup func(scale int) uint64
+}
+
+// RV8 returns the eight-kernel suite of Table I.
+func RV8() []Kernel {
+	return []Kernel{
+		{Name: "aes", Build: buildAES, Mirror: mirrorAES, DefaultScale: 8000,
+			Warmup: func(int) uint64 { return 0x2000 }},
+		{Name: "bigint", Build: buildBigint, Mirror: mirrorBigint, DefaultScale: 200,
+			Warmup: func(s int) uint64 { return uint64(s)*32 + 0x2000 }},
+		{Name: "dhrystone", Build: buildDhrystone, Mirror: mirrorDhrystone, DefaultScale: 15000,
+			Warmup: func(int) uint64 { return 0x1000 }},
+		{Name: "miniz", Build: buildMiniz, Mirror: mirrorMiniz, DefaultScale: 210000,
+			Warmup: func(s int) uint64 { return uint64(s)*3 + 0x3000 }},
+		{Name: "norx", Build: buildNorx, Mirror: mirrorNorx, DefaultScale: 80000,
+			Warmup: func(int) uint64 { return 0x1000 }},
+		{Name: "primes", Build: buildPrimes, Mirror: mirrorPrimes, DefaultScale: 160000,
+			Warmup: func(s int) uint64 { return uint64(s) + 0x1000 }},
+		{Name: "qsort", Build: buildQsort, Mirror: mirrorQsort, DefaultScale: 8000,
+			Warmup: func(s int) uint64 { return uint64(s)*8 + 0x4000 }},
+		{Name: "sha512", Build: buildSHA512, Mirror: mirrorSHA512, DefaultScale: 30000,
+			Warmup: func(int) uint64 { return 0x1000 }},
+	}
+}
+
+// Program assembles a complete guest image for the kernel: a warm-up
+// phase touching the working set (the paper averages 20 runs, so faults
+// amortize away), a self-timed kernel run (rdcycle before/after, the way
+// the RV8 harness measures), a shutdown carrying the measured cycles in
+// a0, and the checksum in s0.
+func Program(k Kernel, scale int) []byte {
+	p := asm.New(GuestBase)
+	if k.Warmup != nil {
+		if n := k.Warmup(scale); n > 0 {
+			p.LI(asm.T0, int64(dataBase))
+			p.LI(asm.T1, int64((n+4095)/4096))
+			p.Label("warmup")
+			p.SD(asm.Zero, asm.T0, 0)
+			p.LI(asm.T2, 4096)
+			p.ADD(asm.T0, asm.T0, asm.T2)
+			p.ADDI(asm.T1, asm.T1, -1)
+			p.BNE(asm.T1, asm.Zero, "warmup")
+		}
+	}
+	p.CSRR(asm.S7, isa.CSRCycle)
+	k.Build(p, scale)
+	p.CSRR(asm.T0, isa.CSRCycle)
+	p.SUB(asm.S7, asm.T0, asm.S7)
+	p.MV(asm.A0, asm.S7) // measured cycles travel in the shutdown call
+	p.MV(asm.A1, asm.S0) // checksum rides in a1
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+	return p.MustAssemble()
+}
+
+// rotr emits rd = rs rotated right by r bits (rd may equal rs; uses tmp).
+func rotr(p *asm.Program, rd, rs, tmp asm.Reg, r int64) {
+	p.SRLI(tmp, rs, r)
+	p.SLLI(rd, rs, 64-r)
+	p.OR(rd, rd, tmp)
+}
+
+// --- aes: table-driven substitution-permutation rounds ---------------------
+
+// The kernel builds a 256-entry 64-bit T-table, then runs `scale` rounds
+// of state[i] = T[(state[i] ^ state[(i+1)&15]) & 0xFF] ^ rotr(state[i],13)
+// over a 16-word state, finishing with an xor fold into s0.
+func buildAES(p *asm.Program, scale int) {
+	table := int64(dataBase)
+	state := int64(dataBase) + 0x1000
+
+	// Build T[i] = (i*0x9E3779B97F4A7C15) ^ (i<<7), i in [0,256).
+	p.LI(asm.T0, table)
+	p.LI(asm.T1, 0)
+	p.LI(asm.T2, 0x1F83D9ABFB41BD6B)
+	p.LI(asm.A0, 256)
+	p.Label("aes_tbl")
+	p.MUL(asm.A1, asm.T1, asm.T2)
+	p.SLLI(asm.A2, asm.T1, 7)
+	p.XOR(asm.A1, asm.A1, asm.A2)
+	p.SD(asm.A1, asm.T0, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 1)
+	p.BNE(asm.T1, asm.A0, "aes_tbl")
+
+	// state[i] = i*0x0101010101010101 + 1.
+	p.LI(asm.T0, state)
+	p.LI(asm.T1, 0)
+	p.LI(asm.T2, 0x0101010101010101)
+	p.LI(asm.A0, 16)
+	p.Label("aes_st")
+	p.MUL(asm.A1, asm.T1, asm.T2)
+	p.ADDI(asm.A1, asm.A1, 1)
+	p.SD(asm.A1, asm.T0, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 1)
+	p.BNE(asm.T1, asm.A0, "aes_st")
+
+	// Rounds.
+	p.LI(asm.A6, int64(scale)) // round counter
+	p.Label("aes_round")
+	p.LI(asm.T0, state)
+	p.LI(asm.A0, 0) // i
+	p.Label("aes_cell")
+	p.SLLI(asm.A1, asm.A0, 3)
+	p.ADD(asm.A1, asm.A1, asm.T0)
+	p.LD(asm.A2, asm.A1, 0) // state[i]
+	p.ADDI(asm.A3, asm.A0, 1)
+	p.ANDI(asm.A3, asm.A3, 15)
+	p.SLLI(asm.A3, asm.A3, 3)
+	p.ADD(asm.A3, asm.A3, asm.T0)
+	p.LD(asm.A4, asm.A3, 0) // state[(i+1)&15]
+	p.XOR(asm.A5, asm.A2, asm.A4)
+	p.ANDI(asm.A5, asm.A5, 255)
+	p.SLLI(asm.A5, asm.A5, 3)
+	p.LI(asm.T1, table)
+	p.ADD(asm.A5, asm.A5, asm.T1)
+	p.LD(asm.A5, asm.A5, 0) // T[...]
+	rotr(p, asm.A2, asm.A2, asm.T2, 13)
+	p.XOR(asm.A2, asm.A5, asm.A2)
+	p.SD(asm.A2, asm.A1, 0)
+	p.ADDI(asm.A0, asm.A0, 1)
+	p.LI(asm.T1, 16)
+	p.BNE(asm.A0, asm.T1, "aes_cell")
+	p.ADDI(asm.A6, asm.A6, -1)
+	p.BNE(asm.A6, asm.Zero, "aes_round")
+
+	// Fold.
+	p.LI(asm.S0, 0)
+	p.LI(asm.T0, state)
+	p.LI(asm.A0, 16)
+	p.Label("aes_fold")
+	p.LD(asm.A1, asm.T0, 0)
+	p.XOR(asm.S0, asm.S0, asm.A1)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.A0, asm.A0, -1)
+	p.BNE(asm.A0, asm.Zero, "aes_fold")
+}
+
+func mirrorAES(scale int) uint64 {
+	var T [256]uint64
+	for i := range T {
+		T[i] = uint64(i)*0x1F83D9ABFB41BD6B ^ uint64(i)<<7
+	}
+	var st [16]uint64
+	for i := range st {
+		st[i] = uint64(i)*0x0101010101010101 + 1
+	}
+	for r := 0; r < scale; r++ {
+		for i := 0; i < 16; i++ {
+			t := T[(st[i]^st[(i+1)&15])&255]
+			st[i] = t ^ (st[i]>>13 | st[i]<<51)
+		}
+	}
+	var sum uint64
+	for _, v := range st {
+		sum ^= v
+	}
+	return sum
+}
+
+// --- bigint: schoolbook multi-precision multiplication ---------------------
+
+// Multiplies two scale-limb numbers (64-bit limbs) with carry tracking,
+// then folds the product limbs.
+func buildBigint(p *asm.Program, scale int) {
+	aBuf := int64(dataBase)
+	bBuf := aBuf + int64(scale)*8
+	rBuf := bBuf + int64(scale)*8
+
+	// a[i] = i*K1 + 3, b[i] = i*K2 + 7.
+	p.LI(asm.T0, aBuf)
+	p.LI(asm.T1, bBuf)
+	p.LI(asm.T2, 0)
+	p.LI(asm.A0, int64(scale))
+	p.LIU(asm.A1, 0x9E3779B97F4A7C15)
+	p.LIU(asm.A2, 0xC2B2AE3D27D4EB4F)
+	p.Label("bi_init")
+	p.MUL(asm.A3, asm.T2, asm.A1)
+	p.ADDI(asm.A3, asm.A3, 3)
+	p.SD(asm.A3, asm.T0, 0)
+	p.MUL(asm.A3, asm.T2, asm.A2)
+	p.ADDI(asm.A3, asm.A3, 7)
+	p.SD(asm.A3, asm.T1, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 8)
+	p.ADDI(asm.T2, asm.T2, 1)
+	p.BNE(asm.T2, asm.A0, "bi_init")
+
+	// r[] is freshly faulted (zero). Product loops.
+	p.LI(asm.A6, 0) // i
+	p.Label("bi_i")
+	p.LI(asm.A7, 0) // j
+	p.Label("bi_j")
+	// lo/hi = a[i]*b[j]
+	p.LI(asm.T0, aBuf)
+	p.SLLI(asm.T1, asm.A6, 3)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LD(asm.A2, asm.T0, 0)
+	p.LI(asm.T0, bBuf)
+	p.SLLI(asm.T1, asm.A7, 3)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LD(asm.A3, asm.T0, 0)
+	p.MUL(asm.A4, asm.A2, asm.A3)   // lo
+	p.MULHU(asm.A5, asm.A2, asm.A3) // hi
+	// r[i+j] += lo (carry in T4), r[i+j+1] += hi + carry.
+	p.ADD(asm.T0, asm.A6, asm.A7)
+	p.SLLI(asm.T0, asm.T0, 3)
+	p.LI(asm.T1, rBuf)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.LD(asm.T2, asm.T0, 0)
+	p.ADD(asm.T2, asm.T2, asm.A4)
+	p.SLTU(asm.T4, asm.T2, asm.A4) // carry
+	p.SD(asm.T2, asm.T0, 0)
+	p.LD(asm.T2, asm.T0, 8)
+	p.ADD(asm.T2, asm.T2, asm.A5)
+	p.ADD(asm.T2, asm.T2, asm.T4)
+	p.SD(asm.T2, asm.T0, 8)
+	p.ADDI(asm.A7, asm.A7, 1)
+	p.LI(asm.T0, int64(scale))
+	p.BNE(asm.A7, asm.T0, "bi_j")
+	p.ADDI(asm.A6, asm.A6, 1)
+	p.LI(asm.T0, int64(scale))
+	p.BNE(asm.A6, asm.T0, "bi_i")
+
+	// Fold 2*scale limbs.
+	p.LI(asm.S0, 0)
+	p.LI(asm.T0, rBuf)
+	p.LI(asm.A0, int64(2*scale))
+	p.Label("bi_fold")
+	p.LD(asm.A1, asm.T0, 0)
+	p.SLLI(asm.A2, asm.S0, 1)
+	p.XOR(asm.S0, asm.A2, asm.A1)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.A0, asm.A0, -1)
+	p.BNE(asm.A0, asm.Zero, "bi_fold")
+}
+
+func mirrorBigint(scale int) uint64 {
+	a := make([]uint64, scale)
+	b := make([]uint64, scale)
+	r := make([]uint64, 2*scale)
+	for i := 0; i < scale; i++ {
+		a[i] = uint64(i)*0x9E3779B97F4A7C15 + 3
+		b[i] = uint64(i)*0xC2B2AE3D27D4EB4F + 7
+	}
+	for i := 0; i < scale; i++ {
+		for j := 0; j < scale; j++ {
+			lo := a[i] * b[j]
+			hi := mulhu(a[i], b[j])
+			s := r[i+j] + lo
+			var c uint64
+			if s < lo {
+				c = 1
+			}
+			r[i+j] = s
+			r[i+j+1] += hi + c
+		}
+	}
+	var sum uint64
+	for _, v := range r {
+		sum = sum<<1 ^ v
+	}
+	return sum
+}
+
+func mulhu(a, b uint64) uint64 {
+	aLo, aHi := a&0xFFFFFFFF, a>>32
+	bLo, bHi := b&0xFFFFFFFF, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := aLo*bHi + t&0xFFFFFFFF
+	return aHi*bHi + t>>32 + w1>>32
+}
+
+// --- dhrystone: branchy integer + string-ish operations --------------------
+
+// Each iteration copies an 8-word record, compares fields, and runs the
+// classic Proc-style arithmetic through a real call/return.
+func buildDhrystone(p *asm.Program, scale int) {
+	src := int64(dataBase)
+	dst := src + 0x100
+
+	// Record init.
+	p.LI(asm.T0, src)
+	p.LI(asm.T1, 8)
+	p.LI(asm.T2, 0x64727973746F6E65) // "drystone"
+	p.Label("dh_init")
+	p.SD(asm.T2, asm.T0, 0)
+	p.ADDI(asm.T2, asm.T2, 0x101)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "dh_init")
+
+	p.LI(asm.S0, 0)
+	p.LI(asm.A6, int64(scale))
+	p.J("dh_loop")
+
+	// proc(a0) -> a0 = a0*3 + 7 ^ (a0 >> 5)
+	p.Label("dh_proc")
+	p.SLLI(asm.T0, asm.A0, 1)
+	p.ADD(asm.T0, asm.T0, asm.A0)
+	p.ADDI(asm.T0, asm.T0, 7)
+	p.SRLI(asm.T1, asm.A0, 5)
+	p.XOR(asm.A0, asm.T0, asm.T1)
+	p.RET()
+
+	p.Label("dh_loop")
+	// Copy record.
+	p.LI(asm.T0, src)
+	p.LI(asm.T1, dst)
+	p.LI(asm.T2, 8)
+	p.Label("dh_copy")
+	p.LD(asm.A0, asm.T0, 0)
+	p.SD(asm.A0, asm.T1, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 8)
+	p.ADDI(asm.T2, asm.T2, -1)
+	p.BNE(asm.T2, asm.Zero, "dh_copy")
+	// Compare two fields, branch on result.
+	p.LI(asm.T0, dst)
+	p.LD(asm.A0, asm.T0, 0)
+	p.LD(asm.A1, asm.T0, 8)
+	p.BLT(asm.A0, asm.A1, "dh_lt")
+	p.ADDI(asm.S0, asm.S0, 2)
+	p.J("dh_call")
+	p.Label("dh_lt")
+	p.ADDI(asm.S0, asm.S0, 1)
+	p.Label("dh_call")
+	// Call proc with the loop counter.
+	p.MV(asm.A0, asm.A6)
+	p.CALL("dh_proc")
+	p.XOR(asm.S0, asm.S0, asm.A0)
+	p.ADDI(asm.A6, asm.A6, -1)
+	p.BNE(asm.A6, asm.Zero, "dh_loop")
+}
+
+func mirrorDhrystone(scale int) uint64 {
+	rec := make([]uint64, 8)
+	v := uint64(0x64727973746F6E65)
+	for i := range rec {
+		rec[i] = v
+		v += 0x101
+	}
+	var sum uint64
+	for n := uint64(scale); n != 0; n-- {
+		if rec[0] < rec[1] {
+			sum++
+		} else {
+			sum += 2
+		}
+		a := n
+		a = (a*3 + 7) ^ (a >> 5)
+		sum ^= a
+	}
+	return sum
+}
+
+// --- miniz: run-length compression over generated data ---------------------
+
+// Generates `scale` bytes with short runs, RLE-compresses them, and folds
+// the output (length and bytes) into the checksum.
+func buildMiniz(p *asm.Program, scale int) {
+	in := int64(dataBase)
+	out := in + int64(scale) + 0x1000
+
+	// Generate input: x = x*6364136223846793005 + 1442695040888963407;
+	// byte = (x >> 33) & 3 (small alphabet -> real runs).
+	p.LI(asm.T0, in)
+	p.LI(asm.T1, int64(scale))
+	p.LI(asm.T2, 0x123456789)
+	p.LI(asm.A0, 6364136223846793005)
+	p.LI(asm.A1, 1442695040888963407)
+	p.Label("mz_gen")
+	p.MUL(asm.T2, asm.T2, asm.A0)
+	p.ADD(asm.T2, asm.T2, asm.A1)
+	p.SRLI(asm.A2, asm.T2, 33)
+	p.ANDI(asm.A2, asm.A2, 3)
+	p.SB(asm.A2, asm.T0, 0)
+	p.ADDI(asm.T0, asm.T0, 1)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "mz_gen")
+
+	// RLE: out gets (count,byte) pairs, runs capped at 255.
+	p.LI(asm.T0, in)           // src cursor
+	p.LI(asm.T1, out)          // dst cursor
+	p.LI(asm.T2, int64(scale)) // remaining
+	p.Label("mz_outer")
+	p.LBU(asm.A0, asm.T0, 0) // current byte
+	p.LI(asm.A1, 0)          // run length
+	p.Label("mz_run")
+	p.BEQ(asm.T2, asm.Zero, "mz_emit")
+	p.LBU(asm.A2, asm.T0, 0)
+	p.BNE(asm.A2, asm.A0, "mz_emit")
+	p.LI(asm.A3, 255)
+	p.BEQ(asm.A1, asm.A3, "mz_emit")
+	p.ADDI(asm.A1, asm.A1, 1)
+	p.ADDI(asm.T0, asm.T0, 1)
+	p.ADDI(asm.T2, asm.T2, -1)
+	p.J("mz_run")
+	p.Label("mz_emit")
+	p.SB(asm.A1, asm.T1, 0)
+	p.SB(asm.A0, asm.T1, 1)
+	p.ADDI(asm.T1, asm.T1, 2)
+	p.BNE(asm.T2, asm.Zero, "mz_outer")
+
+	// Fold: s0 = outLen ^ rolling xor of output bytes.
+	p.LI(asm.T0, out)
+	p.SUB(asm.A6, asm.T1, asm.T0) // output length
+	p.LI(asm.S0, 0)
+	p.Label("mz_fold")
+	p.BEQ(asm.T0, asm.T1, "mz_done")
+	p.LBU(asm.A1, asm.T0, 0)
+	p.SLLI(asm.A2, asm.S0, 5)
+	p.ADD(asm.S0, asm.A2, asm.S0)
+	p.XOR(asm.S0, asm.S0, asm.A1)
+	p.ADDI(asm.T0, asm.T0, 1)
+	p.J("mz_fold")
+	p.Label("mz_done")
+	p.XOR(asm.S0, asm.S0, asm.A6)
+}
+
+func mirrorMiniz(scale int) uint64 {
+	in := make([]byte, scale)
+	x := uint64(0x123456789)
+	for i := range in {
+		x = x*6364136223846793005 + 1442695040888963407
+		in[i] = byte(x >> 33 & 3)
+	}
+	var out []byte
+	for i := 0; i < len(in); {
+		b := in[i]
+		run := 0
+		for i < len(in) && in[i] == b && run < 255 {
+			run++
+			i++
+		}
+		out = append(out, byte(run), b)
+	}
+	var sum uint64
+	for _, b := range out {
+		sum = (sum<<5 + sum) ^ uint64(b)
+	}
+	return sum ^ uint64(len(out))
+}
+
+// --- norx: ARX permutation rounds -------------------------------------------
+
+// Runs `scale` rounds of the NORX-style G function over a 4-word state.
+func buildNorx(p *asm.Program, scale int) {
+	// State in registers: A0..A3.
+	p.LI(asm.A0, 0x243F6A8885A308D3)
+	p.LI(asm.A1, 0x13198A2E03707344)
+	p.LIU(asm.A2, 0xA4093822299F31D0)
+	p.LI(asm.A3, 0x082EFA98EC4E6C89)
+	p.LI(asm.A6, int64(scale))
+	p.Label("nx_round")
+	// H(x,y) = (x ^ y) ^ ((x & y) << 1), the NORX non-linearity.
+	g := func(x, y asm.Reg, rot int64) {
+		p.AND(asm.T0, x, y)
+		p.SLLI(asm.T0, asm.T0, 1)
+		p.XOR(x, x, y)
+		p.XOR(x, x, asm.T0)
+		p.XOR(asm.T1, asm.A3, asm.A0) // mix in d^a as diffusion
+		rotr(p, x, x, asm.T2, rot)
+		p.XOR(x, x, asm.T1)
+	}
+	g(asm.A0, asm.A1, 8)
+	g(asm.A1, asm.A2, 19)
+	g(asm.A2, asm.A3, 40)
+	g(asm.A3, asm.A0, 63)
+	p.ADDI(asm.A6, asm.A6, -1)
+	p.BNE(asm.A6, asm.Zero, "nx_round")
+	p.XOR(asm.S0, asm.A0, asm.A1)
+	p.XOR(asm.S0, asm.S0, asm.A2)
+	p.XOR(asm.S0, asm.S0, asm.A3)
+}
+
+func mirrorNorx(scale int) uint64 {
+	a := uint64(0x243F6A8885A308D3)
+	b := uint64(0x13198A2E03707344)
+	c := uint64(0xA4093822299F31D0)
+	d := uint64(0x082EFA98EC4E6C89)
+	rr := func(x uint64, r uint) uint64 { return x>>r | x<<(64-r) }
+	// g reads d^a *after* updating x, exactly like the emitted code.
+	g := func(x, y *uint64, rot uint) {
+		t := (*x & *y) << 1
+		*x ^= *y
+		*x ^= t
+		t1 := d ^ a
+		*x = rr(*x, rot) ^ t1
+	}
+	for i := 0; i < scale; i++ {
+		g(&a, &b, 8)
+		g(&b, &c, 19)
+		g(&c, &d, 40)
+		g(&d, &a, 63)
+	}
+	return a ^ b ^ c ^ d
+}
+
+// --- primes: sieve of Eratosthenes ------------------------------------------
+
+// Sieves [2, scale) with a byte array and counts primes into s0.
+func buildPrimes(p *asm.Program, scale int) {
+	sieve := int64(dataBase)
+	n := int64(scale)
+
+	// Mark composites. The sieve bytes start zeroed (fresh pages).
+	p.LI(asm.A0, 2) // i
+	p.Label("pr_outer")
+	p.MUL(asm.T0, asm.A0, asm.A0)
+	p.LI(asm.T1, n)
+	p.BGE(asm.T0, asm.T1, "pr_count")
+	// if sieve[i] != 0, skip.
+	p.LI(asm.T2, sieve)
+	p.ADD(asm.T2, asm.T2, asm.A0)
+	p.LBU(asm.A1, asm.T2, 0)
+	p.BNE(asm.A1, asm.Zero, "pr_next")
+	// for j = i*i; j < n; j += i: sieve[j] = 1.
+	p.MV(asm.A2, asm.T0)
+	p.LI(asm.A3, 1)
+	p.Label("pr_mark")
+	p.LI(asm.T2, sieve)
+	p.ADD(asm.T2, asm.T2, asm.A2)
+	p.SB(asm.A3, asm.T2, 0)
+	p.ADD(asm.A2, asm.A2, asm.A0)
+	p.LI(asm.T1, n)
+	p.BLT(asm.A2, asm.T1, "pr_mark")
+	p.Label("pr_next")
+	p.ADDI(asm.A0, asm.A0, 1)
+	p.J("pr_outer")
+
+	// Count primes.
+	p.Label("pr_count")
+	p.LI(asm.S0, 0)
+	p.LI(asm.A0, 2)
+	p.LI(asm.T1, n)
+	p.Label("pr_cnt")
+	p.LI(asm.T2, sieve)
+	p.ADD(asm.T2, asm.T2, asm.A0)
+	p.LBU(asm.A1, asm.T2, 0)
+	p.BNE(asm.A1, asm.Zero, "pr_skip")
+	p.ADDI(asm.S0, asm.S0, 1)
+	p.Label("pr_skip")
+	p.ADDI(asm.A0, asm.A0, 1)
+	p.BNE(asm.A0, asm.T1, "pr_cnt")
+}
+
+func mirrorPrimes(scale int) uint64 {
+	sieve := make([]byte, scale)
+	for i := 2; i*i < scale; i++ {
+		if sieve[i] != 0 {
+			continue
+		}
+		for j := i * i; j < scale; j += i {
+			sieve[j] = 1
+		}
+	}
+	var count uint64
+	for i := 2; i < scale; i++ {
+		if sieve[i] == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// --- qsort: iterative quicksort ---------------------------------------------
+
+// Sorts `scale` pseudo-random words with an explicit stack, then verifies
+// order and folds sum(a[i] * (i & 0xFF)); a non-sorted result poisons s0.
+func buildQsort(p *asm.Program, scale int) {
+	arr := int64(dataBase)
+	stack := arr + int64(scale)*8 + 0x1000
+	n := int64(scale)
+
+	// Fill with xorshift values.
+	p.LI(asm.T0, arr)
+	p.LI(asm.T1, n)
+	p.LI(asm.T2, 0x2545F4914F6CDD1D)
+	p.Label("qs_fill")
+	// x ^= x << 13; x ^= x >> 7; x ^= x << 17
+	p.SLLI(asm.A0, asm.T2, 13)
+	p.XOR(asm.T2, asm.T2, asm.A0)
+	p.SRLI(asm.A0, asm.T2, 7)
+	p.XOR(asm.T2, asm.T2, asm.A0)
+	p.SLLI(asm.A0, asm.T2, 17)
+	p.XOR(asm.T2, asm.T2, asm.A0)
+	p.SD(asm.T2, asm.T0, 0)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "qs_fill")
+
+	// Explicit stack of (lo, hi) index pairs. S1 = stack top pointer.
+	p.LI(asm.S1, stack)
+	p.LI(asm.A0, 0)
+	p.SD(asm.A0, asm.S1, 0)
+	p.LI(asm.A1, n-1)
+	p.SD(asm.A1, asm.S1, 8)
+	p.ADDI(asm.S1, asm.S1, 16)
+
+	p.Label("qs_pop")
+	p.LI(asm.T0, stack)
+	p.BEQ(asm.S1, asm.T0, "qs_verify")
+	p.ADDI(asm.S1, asm.S1, -16)
+	p.LD(asm.A0, asm.S1, 0) // lo
+	p.LD(asm.A1, asm.S1, 8) // hi
+	p.BGE(asm.A0, asm.A1, "qs_pop")
+
+	// Partition: pivot = a[hi]; i = lo-1; for j in [lo,hi): if a[j] <=
+	// pivot: i++, swap(a[i],a[j]); finally swap(a[i+1], a[hi]).
+	p.LI(asm.T0, arr)
+	p.SLLI(asm.T1, asm.A1, 3)
+	p.ADD(asm.T1, asm.T1, asm.T0)
+	p.LD(asm.A2, asm.T1, 0)    // pivot
+	p.ADDI(asm.A3, asm.A0, -1) // i
+	p.MV(asm.A4, asm.A0)       // j
+	p.Label("qs_part")
+	p.BGE(asm.A4, asm.A1, "qs_swap_piv")
+	p.SLLI(asm.T1, asm.A4, 3)
+	p.ADD(asm.T1, asm.T1, asm.T0)
+	p.LD(asm.A5, asm.T1, 0) // a[j]
+	p.BLTU(asm.A2, asm.A5, "qs_part_next")
+	p.ADDI(asm.A3, asm.A3, 1)
+	p.SLLI(asm.T2, asm.A3, 3)
+	p.ADD(asm.T2, asm.T2, asm.T0)
+	p.LD(asm.A6, asm.T2, 0)
+	p.SD(asm.A5, asm.T2, 0)
+	p.SD(asm.A6, asm.T1, 0)
+	p.Label("qs_part_next")
+	p.ADDI(asm.A4, asm.A4, 1)
+	p.J("qs_part")
+	p.Label("qs_swap_piv")
+	p.ADDI(asm.A3, asm.A3, 1)
+	p.SLLI(asm.T1, asm.A3, 3)
+	p.ADD(asm.T1, asm.T1, asm.T0)
+	p.SLLI(asm.T2, asm.A1, 3)
+	p.ADD(asm.T2, asm.T2, asm.T0)
+	p.LD(asm.A5, asm.T1, 0)
+	p.LD(asm.A6, asm.T2, 0)
+	p.SD(asm.A6, asm.T1, 0)
+	p.SD(asm.A5, asm.T2, 0)
+	// Push (lo, p-1) and (p+1, hi).
+	p.ADDI(asm.T1, asm.A3, -1)
+	p.SD(asm.A0, asm.S1, 0)
+	p.SD(asm.T1, asm.S1, 8)
+	p.ADDI(asm.S1, asm.S1, 16)
+	p.ADDI(asm.T1, asm.A3, 1)
+	p.SD(asm.T1, asm.S1, 0)
+	p.SD(asm.A1, asm.S1, 8)
+	p.ADDI(asm.S1, asm.S1, 16)
+	p.J("qs_pop")
+
+	// Verify sorted and fold.
+	p.Label("qs_verify")
+	p.LI(asm.S0, 0)
+	p.LI(asm.T0, arr)
+	p.LI(asm.A0, 0) // index
+	p.LI(asm.A1, n)
+	p.LD(asm.A2, asm.T0, 0) // prev
+	p.Label("qs_fold")
+	p.LD(asm.A3, asm.T0, 0)
+	p.BGEU(asm.A3, asm.A2, "qs_ok")
+	p.LI(asm.S0, 0xBAD)
+	p.J("qs_end")
+	p.Label("qs_ok")
+	p.ANDI(asm.A4, asm.A0, 255)
+	p.MUL(asm.A4, asm.A3, asm.A4)
+	p.ADD(asm.S0, asm.S0, asm.A4)
+	p.MV(asm.A2, asm.A3)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.A0, asm.A0, 1)
+	p.BNE(asm.A0, asm.A1, "qs_fold")
+	p.Label("qs_end")
+}
+
+func mirrorQsort(scale int) uint64 {
+	a := make([]uint64, scale)
+	x := uint64(0x2545F4914F6CDD1D)
+	for i := range a {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		a[i] = x
+	}
+	// Mirror the exact partition scheme (Lomuto, last element pivot).
+	type pair struct{ lo, hi int64 }
+	stack := []pair{{0, int64(scale) - 1}}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if pr.lo >= pr.hi {
+			continue
+		}
+		pivot := a[pr.hi]
+		i := pr.lo - 1
+		for j := pr.lo; j < pr.hi; j++ {
+			if a[j] <= pivot {
+				i++
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+		i++
+		a[i], a[pr.hi] = a[pr.hi], a[i]
+		stack = append(stack, pair{pr.lo, i - 1}, pair{i + 1, pr.hi})
+	}
+	var sum uint64
+	prev := a[0]
+	for i, v := range a {
+		if v < prev {
+			return 0xBAD
+		}
+		prev = v
+		sum += v * uint64(i&255)
+	}
+	return sum
+}
+
+// --- sha512: message-schedule style ARX -------------------------------------
+
+// Runs a SHA-512-like schedule: W[t] = sigma1(W[t-2]) + W[t-7] +
+// sigma0(W[t-15]) + W[t-16] over a rolling 16-word window for `scale`
+// steps, accumulating into two hash words.
+func buildSHA512(p *asm.Program, scale int) {
+	w := int64(dataBase)
+
+	// W[0..15] init.
+	p.LI(asm.T0, w)
+	p.LI(asm.T1, 0)
+	p.LI(asm.T2, 0x6A09E667F3BCC908)
+	p.LI(asm.A0, 16)
+	p.Label("sh_init")
+	p.SD(asm.T2, asm.T0, 0)
+	p.LIU(asm.A1, 0x9E3779B97F4A7C15)
+	p.ADD(asm.T2, asm.T2, asm.A1)
+	p.ADDI(asm.T0, asm.T0, 8)
+	p.ADDI(asm.T1, asm.T1, 1)
+	p.BNE(asm.T1, asm.A0, "sh_init")
+
+	p.LI(asm.S0, 0)               // hash accumulator
+	p.LI(asm.A6, 16)              // t
+	p.LI(asm.A7, int64(scale)+16) // end
+	p.Label("sh_step")
+	// idx helpers: base w + ((t-k) & 15) * 8
+	ld := func(dst asm.Reg, k int64) {
+		p.ADDI(asm.T0, asm.A6, -k)
+		p.ANDI(asm.T0, asm.T0, 15)
+		p.SLLI(asm.T0, asm.T0, 3)
+		p.LI(asm.T1, w)
+		p.ADD(asm.T0, asm.T0, asm.T1)
+		p.LD(dst, asm.T0, 0)
+	}
+	// sigma0 = rotr(x,1) ^ rotr(x,8) ^ (x >> 7)
+	ld(asm.A0, 15)
+	rotr(p, asm.A1, asm.A0, asm.T2, 1)
+	rotr(p, asm.A2, asm.A0, asm.T2, 8)
+	p.XOR(asm.A1, asm.A1, asm.A2)
+	p.SRLI(asm.A2, asm.A0, 7)
+	p.XOR(asm.A1, asm.A1, asm.A2) // sigma0
+	// sigma1 = rotr(x,19) ^ rotr(x,61) ^ (x >> 6)
+	ld(asm.A0, 2)
+	rotr(p, asm.A3, asm.A0, asm.T2, 19)
+	rotr(p, asm.A4, asm.A0, asm.T2, 61)
+	p.XOR(asm.A3, asm.A3, asm.A4)
+	p.SRLI(asm.A4, asm.A0, 6)
+	p.XOR(asm.A3, asm.A3, asm.A4) // sigma1
+	ld(asm.A0, 7)
+	ld(asm.A5, 16)
+	p.ADD(asm.A1, asm.A1, asm.A3)
+	p.ADD(asm.A1, asm.A1, asm.A0)
+	p.ADD(asm.A1, asm.A1, asm.A5) // W[t]
+	// Store W[t & 15] and accumulate.
+	p.ANDI(asm.T0, asm.A6, 15)
+	p.SLLI(asm.T0, asm.T0, 3)
+	p.LI(asm.T1, w)
+	p.ADD(asm.T0, asm.T0, asm.T1)
+	p.SD(asm.A1, asm.T0, 0)
+	p.XOR(asm.S0, asm.S0, asm.A1)
+	rotr(p, asm.S0, asm.S0, asm.T2, 7)
+	p.ADDI(asm.A6, asm.A6, 1)
+	p.BNE(asm.A6, asm.A7, "sh_step")
+}
+
+func mirrorSHA512(scale int) uint64 {
+	var w [16]uint64
+	v := uint64(0x6A09E667F3BCC908)
+	for i := range w {
+		w[i] = v
+		v += 0x9E3779B97F4A7C15
+	}
+	rr := func(x uint64, r uint) uint64 { return x>>r | x<<(64-r) }
+	var sum uint64
+	for t := 16; t < scale+16; t++ {
+		s0 := rr(w[(t-15)&15], 1) ^ rr(w[(t-15)&15], 8) ^ w[(t-15)&15]>>7
+		s1 := rr(w[(t-2)&15], 19) ^ rr(w[(t-2)&15], 61) ^ w[(t-2)&15]>>6
+		nw := s0 + s1 + w[(t-7)&15] + w[(t-16)&15]
+		w[t&15] = nw
+		sum = rr(sum^nw, 7)
+	}
+	return sum
+}

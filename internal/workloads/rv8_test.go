@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/hart"
+	"zion/internal/isa"
+	"zion/internal/mem"
+)
+
+// runBare executes a kernel directly in M-mode (no VM) and returns s0.
+func runBare(t *testing.T, k Kernel, scale int) uint64 {
+	t.Helper()
+	ram := mem.NewPhysMemory(GuestBase, 64<<20)
+	h := hart.New(0, ram, nil)
+	img := Program(k, scale)
+	if err := ram.Write(GuestBase, img); err != nil {
+		t.Fatal(err)
+	}
+	h.PC = GuestBase
+	for i := 0; i < 100_000_000; i++ {
+		ev := h.Step()
+		if ev.Kind == hart.EvTrap {
+			if ev.Trap.Cause != isa.ExcEcallM {
+				t.Fatalf("%s: unexpected trap %s at pc=%#x (tval=%#x)",
+					k.Name, isa.CauseName(ev.Trap.Cause), ev.Trap.PC, ev.Trap.Tval)
+			}
+			return h.Reg(asm.S0)
+		}
+	}
+	t.Fatalf("%s: did not finish", k.Name)
+	return 0
+}
+
+// testScales keeps the correctness runs fast; the benchmarks use
+// DefaultScale.
+var testScales = map[string]int{
+	"aes":       50,
+	"bigint":    24,
+	"dhrystone": 500,
+	"miniz":     20000,
+	"norx":      3000,
+	"primes":    20000,
+	"qsort":     400,
+	"sha512":    1000,
+}
+
+func TestRV8KernelsMatchMirrors(t *testing.T) {
+	for _, k := range RV8() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			scale := testScales[k.Name]
+			got := runBare(t, k, scale)
+			want := k.Mirror(scale)
+			if got != want {
+				t.Errorf("%s: interpreted checksum %#x, mirror %#x", k.Name, got, want)
+			}
+			if got == 0xBAD {
+				t.Errorf("%s: kernel self-check failed", k.Name)
+			}
+		})
+	}
+}
+
+// The checksums must be scale-sensitive (a frozen loop would pass a
+// constant-checksum test).
+func TestRV8ScaleSensitivity(t *testing.T) {
+	for _, k := range RV8() {
+		s := testScales[k.Name]
+		if k.Mirror(s) == k.Mirror(s/2) {
+			t.Errorf("%s: mirror not scale-sensitive", k.Name)
+		}
+	}
+}
+
+func TestRV8SuiteComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, k := range RV8() {
+		names[k.Name] = true
+		if k.DefaultScale <= 0 {
+			t.Errorf("%s: no default scale", k.Name)
+		}
+	}
+	for _, want := range []string{"aes", "bigint", "dhrystone", "miniz", "norx", "primes", "qsort", "sha512"} {
+		if !names[want] {
+			t.Errorf("missing kernel %s", want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package zion
+
+import (
+	"bytes"
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/sm"
+)
+
+func demoImage(result int64) []byte {
+	p := asm.New(GuestRAMBase)
+	p.LI(asm.S0, result)
+	p.MV(asm.A0, asm.S0)
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+	return p.MustAssemble()
+}
+
+func TestSystemConfidentialLifecycle(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := sys.CreateConfidentialVM("demo", demoImage(42), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Confidential() || vm.Name() != "demo" {
+		t.Error("VM metadata wrong")
+	}
+	res, err := sys.Run(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuestData != 42 {
+		t.Errorf("guest data = %d", res.GuestData)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles recorded")
+	}
+	m1, err := sys.Measurement(vm)
+	if err != nil || len(m1) != 32 {
+		t.Fatalf("measurement: %v", err)
+	}
+	rep, err := sys.Attest(vm, 7)
+	if err != nil || !bytes.Equal(rep.Measurement, m1) || rep.Nonce != 7 {
+		t.Errorf("attest: %+v err=%v", rep, err)
+	}
+	if err := sys.Destroy(vm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(vm); err == nil {
+		t.Error("run after destroy should fail")
+	}
+}
+
+func TestSystemNormalVM(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := sys.CreateNormalVM("plain", demoImage(7), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(vm)
+	if err != nil || res.GuestData != 7 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if _, err := sys.Measurement(vm); err == nil {
+		t.Error("normal VMs must not be measured")
+	}
+	if err := sys.EnableSharedWindow(vm); err == nil {
+		t.Error("shared window on normal VM must fail")
+	}
+}
+
+func TestSystemIdenticalImagesMeasureEqual(t *testing.T) {
+	sys, _ := NewSystem(Config{})
+	a, err := sys.CreateConfidentialVM("a", demoImage(1), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.CreateConfidentialVM("b", demoImage(1), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sys.CreateConfidentialVM("c", demoImage(2), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := sys.Measurement(a)
+	mb, _ := sys.Measurement(b)
+	mc, _ := sys.Measurement(c)
+	if !bytes.Equal(ma, mb) {
+		t.Error("identical images should measure identically")
+	}
+	if bytes.Equal(ma, mc) {
+		t.Error("different images should measure differently")
+	}
+}
+
+func TestSystemConsole(t *testing.T) {
+	sys, _ := NewSystem(Config{})
+	p := asm.New(GuestRAMBase)
+	p.LI(asm.A0, 'Z')
+	p.LI(asm.A7, sm.EIDPutchar)
+	p.ECALL()
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+	vm, err := sys.CreateConfidentialVM("console", p.MustAssemble(), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(vm); err != nil {
+		t.Fatal(err)
+	}
+	if sys.ConsoleOutput() != "Z" {
+		t.Errorf("console = %q", sys.ConsoleOutput())
+	}
+	if sys.Cycles() == 0 {
+		t.Error("cycle counter idle")
+	}
+}
+
+func TestSystemSnapshotRestore(t *testing.T) {
+	sys, err := NewSystem(Config{SchedQuantum: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := asm.New(GuestRAMBase)
+	p.LI(asm.S2, 0)
+	p.LI(asm.T1, 60_000)
+	p.Label("spin")
+	p.ADDI(asm.S2, asm.S2, 1)
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "spin")
+	p.MV(asm.A0, asm.S2)
+	p.LI(asm.A7, sm.EIDReset)
+	p.ECALL()
+	vm, err := sys.CreateConfidentialVM("sealme", p.MustAssemble(), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, _ := sys.Measurement(vm)
+	// One quantum of progress, then seal.
+	if reason, err := sys.RunOnce(vm); err != nil || reason != "timer" {
+		t.Fatalf("first quantum: %q %v", reason, err)
+	}
+	blob, err := sys.Snapshot(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty blob")
+	}
+	if err := sys.Destroy(vm); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sys.Restore("sealme-2", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := sys.Measurement(restored)
+	if !bytes.Equal(m0, m1) {
+		t.Error("measurement changed across snapshot/restore")
+	}
+	res, err := sys.Run(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuestData != 60_000 {
+		t.Errorf("counter = %d, want 60000", res.GuestData)
+	}
+}

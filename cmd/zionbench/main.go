@@ -13,6 +13,7 @@
 //	a2  ablation: split page table vs synchronized sharing
 //	a3  ablation: hierarchical allocator stage distribution
 //	a4  ablation: shared-subtable entry revalidation cost
+//	fi  robustness: seeded fault-injection campaign sweep
 package main
 
 import (
@@ -22,12 +23,15 @@ import (
 	"strings"
 
 	"zion/internal/bench"
+	"zion/internal/faultinject"
 )
 
 func main() {
-	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4", "experiments to run")
+	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi", "experiments to run")
 	scaleDiv := flag.Int("scalediv", 1, "divide workload scales (faster, less precise)")
 	requests := flag.Int("requests", 200, "redis requests per operation")
+	fiSeeds := flag.Int("fiseeds", 5, "fault-injection campaigns (one seed each)")
+	fiFaults := flag.Int("fifaults", 500, "faults per fault-injection campaign")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -150,6 +154,35 @@ func main() {
 		}
 		for _, l := range r.Rows() {
 			fmt.Println(l)
+		}
+	}
+	if want["fi"] {
+		section("FI", "robustness: seeded fault-injection campaigns")
+		fmt.Printf("%-6s %-8s %-8s %-8s %-8s %-12s %-8s %-8s %s\n",
+			"seed", "faults", "denied", "masked", "detect", "quarantine", "breach", "leaked", "survived")
+		survived := 0
+		for seed := 0; seed < *fiSeeds; seed++ {
+			r, err := faultinject.Run(faultinject.CampaignConfig{
+				Seed: int64(seed), Faults: *fiFaults,
+			})
+			if err != nil {
+				fail("fi", err)
+			}
+			if r.Survived() {
+				survived++
+			}
+			fmt.Printf("%-6d %-8d %-8d %-8d %-8d %-12d %-8d %-8d %v\n",
+				r.Seed, r.Faults,
+				r.Outcomes[faultinject.OutcomeDenied],
+				r.Outcomes[faultinject.OutcomeMasked],
+				r.Outcomes[faultinject.OutcomeDetected],
+				r.Outcomes[faultinject.OutcomeQuarantined],
+				r.Outcomes[faultinject.OutcomeBreach]+r.Outcomes[faultinject.OutcomeMissed],
+				r.LeakedBlocks, r.Survived())
+		}
+		fmt.Printf("survived %d/%d campaigns\n", survived, *fiSeeds)
+		if survived != *fiSeeds {
+			fail("fi", fmt.Errorf("%d campaigns not survived", *fiSeeds-survived))
 		}
 	}
 }

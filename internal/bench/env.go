@@ -47,7 +47,10 @@ func NewEnv(cfg EnvConfig) *Env {
 		cfg.PoolSize = 64 << 20
 	}
 	m := platform.New(1, cfg.RAMSize)
-	monitor := sm.New(m, cfg.SM)
+	monitor, err := sm.New(m, cfg.SM)
+	if err != nil {
+		panic(fmt.Sprintf("bench: secure monitor installation failed: %v", err))
+	}
 	k := hv.New(m, monitor, platform.RAMBase+0x0100_0000, cfg.RAMSize-0x0200_0000)
 	k.SchedQuantum = cfg.HVQuantum
 	h := m.Harts[0]

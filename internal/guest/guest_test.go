@@ -18,7 +18,10 @@ const ramSize = 256 << 20
 func newStack(t *testing.T, cfg sm.Config) (*hv.Hypervisor, *hart.Hart) {
 	t.Helper()
 	m := platform.New(1, ramSize)
-	monitor := sm.New(m, cfg)
+	monitor, err := sm.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := hv.New(m, monitor, platform.RAMBase+0x0100_0000, 0x0700_0000)
 	h := m.Harts[0]
 	h.Mode = isa.ModeS

@@ -20,7 +20,10 @@ const (
 func newStack(t *testing.T, cfg sm.Config) (*platform.Machine, *sm.SM, *Hypervisor, *hart.Hart) {
 	t.Helper()
 	m := platform.New(1, ramSize)
-	monitor := sm.New(m, cfg)
+	monitor, err := sm.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := New(m, monitor, normBase, normSize)
 	h := m.Harts[0]
 	h.Mode = isa.ModeS
@@ -274,7 +277,10 @@ func TestCVMSharedWindowFault(t *testing.T) {
 
 func TestCVMPoolExpansionThroughHV(t *testing.T) {
 	m := platform.New(1, ramSize)
-	monitor := sm.New(m, sm.Config{})
+	monitor, err := sm.New(m, sm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := New(m, monitor, normBase, normSize)
 	h := m.Harts[0]
 	h.Mode = isa.ModeS

@@ -23,6 +23,7 @@ type schedEntry struct {
 	done   bool
 	result sm.ExitInfo
 	rounds uint64
+	err    error
 }
 
 // VMResult reports one vCPU's completion.
@@ -32,6 +33,10 @@ type VMResult struct {
 	Data   uint64 // guest a0 at shutdown
 	Data2  uint64 // guest a1 at shutdown
 	Rounds uint64 // scheduling rounds consumed
+	// Err is non-nil when this vCPU's VM failed instead of shutting down
+	// (fatal per-CVM fault, quarantine, guest bug). Co-resident VMs are
+	// unaffected: the scheduler degrades per-VM, never per-fleet.
+	Err error
 }
 
 // NewScheduler creates an empty run queue.
@@ -58,7 +63,16 @@ func (s *Scheduler) RunAll(h *hart.Hart) ([]VMResult, error) {
 			if e.vm.Confidential {
 				info, err := s.k.RunCVM(h, e.vm, e.vcpu)
 				if err != nil {
-					return nil, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
+					// Graceful degradation: a fatal per-CVM fault (the SM
+					// quarantined the CVM) or a recoverable protocol error
+					// retires this entry; the rest of the queue keeps
+					// running. Only platform-fatal failures abort the fleet.
+					if smerr, ok := sm.AsSMError(err); ok && smerr.Severity == sm.SevFatalPlatform {
+						return nil, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
+					}
+					e.done, e.err = true, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
+					remaining--
+					continue
 				}
 				switch info.Reason {
 				case sm.ExitShutdown:
@@ -67,7 +81,10 @@ func (s *Scheduler) RunAll(h *hart.Hart) ([]VMResult, error) {
 				case sm.ExitTimer:
 					// Quantum expired: next entry's turn.
 				default:
-					return nil, fmt.Errorf("hv: %s/%d: unexpected exit %v", e.vm.Name, e.vcpu, info.Reason)
+					// A guest bug (undelegated exception, protocol abuse)
+					// fails this VM, not the fleet.
+					e.done, e.err = true, fmt.Errorf("hv: %s/%d: unexpected exit %v", e.vm.Name, e.vcpu, info.Reason)
+					remaining--
 				}
 				continue
 			}
@@ -89,7 +106,7 @@ func (s *Scheduler) RunAll(h *hart.Hart) ([]VMResult, error) {
 	out := make([]VMResult, len(s.queue))
 	for i, e := range s.queue {
 		out[i] = VMResult{VM: e.vm, VCPU: e.vcpu, Data: e.result.Data,
-			Data2: e.result.Data2, Rounds: e.rounds}
+			Data2: e.result.Data2, Rounds: e.rounds, Err: e.err}
 	}
 	return out, nil
 }

@@ -23,7 +23,10 @@ func spinImage(iters, result int64) []byte {
 
 func TestSchedulerMixedVMs(t *testing.T) {
 	m := platform.New(1, ramSize)
-	monitor := sm.New(m, sm.Config{SchedQuantum: 15_000})
+	monitor, err := sm.New(m, sm.Config{SchedQuantum: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := New(m, monitor, normBase, normSize)
 	k.SchedQuantum = 15_000
 	h := m.Harts[0]
@@ -75,7 +78,10 @@ func TestSchedulerMixedVMs(t *testing.T) {
 
 func TestSchedulerSingleVM(t *testing.T) {
 	m := platform.New(1, ramSize)
-	monitor := sm.New(m, sm.Config{})
+	monitor, err := sm.New(m, sm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := New(m, monitor, normBase, normSize)
 	h := m.Harts[0]
 	h.Mode = 1
@@ -96,7 +102,10 @@ func TestSchedulerSingleVM(t *testing.T) {
 
 func TestSchedulerEmpty(t *testing.T) {
 	m := platform.New(1, ramSize)
-	monitor := sm.New(m, sm.Config{})
+	monitor, err := sm.New(m, sm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := New(m, monitor, normBase, normSize)
 	sched := k.NewScheduler()
 	results, err := sched.RunAll(m.Harts[0])

@@ -11,6 +11,7 @@ package iopmp
 
 import (
 	"fmt"
+	"sort"
 
 	"zion/internal/pmp"
 )
@@ -90,6 +91,30 @@ func (u *Unit) ClearDomain(md int) {
 	if d, ok := u.domains[md]; ok {
 		d.entries = nil
 	}
+}
+
+// Window pairs a rule with the memory domain holding it, for auditors
+// that cross-check programmed DMA reachability against secure memory.
+type Window struct {
+	Domain int
+	Entry  Entry
+}
+
+// Windows enumerates every programmed rule across all domains in
+// deterministic (domain, entry-index) order.
+func (u *Unit) Windows() []Window {
+	mds := make([]int, 0, len(u.domains))
+	for md := range u.domains {
+		mds = append(mds, md)
+	}
+	sort.Ints(mds)
+	var out []Window
+	for _, md := range mds {
+		for _, e := range u.domains[md].entries {
+			out = append(out, Window{Domain: md, Entry: e})
+		}
+	}
+	return out
 }
 
 // Check validates a DMA transaction of n bytes at addr from source sid.

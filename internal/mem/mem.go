@@ -182,3 +182,19 @@ func (m *PhysMemory) Copy(dst, src, n uint64) error {
 // TouchedPages returns how many distinct pages have been materialized,
 // which tests use to verify lazy allocation.
 func (m *PhysMemory) TouchedPages() int { return len(m.pages) }
+
+// FlipBit inverts one bit of the byte at addr — the fault-injection
+// primitive modelling a DRAM single-event upset. It bypasses nothing the
+// other accessors don't (PhysMemory is raw DRAM below every checker);
+// injectors use it to corrupt secure pages, page tables, or shared state.
+func (m *PhysMemory) FlipBit(addr uint64, bit uint) error {
+	if bit > 7 {
+		return fmt.Errorf("mem: bit %d out of range", bit)
+	}
+	if !m.Contains(addr, 1) {
+		return fmt.Errorf("mem: flip at %#x outside RAM [%#x,+%#x)", addr, m.base, m.size)
+	}
+	p, po := m.page(addr, true)
+	p[po] ^= 1 << bit
+	return nil
+}

@@ -107,9 +107,15 @@ func (m *Machine) tickTimer(h *hart.Hart) {
 	}
 }
 
+// ErrUnhandledTrap reports a trap that reached a privilege level with no
+// registered handler. The run loop stops and returns it instead of
+// panicking: one VM's stray trap must not take down the whole platform.
+var ErrUnhandledTrap = fmt.Errorf("platform: unhandled trap")
+
 // RunHart steps hart i until a handler stops the loop or maxSteps guest
-// instructions retire. It returns the number of steps executed.
-func (m *Machine) RunHart(i int, maxSteps uint64) uint64 {
+// instructions retire. It returns the number of steps executed and a
+// non-nil error if a trap reached a privilege level with no handler.
+func (m *Machine) RunHart(i int, maxSteps uint64) (uint64, error) {
 	h := m.Harts[i]
 	var steps uint64
 	for steps < maxSteps {
@@ -127,18 +133,22 @@ func (m *Machine) RunHart(i int, maxSteps uint64) uint64 {
 				h.Advance(h.Cost.WFIWake)
 				continue
 			}
-			return steps // idle forever: nothing to wake the hart
+			return steps, nil // idle forever: nothing to wake the hart
 		case hart.EvTrap:
-			if !m.dispatch(h, ev.Trap) {
-				return steps
+			cont, err := m.dispatch(h, ev.Trap)
+			if err != nil {
+				return steps, err
+			}
+			if !cont {
+				return steps, nil
 			}
 		}
 	}
-	return steps
+	return steps, nil
 }
 
 // dispatch routes a trap event to the registered privileged component.
-func (m *Machine) dispatch(h *hart.Hart, t hart.Trap) bool {
+func (m *Machine) dispatch(h *hart.Hart, t hart.Trap) (bool, error) {
 	var handler TrapHandler
 	switch t.Target {
 	case isa.ModeM:
@@ -149,8 +159,8 @@ func (m *Machine) dispatch(h *hart.Hart, t hart.Trap) bool {
 		handler = m.VSHandler
 	}
 	if handler == nil {
-		panic(fmt.Sprintf("platform: unhandled trap %s to %v at pc=%#x",
-			isa.CauseName(t.Cause), t.Target, t.PC))
+		return false, fmt.Errorf("%w: %s to %v at pc=%#x",
+			ErrUnhandledTrap, isa.CauseName(t.Cause), t.Target, t.PC)
 	}
-	return handler.HandleTrap(h, t)
+	return handler.HandleTrap(h, t), nil
 }

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"errors"
 	"testing"
 
 	"zion/internal/asm"
@@ -110,7 +111,10 @@ func TestWFIAdvancesToDeadline(t *testing.T) {
 		woke = true
 		return false
 	})
-	steps := m.RunHart(0, 1000)
+	steps, err := m.RunHart(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !woke {
 		t.Fatal("hart never woke from wfi")
 	}
@@ -131,7 +135,10 @@ func TestWFIWithNoTimerStops(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.PC = RAMBase
-	steps := m.RunHart(0, 1000)
+	steps, err := m.RunHart(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if steps != 1 {
 		t.Errorf("steps = %d, want 1 (wfi with nothing armed halts)", steps)
 	}
@@ -188,7 +195,7 @@ func TestUnmappedMMIOFaults(t *testing.T) {
 	}
 }
 
-func TestDispatchPanicsWithoutHandler(t *testing.T) {
+func TestDispatchErrorsWithoutHandler(t *testing.T) {
 	m := New(1, 16<<20)
 	h := m.Harts[0]
 	p := asm.New(RAMBase)
@@ -197,10 +204,13 @@ func TestDispatchPanicsWithoutHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.PC = RAMBase
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on unhandled trap")
-		}
-	}()
-	m.RunHart(0, 10)
+	// An unhandled trap stops this hart's run loop with a typed error; it
+	// must not panic the process (other VMs keep running).
+	steps, err := m.RunHart(0, 10)
+	if !errors.Is(err, ErrUnhandledTrap) {
+		t.Fatalf("err = %v, want ErrUnhandledTrap", err)
+	}
+	if steps == 0 {
+		t.Error("trap should count as an executed step")
+	}
 }

@@ -1,0 +1,216 @@
+package sm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file defines the Secure Monitor's typed error taxonomy. Every
+// runtime failure the SM can hit — bad hypervisor arguments, protocol
+// violations, tampering, platform programming faults, internal memory
+// escapes — surfaces as an *SMError carrying a stable code, a severity
+// that tells the hypervisor whether the CVM (or the platform) can
+// continue, and the CVM the failure is scoped to. CoVE makes graceful
+// TSM error returns part of the ABI contract; this is our version of it.
+// The SM never panics on a runtime path: fatal per-CVM conditions
+// quarantine that CVM and every other CVM keeps running.
+
+// ErrCode is a stable Secure Monitor error code (ABI-visible).
+type ErrCode int
+
+// Error codes. The mapping to sentinel errors and severities is in
+// docs/ABI.md ("Error codes and failure semantics").
+const (
+	CodeOK          ErrCode = iota
+	CodeBadArgs             // malformed or out-of-range arguments
+	CodeNotFound            // no such CVM or vCPU
+	CodeBadState            // operation invalid in the current lifecycle state
+	CodeNotSecure           // address expected in secure memory
+	CodeNotNormal           // address expected in normal memory
+	CodeOwnership           // frame owned by another CVM / window intersects secure memory
+	CodeTampered            // Check-after-Load or seal authentication failure
+	CodeConcurrency         // concurrent CVM limit reached
+	CodePoolEmpty           // secure pool exhausted; expansion protocol required
+	CodeQuarantined         // the CVM was quarantined after a fatal fault
+	CodePlatform            // PMP/IOPMP/platform programming failed
+	CodeMemory              // an SM-internal physical memory access escaped RAM
+	CodeInternal            // invariant violation inside the SM
+)
+
+// String implements fmt.Stringer.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeBadArgs:
+		return "bad-args"
+	case CodeNotFound:
+		return "not-found"
+	case CodeBadState:
+		return "bad-state"
+	case CodeNotSecure:
+		return "not-secure"
+	case CodeNotNormal:
+		return "not-normal"
+	case CodeOwnership:
+		return "ownership"
+	case CodeTampered:
+		return "tampered"
+	case CodeConcurrency:
+		return "concurrency"
+	case CodePoolEmpty:
+		return "pool-empty"
+	case CodeQuarantined:
+		return "quarantined"
+	case CodePlatform:
+		return "platform"
+	case CodeMemory:
+		return "memory"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", int(c))
+}
+
+// Severity classifies the blast radius of an SMError.
+type Severity int
+
+// Severities. Recoverable errors reject one call and change nothing;
+// fatal-per-CVM errors quarantine the CVM they are scoped to while
+// co-resident CVMs keep running; fatal-platform errors mean the SM's own
+// platform programming failed and the machine should not enter CVM mode.
+const (
+	SevRecoverable Severity = iota
+	SevFatalCVM
+	SevFatalPlatform
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevRecoverable:
+		return "recoverable"
+	case SevFatalCVM:
+		return "fatal-cvm"
+	case SevFatalPlatform:
+		return "fatal-platform"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// SMError is the typed error every SM entry point returns. It wraps the
+// package's sentinel errors, so errors.Is against ErrBadArgs etc. keeps
+// working across the ABI.
+type SMError struct {
+	Code     ErrCode
+	Severity Severity
+	CVMID    int    // 0 when not scoped to a CVM
+	Op       string // the SM operation that failed
+	Err      error  // wrapped sentinel or detail
+}
+
+// Error implements error.
+func (e *SMError) Error() string {
+	scope := ""
+	if e.CVMID != 0 {
+		scope = fmt.Sprintf(" cvm=%d", e.CVMID)
+	}
+	return fmt.Sprintf("sm: %s [%s/%s%s]: %v", e.Op, e.Code, e.Severity, scope, e.Err)
+}
+
+// Unwrap exposes the wrapped sentinel for errors.Is / errors.As.
+func (e *SMError) Unwrap() error { return e.Err }
+
+// AsSMError extracts the typed error from an error chain.
+func AsSMError(err error) (*SMError, bool) {
+	var e *SMError
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// classify maps an arbitrary error to its (code, severity). Errors that
+// are not SM sentinels — memory escapes, page-table corruption — are
+// internal faults, fatal for the CVM they occurred in.
+func classify(err error) (ErrCode, Severity) {
+	switch {
+	case err == nil:
+		return CodeOK, SevRecoverable
+	case errors.Is(err, ErrQuarantined):
+		return CodeQuarantined, SevRecoverable
+	case errors.Is(err, ErrTampered):
+		return CodeTampered, SevFatalCVM
+	case errors.Is(err, ErrBadArgs):
+		return CodeBadArgs, SevRecoverable
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound, SevRecoverable
+	case errors.Is(err, ErrBadState):
+		return CodeBadState, SevRecoverable
+	case errors.Is(err, ErrNotSecure):
+		return CodeNotSecure, SevRecoverable
+	case errors.Is(err, ErrNotNormal):
+		return CodeNotNormal, SevRecoverable
+	case errors.Is(err, ErrOwnership):
+		return CodeOwnership, SevRecoverable
+	case errors.Is(err, ErrConcurrency):
+		return CodeConcurrency, SevRecoverable
+	case errors.Is(err, ErrPoolEmpty):
+		return CodePoolEmpty, SevRecoverable
+	}
+	return CodeInternal, SevFatalCVM
+}
+
+// wrapErr turns err into an *SMError tagged with the operation and CVM
+// scope. Already-typed errors pass through with scope filled in.
+func wrapErr(op string, cvmID int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *SMError
+	if errors.As(err, &e) {
+		if e.CVMID == 0 {
+			e.CVMID = cvmID
+		}
+		return err
+	}
+	code, sev := classify(err)
+	return &SMError{Code: code, Severity: sev, CVMID: cvmID, Op: op, Err: err}
+}
+
+// smErr builds a typed error from scratch (for failures with no sentinel,
+// e.g. platform programming or memory escapes).
+func smErr(code ErrCode, sev Severity, cvmID int, op string, err error) *SMError {
+	return &SMError{Code: code, Severity: sev, CVMID: cvmID, Op: op, Err: err}
+}
+
+// opName renders a FuncID for error tagging.
+func opName(fn FuncID) string {
+	switch fn {
+	case FnRegisterPool:
+		return "register-pool"
+	case FnCreateCVM:
+		return "create-cvm"
+	case FnLoadPage:
+		return "load-page"
+	case FnFinalize:
+		return "finalize"
+	case FnCreateVCPU:
+		return "create-vcpu"
+	case FnRun:
+		return "run"
+	case FnDestroy:
+		return "destroy"
+	case FnRegisterShared:
+		return "register-shared"
+	case FnRevokeShared:
+		return "revoke-shared"
+	case FnGrantDMA:
+		return "grant-dma"
+	case FnSuspend:
+		return "suspend"
+	case FnResume:
+		return "resume"
+	}
+	return fmt.Sprintf("fn(%d)", uint64(fn))
+}

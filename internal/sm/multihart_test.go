@@ -16,7 +16,10 @@ import (
 // Normal-mode view stays closed.
 func TestTwoHartsRunSeparateCVMs(t *testing.T) {
 	m := platform.New(2, ramSize)
-	s := New(m, Config{SchedQuantum: 20_000})
+	s, err := New(m, Config{SchedQuantum: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h0, h1 := m.Harts[0], m.Harts[1]
 	h0.Mode, h1.Mode = isa.ModeS, isa.ModeS
 	if _, err := s.HVCall(h0, FnRegisterPool, poolBase, poolSize); err != nil {

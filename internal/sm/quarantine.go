@@ -1,0 +1,108 @@
+package sm
+
+import (
+	"zion/internal/hart"
+	"zion/internal/isa"
+)
+
+// Quarantine is the SM's graceful-degradation policy for fatal per-CVM
+// faults (Check-after-Load tampering, internal memory escapes, corrupted
+// page tables): instead of panicking — or silently destroying evidence —
+// the SM scrubs and releases every secure frame the CVM owned, so the
+// pool loses nothing, while preserving an immutable diagnostic record
+// (cause, final vCPU state, measurement) the operator can inspect.
+// Co-resident CVMs are unaffected; Dorami calls this compartmentalizing
+// the monitor's own failures.
+
+// QuarantineRecord is the preserved post-mortem of a quarantined CVM.
+type QuarantineRecord struct {
+	CVMID       int
+	Cause       error
+	Cycle       uint64
+	Measurement []byte       // sealed launch measurement (nil if never sealed)
+	VCPUs       []secureVCPU // final protected register state, for diagnosis
+	PagesFreed  int          // secure frames scrubbed and returned to the pool
+}
+
+// quarantine moves a live CVM into the quarantine set: frames scrubbed
+// and returned, VMID flushed, diagnostic state preserved. It is
+// idempotent per CVM (the record of the first fault wins) and never
+// fails: scrub errors are recorded in the cause chain rather than
+// propagated, because quarantine IS the error path.
+func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error) {
+	if _, done := s.quarantined[c.ID]; done {
+		return
+	}
+	rec := &QuarantineRecord{
+		CVMID: c.ID,
+		Cause: cause,
+		Cycle: h.Cycles,
+	}
+	if c.measurer != nil && c.measurer.sealed {
+		rec.Measurement = append([]byte(nil), c.measurer.value()...)
+	}
+	for _, v := range c.vcpus {
+		rec.VCPUs = append(rec.VCPUs, v.sec)
+	}
+	// Scrub before the pool can hand any frame to another CVM. A frame
+	// that cannot be zeroed (RAM escape — itself a fault-injection
+	// scenario) is still released: the pool hands out pages zero-filled
+	// on allocation, so stale secrets cannot leak through the allocator.
+	for pa := range c.owned {
+		if err := s.ram.Zero(pa, isa.PageSize); err == nil {
+			rec.PagesFreed++
+		}
+		h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy / 2)
+	}
+	s.pool.releaseAll(&c.tableCache)
+	for _, v := range c.vcpus {
+		s.pool.releaseAll(&v.memCache)
+	}
+	c.state = stQuarantined
+	delete(s.cvms, c.ID)
+	s.quarantined[c.ID] = rec
+	s.Stats.Quarantines++
+	note := "quarantine"
+	if cause != nil {
+		note = "quarantine: " + cause.Error()
+	}
+	s.trace(h.Cycles, EvViolation, c.ID, 0, note)
+	for _, hh := range s.machine.Harts {
+		hh.TLB.FlushVMID(c.vmid)
+		hh.Advance(hh.Cost.TLBFlushAll)
+	}
+}
+
+// Quarantine forcibly quarantines a live CVM (operator/auditor policy:
+// e.g. the invariant auditor found this CVM's page tables corrupted).
+func (s *SM) Quarantine(h *hart.Hart, id int, cause error) error {
+	c, ok := s.cvms[id]
+	if !ok {
+		if _, done := s.quarantined[id]; done {
+			return nil // already quarantined: idempotent
+		}
+		return wrapErr("quarantine", id, ErrNotFound)
+	}
+	s.quarantine(h, c, cause)
+	return nil
+}
+
+// Quarantined returns the diagnostic record of a quarantined CVM.
+func (s *SM) Quarantined(id int) (*QuarantineRecord, bool) {
+	rec, ok := s.quarantined[id]
+	return rec, ok
+}
+
+// QuarantineCount reports how many CVMs are currently quarantined.
+func (s *SM) QuarantineCount() int { return len(s.quarantined) }
+
+// releaseQuarantine drops the diagnostic record (FnDestroy on a
+// quarantined id: the hypervisor finished its post-mortem). The frames
+// were already scrubbed and released at quarantine time.
+func (s *SM) releaseQuarantine(id int) bool {
+	if _, ok := s.quarantined[id]; !ok {
+		return false
+	}
+	delete(s.quarantined, id)
+	return true
+}

@@ -258,6 +258,20 @@ func (p *securePool) releaseAll(c *pageCache) {
 	c.retired = nil
 }
 
+// blocks lists every block the cache currently holds (current + retired),
+// for the invariant auditor's ownership/accounting cross-checks.
+func (c *pageCache) blocks() []*block {
+	var out []*block
+	if c.current != nil {
+		out = append(out, c.current)
+	}
+	return append(out, c.retired...)
+}
+
+// TotalBlocks returns the number of blocks ever registered with the pool
+// (free + held by CVM caches).
+func (p *securePool) TotalBlocks() int { return p.ntotal }
+
 // ownerOf finds the cache block containing pa, for free operations.
 func (c *pageCache) ownerOf(pa uint64) *block {
 	if c.current != nil && pa >= c.current.base && pa < c.current.base+BlockSize {

@@ -77,6 +77,7 @@ var (
 	ErrOwnership   = errors.New("sm: frame owned by another CVM")
 	ErrTampered    = errors.New("sm: shared vCPU failed Check-after-Load validation")
 	ErrConcurrency = errors.New("sm: concurrent CVM limit reached")
+	ErrQuarantined = errors.New("sm: CVM quarantined after a fatal fault")
 )
 
 // cvmState tracks the lifecycle.
@@ -87,6 +88,7 @@ const (
 	stRunnable
 	stSuspended
 	stDead
+	stQuarantined
 )
 
 // CVM is the SM-side record of one confidential VM.
@@ -111,6 +113,11 @@ type CVM struct {
 
 	measurer *measurer
 	entryPC  uint64
+
+	// fatal records a fatal per-CVM fault detected mid-run (internal
+	// memory escape, page-table corruption). RunVCPU quarantines the CVM
+	// after the world-switch exit half completes.
+	fatal error
 
 	// Split page table (§IV.E): the hypervisor-managed shared subtable
 	// spliced into root slot sharedSlot.
@@ -157,6 +164,15 @@ type Config struct {
 	LongPath bool
 	// TraceEvents sizes the SM's diagnostic event ring (0 = tracing off).
 	TraceEvents int
+	// AuditLifecycle runs the cross-layer invariant auditor after every
+	// lifecycle HVCall (continuous verification; costs a full audit walk
+	// per call, so campaigns and tests enable it, benchmarks do not).
+	AuditLifecycle bool
+	// StepHook, when set, is invoked before every instruction step of a
+	// confidential run with the hart and the vCPU index. It is the
+	// fault-injection seam for asynchronous events (spurious interrupts,
+	// trap storms); production configs leave it nil.
+	StepHook func(h *hart.Hart, vcpu int)
 }
 
 // ExitInfo is returned to the hypervisor by FnRun.
@@ -179,6 +195,12 @@ type SM struct {
 	cvms    map[int]*CVM
 	nextID  int
 	cfg     Config
+
+	// quarantined holds post-mortem records of CVMs removed by the
+	// graceful-degradation policy; lastAudit caches the most recent
+	// invariant-audit findings.
+	quarantined map[int]*QuarantineRecord
+	lastAudit   []AuditFinding
 
 	key []byte // platform attestation key
 	rng *drbg
@@ -203,28 +225,42 @@ type Stats struct {
 	// the hypervisor regains control.
 	EntryCycles, ExitCycles   uint64
 	EntrySamples, ExitSamples uint64
+
+	// Robustness counters: CVMs quarantined by the graceful-degradation
+	// policy, unexpected machine interrupts tolerated during confidential
+	// runs, and invariant-audit activity.
+	Quarantines   uint64
+	SpuriousTraps uint64
+	AuditRuns     uint64
+	AuditFindings uint64
 }
 
 // New installs a Secure Monitor on the machine. It programs the baseline
 // PMP plan on every hart: S/U gets RAM and the MMIO window; registered
-// secure-pool regions are carved out on registration.
-func New(m *platform.Machine, cfg Config) *SM {
+// secure-pool regions are carved out on registration. A platform whose
+// memory layout the PMP cannot express is rejected with a typed
+// fatal-platform error rather than a panic: the machine simply cannot
+// enter confidential mode.
+func New(m *platform.Machine, cfg Config) (*SM, error) {
 	s := &SM{
-		machine: m,
-		ram:     m.RAM,
-		cvms:    make(map[int]*CVM),
-		nextID:  1,
-		cfg:     cfg,
-		key:     []byte("zion-platform-sealing-key-v1"),
-		rng:     newDRBG([]byte("zion-platform-entropy-seed")),
+		machine:     m,
+		ram:         m.RAM,
+		cvms:        make(map[int]*CVM),
+		quarantined: make(map[int]*QuarantineRecord),
+		nextID:      1,
+		cfg:         cfg,
+		key:         []byte("zion-platform-sealing-key-v1"),
+		rng:         newDRBG([]byte("zion-platform-entropy-seed")),
 	}
 	if cfg.TraceEvents > 0 {
 		s.events = &eventLog{buf: make([]Event, cfg.TraceEvents)}
 	}
 	for _, h := range m.Harts {
-		s.programBasePMP(h)
+		if err := s.programBasePMP(h); err != nil {
+			return nil, err
+		}
 	}
-	return s
+	return s, nil
 }
 
 // PMP entry plan (per hart):
@@ -239,20 +275,32 @@ const (
 	pmpRAM       = 14
 )
 
-func (s *SM) programBasePMP(h *hart.Hart) {
+// Exported PMP-plan indices: the fault-injection harness corrupts these
+// entries from outside the package and expects Audit/RepairPMP to react.
+const (
+	PMPPoolFirst = pmpPoolFirst
+	PMPPoolLast  = pmpPoolLast
+	PMPMMIOEntry = pmpMMIO
+	PMPRAMEntry  = pmpRAM
+)
+
+func (s *SM) programBasePMP(h *hart.Hart) error {
 	mmio, err := pmp.EncodeNAPOT(0, platform.RAMBase)
 	if err != nil {
-		panic(err)
+		return smErr(CodePlatform, SevFatalPlatform, 0, "program-base-pmp",
+			fmt.Errorf("MMIO window not NAPOT-encodable: %w", err))
 	}
 	h.PMP.SetAddr(pmpMMIO, mmio)
 	h.PMP.SetCfg(pmpMMIO, pmp.PermR|pmp.PermW|pmp.ANAPOT<<3)
 	ram, err := pmp.EncodeNAPOT(s.ram.Base(), roundPow2(s.ram.Size()))
 	if err != nil {
-		panic(err)
+		return smErr(CodePlatform, SevFatalPlatform, 0, "program-base-pmp",
+			fmt.Errorf("RAM window not NAPOT-encodable: %w", err))
 	}
 	h.PMP.SetAddr(pmpRAM, ram)
 	h.PMP.SetCfg(pmpRAM, pmp.PermR|pmp.PermW|pmp.PermX|pmp.ANAPOT<<3)
 	h.Advance(4 * h.Cost.PMPWriteEntry)
+	return nil
 }
 
 func roundPow2(v uint64) uint64 {
@@ -265,6 +313,9 @@ func roundPow2(v uint64) uint64 {
 
 // HVCall is the hypervisor's ECALL gateway into the SM. It charges the
 // trap-entry, dispatch and trap-return costs of a real ecall round trip.
+// Every failure surfaces as a typed *SMError carrying a stable code, a
+// severity, and the CVM scope; hostile or malformed calls reject that one
+// call and change no SM state.
 func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
 	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
 	defer h.Advance(h.Cost.TrapReturn)
@@ -274,34 +325,57 @@ func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
 		}
 		return 0
 	}
+	var ret uint64
+	var err error
+	cvmID := 0
 	switch fn {
 	case FnRegisterPool:
-		return 0, s.registerPool(h, a(0), a(1))
+		err = s.registerPool(h, a(0), a(1))
 	case FnCreateCVM:
-		return s.createCVM(h)
+		ret, err = s.createCVM(h)
 	case FnLoadPage:
-		return 0, s.loadPage(h, int(a(0)), a(1), a(2))
+		cvmID = int(a(0))
+		err = s.loadPage(h, cvmID, a(1), a(2))
 	case FnFinalize:
-		return 0, s.finalize(int(a(0)), a(1))
+		cvmID = int(a(0))
+		err = s.finalize(cvmID, a(1))
 	case FnCreateVCPU:
-		return s.createVCPU(int(a(0)), a(1))
+		cvmID = int(a(0))
+		ret, err = s.createVCPU(cvmID, a(1))
 	case FnDestroy:
-		return 0, s.destroy(h, int(a(0)))
+		cvmID = int(a(0))
+		// Destroy of a quarantined CVM releases its post-mortem record:
+		// the frames were already scrubbed at quarantine time, so this is
+		// the hypervisor acknowledging the diagnosis.
+		if s.releaseQuarantine(cvmID) {
+			err = nil
+		} else {
+			err = s.destroy(h, cvmID)
+		}
 	case FnRegisterShared:
-		return 0, s.registerShared(h, int(a(0)), a(1))
+		cvmID = int(a(0))
+		err = s.registerShared(h, cvmID, a(1))
 	case FnRevokeShared:
-		return 0, s.revokeShared(h, int(a(0)))
+		cvmID = int(a(0))
+		err = s.revokeShared(h, cvmID)
 	case FnGrantDMA:
-		return 0, s.grantDMA(h, iopmp.SourceID(a(0)), a(1), a(2))
+		err = s.grantDMA(h, iopmp.SourceID(a(0)), a(1), a(2))
 	case FnSuspend:
-		return 0, s.suspend(int(a(0)))
+		cvmID = int(a(0))
+		err = s.suspend(cvmID)
 	case FnResume:
-		return 0, s.resume(int(a(0)))
+		cvmID = int(a(0))
+		err = s.resume(cvmID)
 	case FnRun:
 		// Run has a richer result; hypervisors use RunVCPU instead.
-		return 0, ErrBadArgs
+		err = ErrBadArgs
+	default:
+		err = ErrBadArgs
 	}
-	return 0, ErrBadArgs
+	if s.cfg.AuditLifecycle && fn != FnRun {
+		s.Audit()
+	}
+	return ret, wrapErr(opName(fn), cvmID, err)
 }
 
 // registerPool accepts a contiguous physical region from the hypervisor
@@ -516,6 +590,9 @@ func (s *SM) destroy(h *hart.Hart, id int) error {
 func (s *SM) cvm(id int) (*CVM, error) {
 	c, ok := s.cvms[id]
 	if !ok {
+		if _, q := s.quarantined[id]; q {
+			return nil, ErrQuarantined
+		}
 		return nil, ErrNotFound
 	}
 	return c, nil
@@ -536,3 +613,8 @@ func (s *SM) Measurement(id int) ([]byte, error) {
 
 // PoolFreeBlocks exposes free-list depth (harness / hypervisor heuristics).
 func (s *SM) PoolFreeBlocks() int { return s.pool.FreeBlocks() }
+
+// PoolTotalBlocks exposes the pool's lifetime block count. A healthy SM
+// with no live CVMs satisfies PoolFreeBlocks() == PoolTotalBlocks(); the
+// fault-injection harness uses the difference as its leak detector.
+func (s *SM) PoolTotalBlocks() int { return s.pool.TotalBlocks() }

@@ -34,7 +34,10 @@ type fixture struct {
 func newFixture(t *testing.T, cfg Config) *fixture {
 	t.Helper()
 	m := platform.New(1, ramSize)
-	s := New(m, cfg)
+	s, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := &fixture{m: m, s: s, h: m.Harts[0], t: t}
 	f.h.Mode = isa.ModeS // the hypervisor runs in HS-mode
 	if _, err := s.HVCall(f.h, FnRegisterPool, poolBase, poolSize); err != nil {
@@ -255,9 +258,27 @@ func TestCheckAfterLoadDetectsTampering(t *testing.T) {
 	if f.s.Stats.TamperDetected != 1 {
 		t.Error("tamper statistic not recorded")
 	}
-	// The CVM was destroyed.
-	if _, err := f.s.RunVCPU(f.h, f.id, 0); !errors.Is(err, ErrNotFound) {
+	// Tampering is a fatal per-CVM fault: the CVM is quarantined (frames
+	// scrubbed and returned, diagnostic record kept), not silently gone.
+	if _, err := f.s.RunVCPU(f.h, f.id, 0); !errors.Is(err, ErrQuarantined) {
 		t.Errorf("after kill: %v", err)
+	}
+	rec, ok := f.s.Quarantined(f.id)
+	if !ok {
+		t.Fatal("no quarantine record")
+	}
+	if !errors.Is(rec.Cause, ErrTampered) {
+		t.Errorf("quarantine cause = %v, want ErrTampered", rec.Cause)
+	}
+	if f.s.PoolFreeBlocks() != poolSize/BlockSize {
+		t.Errorf("pool free blocks = %d, want %d (no leak)", f.s.PoolFreeBlocks(), poolSize/BlockSize)
+	}
+	// Destroy of the quarantined id releases the post-mortem record.
+	if _, err := f.s.HVCall(f.h, FnDestroy, uint64(f.id)); err != nil {
+		t.Fatalf("destroy of quarantined CVM: %v", err)
+	}
+	if _, ok := f.s.Quarantined(f.id); ok {
+		t.Error("quarantine record not released by destroy")
 	}
 }
 

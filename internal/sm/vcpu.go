@@ -74,6 +74,20 @@ const (
 	shvSize       = 0x38 // one 64-byte line in practice
 )
 
+// Exported shared-vCPU offsets: this layout is the hypervisor-facing ABI
+// (documented in docs/ABI.md), so emulators and the fault-injection
+// harness address the fields symbolically.
+const (
+	ShvExitReason = shvExitReason
+	ShvHtval      = shvHtval
+	ShvHtinst     = shvHtinst
+	ShvTargetReg  = shvTargetReg
+	ShvData       = shvData
+	ShvSeq        = shvSeq
+	ShvWidth      = shvWidth
+	ShvSize       = shvSize
+)
+
 // pendingExit is the SM-private record of the in-flight hypervisor
 // round trip, kept to validate the shared vCPU on resume (Check-after-Load,
 // TwinVisor-style): every field the hypervisor could tamper with is
@@ -100,19 +114,24 @@ type VCPU struct {
 }
 
 // writeShared stores one shared-vCPU field, bypassing PMP (the SM runs in
-// M-mode; the shared page is in normal memory).
-func (s *SM) writeShared(v *VCPU, off uint64, val uint64) {
+// M-mode; the shared page is in normal memory). An access that escapes RAM
+// means the shared-page binding itself is corrupt — a fatal per-CVM fault
+// surfaced as a typed error, never a process panic.
+func (s *SM) writeShared(v *VCPU, off uint64, val uint64) error {
 	if err := s.ram.WriteUint64(v.sharedPA+off, val); err != nil {
-		panic(fmt.Sprintf("sm: shared vCPU write escaped RAM: %v", err))
+		return smErr(CodeMemory, SevFatalCVM, 0, "shared-vcpu-write",
+			fmt.Errorf("shared vCPU write escaped RAM: %w", err))
 	}
+	return nil
 }
 
-func (s *SM) readShared(v *VCPU, off uint64) uint64 {
+func (s *SM) readShared(v *VCPU, off uint64) (uint64, error) {
 	val, err := s.ram.ReadUint64(v.sharedPA + off)
 	if err != nil {
-		panic(fmt.Sprintf("sm: shared vCPU read escaped RAM: %v", err))
+		return 0, smErr(CodeMemory, SevFatalCVM, 0, "shared-vcpu-read",
+			fmt.Errorf("shared vCPU read escaped RAM: %w", err))
 	}
-	return val
+	return val, nil
 }
 
 // saveGuestState copies the hart's guest-visible state into the secure

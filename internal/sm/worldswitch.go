@@ -87,13 +87,13 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
 	c, err := s.cvm(cvmID)
 	if err != nil {
-		return ExitInfo{}, err
+		return ExitInfo{}, wrapErr("run", cvmID, err)
 	}
 	if c.state != stRunnable {
-		return ExitInfo{}, ErrBadState
+		return ExitInfo{}, wrapErr("run", cvmID, ErrBadState)
 	}
 	if vcpuID < 0 || vcpuID >= len(c.vcpus) {
-		return ExitInfo{}, ErrNotFound
+		return ExitInfo{}, wrapErr("run", cvmID, ErrNotFound)
 	}
 	v := c.vcpus[vcpuID]
 	// Entry latency is measured from the hypervisor's ecall (§V.B), so
@@ -101,12 +101,15 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	entryStart := h.Cycles - h.Cost.TrapEntry - h.Cost.SMDispatch
 
 	// Check-after-Load: consume the hypervisor's answer to the previous
-	// exit before touching any guest state.
+	// exit before touching any guest state. A validation failure is a
+	// fatal per-CVM fault: the CVM is quarantined (diagnostic state
+	// preserved, frames scrubbed) and every other CVM keeps running.
 	if v.pending != nil {
 		if err := s.resumeFromExit(h, c, v); err != nil {
 			s.Stats.TamperDetected++
 			s.trace(h.Cycles, EvViolation, c.ID, 0, err.Error())
-			_ = s.destroy(h, c.ID)
+			err = wrapErr("run", c.ID, err)
+			s.quarantine(h, c, err)
 			return ExitInfo{Reason: ExitError}, err
 		}
 	}
@@ -122,6 +125,15 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	s.Stats.ExitCycles += h.Cycles - exitStart
 	s.Stats.ExitSamples++
 	s.trace(h.Cycles, EvExit, c.ID, uint64(info.Reason), info.Reason.String())
+	// A fatal fault detected inside the run (internal memory escape,
+	// page-table corruption, shared-page publish failure) quarantines the
+	// CVM now that the Normal-mode context is restored.
+	if c.fatal != nil {
+		err := wrapErr("run", c.ID, c.fatal)
+		c.fatal = nil
+		s.quarantine(h, c, err)
+		return ExitInfo{Reason: ExitError}, err
+	}
 	return info, nil
 }
 
@@ -247,13 +259,24 @@ func (s *SM) publishExit(h *hart.Hart, c *CVM, v *VCPU, info ExitInfo) {
 		return
 	}
 	v.seq++
-	s.writeShared(v, shvExitReason, uint64(info.Reason))
-	s.writeShared(v, shvHtval, info.GPA>>2)
-	s.writeShared(v, shvHtinst, h.CSR(isa.CSRMtinst))
-	s.writeShared(v, shvTargetReg, uint64(info.Target))
-	s.writeShared(v, shvData, info.Data)
-	s.writeShared(v, shvWidth, uint64(info.Width))
-	s.writeShared(v, shvSeq, v.seq)
+	for _, f := range [...]struct{ off, val uint64 }{
+		{shvExitReason, uint64(info.Reason)},
+		{shvHtval, info.GPA >> 2},
+		{shvHtinst, h.CSR(isa.CSRMtinst)},
+		{shvTargetReg, uint64(info.Target)},
+		{shvData, info.Data},
+		{shvWidth, uint64(info.Width)},
+		{shvSeq, v.seq},
+	} {
+		if err := s.writeShared(v, f.off, f.val); err != nil {
+			// The shared page escaped RAM: the exit cannot be published, so
+			// the round-trip contract is unfulfillable. Mark the CVM fatal;
+			// RunVCPU quarantines it once the world switch completes.
+			c.fatal = err
+			v.pending = nil
+			return
+		}
+	}
 	h.Advance(7 * h.Cost.RegCopy)
 	if s.cfg.DisableSharedVCPU {
 		// Baseline: the SM marshals the full register file out through
@@ -272,11 +295,19 @@ func (s *SM) resumeFromExit(h *hart.Hart, c *CVM, v *VCPU) error {
 	}
 	// Check-after-Load: load the hypervisor-writable fields first, then
 	// validate every one against the SM's pendingExit record.
-	seq := s.readShared(v, shvSeq)
-	reason := ExitReason(s.readShared(v, shvExitReason))
-	target := s.readShared(v, shvTargetReg)
-	width := s.readShared(v, shvWidth)
-	data := s.readShared(v, shvData)
+	var vals [5]uint64
+	for i, off := range [...]uint64{shvSeq, shvExitReason, shvTargetReg, shvWidth, shvData} {
+		val, err := s.readShared(v, off)
+		if err != nil {
+			return err
+		}
+		vals[i] = val
+	}
+	seq := vals[0]
+	reason := ExitReason(vals[1])
+	target := vals[2]
+	width := vals[3]
+	data := vals[4]
 
 	// Cost model: load each hypervisor-written field, validate it, and
 	// apply the sanctioned values to the secure state. The shared-vCPU
@@ -329,6 +360,9 @@ func extend(data uint64, width int, signed bool) uint64 {
 // event began (for §V.B exit-latency accounting).
 func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
 	for {
+		if s.cfg.StepHook != nil {
+			s.cfg.StepHook(h, v.ID)
+		}
 		if s.machine.CLINT.TimerPending(h.ID, h.Cycles) {
 			h.SetPending(isa.IntMTimer)
 		} else {
@@ -381,6 +415,19 @@ func (s *SM) handleCVMTrap(h *hart.Hart, c *CVM, v *VCPU, t hart.Trap) (ExitInfo
 	switch {
 	case t.Cause == isa.CauseInterruptBit|isa.IntMTimer:
 		return s.handleTimer(h, c, v)
+
+	case t.Cause&isa.CauseInterruptBit != 0:
+		// Unexpected machine-level interrupt (spurious software interrupt,
+		// a storming line): tolerate it rather than kill the guest. Clear
+		// the pending bit, mask the line for the rest of this run, and
+		// resume — a trap storm costs cycles, never correctness.
+		line := uint(t.Cause &^ isa.CauseInterruptBit)
+		h.ClearPending(line)
+		h.SetCSR(isa.CSRMie, h.CSR(isa.CSRMie)&^(uint64(1)<<line))
+		h.Advance(2 * h.Cost.CSRAccess)
+		s.Stats.SpuriousTraps++
+		h.MRet()
+		return ExitInfo{}, false
 
 	case t.Cause == isa.ExcEcallVS:
 		return s.handleGuestSBI(h, c, v)
@@ -467,13 +514,22 @@ func (s *SM) demandPage(h *hart.Hart, c *CVM, v *VCPU, gpa uint64, t hart.Trap) 
 		h.Advance(h.Cost.SMAllocBlock)
 	}
 	c.owned[pa] = true
-	// Fresh confidential memory must never leak prior contents.
+	// Fresh confidential memory must never leak prior contents. A scrub or
+	// map failure here means the SM's own view of secure memory is corrupt
+	// (bit-flipped page table, frame outside RAM): fatal for this CVM,
+	// quarantined by RunVCPU after the world switch unwinds.
 	if err := s.ram.Zero(pa, isa.PageSize); err != nil {
+		c.fatal = smErr(CodeMemory, SevFatalCVM, c.ID, "demand-page",
+			fmt.Errorf("secure page scrub escaped RAM: %w", err))
+		v.sec.PC = h.CSR(isa.CSRMepc)
 		return ExitInfo{Reason: ExitError}, true
 	}
 	b := s.tableBuilder(c)
 	flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
 	if err := b.Map(c.hgatpRoot, pageGPA, pa, flags, 0, true); err != nil {
+		c.fatal = smErr(CodeInternal, SevFatalCVM, c.ID, "demand-page",
+			fmt.Errorf("stage-2 map failed: %w", err))
+		v.sec.PC = h.CSR(isa.CSRMepc)
 		return ExitInfo{Reason: ExitError}, true
 	}
 	c.mappings[pageGPA] = pa

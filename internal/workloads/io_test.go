@@ -14,7 +14,10 @@ import (
 func newStack(t *testing.T) (*hv.Hypervisor, *hart.Hart) {
 	t.Helper()
 	m := platform.New(1, 256<<20)
-	monitor := sm.New(m, sm.Config{})
+	monitor, err := sm.New(m, sm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := hv.New(m, monitor, platform.RAMBase+0x0100_0000, 0x0700_0000)
 	h := m.Harts[0]
 	h.Mode = isa.ModeS

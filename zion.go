@@ -100,11 +100,14 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.SecurePoolBytes = 64 << 20
 	}
 	m := platform.New(cfg.Harts, cfg.RAMBytes)
-	monitor := sm.New(m, sm.Config{
+	monitor, err := sm.New(m, sm.Config{
 		SchedQuantum:          cfg.SchedQuantum,
 		ValidateSharedOnEntry: cfg.ValidateSharedOnEntry,
 		TraceEvents:           cfg.TraceEvents,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("zion: secure monitor installation: %w", err)
+	}
 	k := hv.New(m, monitor, platform.RAMBase+0x0100_0000, cfg.RAMBytes-0x0200_0000)
 	k.SchedQuantum = cfg.SchedQuantum
 	h := m.Harts[0]

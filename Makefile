@@ -2,7 +2,8 @@
 #
 #   make build  - compile everything
 #   make test   - tier-1: full test suite
-#   make check  - tier-2: vet + race detector on the core stack + a smoke
+#   make race   - full test suite under the race detector
+#   make check  - tier-2: vet + race detector on the whole module + a smoke
 #                 fault-injection campaign (fixed seed, 100 faults)
 #   make bench  - regenerate the paper's evaluation tables
 
@@ -16,9 +17,12 @@ build:
 test: build
 	$(GO) test ./...
 
+race: build
+	$(GO) test -race ./...
+
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sm/ ./internal/hv/ ./internal/faultinject/ ./internal/platform/
+	$(MAKE) race
 	$(GO) test ./...
 	$(MAKE) smoke
 

@@ -20,23 +20,59 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"zion/internal/bench"
 	"zion/internal/faultinject"
+	"zion/internal/telemetry"
 )
 
 func main() {
-	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi", "experiments to run")
+	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi", "experiments to run ('micro' = e1,e2,e3)")
 	scaleDiv := flag.Int("scalediv", 1, "divide workload scales (faster, less precise)")
 	requests := flag.Int("requests", 200, "redis requests per operation")
 	fiSeeds := flag.Int("fiseeds", 5, "fault-injection campaigns (one seed each)")
 	fiFaults := flag.Int("fifaults", 500, "faults per fault-injection campaign")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto)")
+	timelineOut := flag.String("timeline", "", "write a plain-text cycle timeline file ('-' = stdout)")
+	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry after the run")
+	traceCap := flag.Int("tracecap", 0, "trace ring capacity in events (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the simulator itself")
+	memprofile := flag.String("memprofile", "", "write a Go heap profile of the simulator itself")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Simulated-stack observability: one sink shared by every environment
+	// the selected experiments boot.
+	var sink *telemetry.Sink
+	if *traceOut != "" || *timelineOut != "" || *metrics {
+		sink = telemetry.New(telemetry.Config{TraceEvents: *traceCap})
+		bench.SetTelemetry(sink)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*sel, ",") {
-		want[strings.TrimSpace(e)] = true
+		e = strings.TrimSpace(e)
+		if e == "micro" {
+			want["e1"], want["e2"], want["e3"] = true, true, true
+			continue
+		}
+		want[e] = true
 	}
 	fail := func(id string, err error) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
@@ -164,6 +200,7 @@ func main() {
 		for seed := 0; seed < *fiSeeds; seed++ {
 			r, err := faultinject.Run(faultinject.CampaignConfig{
 				Seed: int64(seed), Faults: *fiFaults,
+				Telemetry: sink.Scope(),
 			})
 			if err != nil {
 				fail("fi", err)
@@ -183,6 +220,54 @@ func main() {
 		fmt.Printf("survived %d/%d campaigns\n", survived, *fiSeeds)
 		if survived != *fiSeeds {
 			fail("fi", fmt.Errorf("%d campaigns not survived", *fiSeeds-survived))
+		}
+	}
+
+	if sink != nil {
+		// Settle attribution so per-CVM cells sum exactly to hart totals.
+		bench.FlushTelemetry()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail("trace", err)
+			}
+			if err := sink.ExportChromeTrace(f); err != nil {
+				fail("trace", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("trace", err)
+			}
+			fmt.Printf("\nwrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+		}
+		if *timelineOut != "" {
+			w := os.Stdout
+			if *timelineOut != "-" {
+				f, err := os.Create(*timelineOut)
+				if err != nil {
+					fail("timeline", err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := sink.ExportTimeline(w); err != nil {
+				fail("timeline", err)
+			}
+		}
+		if *metrics {
+			fmt.Println("\n=== telemetry metrics ===")
+			sink.Registry.Dump(os.Stdout)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail("memprofile", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("memprofile", err)
 		}
 	}
 }

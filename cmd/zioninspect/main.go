@@ -74,8 +74,10 @@ func main() {
 	fmt.Printf("  world switches: %d entries, %d exits\n", st.Entries, st.Exits)
 	fmt.Printf("  page faults:    stage1=%d stage2=%d stage3=%d\n",
 		st.FaultStage[1], st.FaultStage[2], st.FaultStage[3])
-	fmt.Printf("  avg entry:      %d cycles\n", st.EntryCycles/max1(st.EntrySamples))
-	fmt.Printf("  avg exit:       %d cycles\n", st.ExitCycles/max1(st.ExitSamples))
+	fmt.Printf("  entry cycles:   mean=%.0f p50=%d p99=%d\n",
+		st.Entry.Mean(), st.Entry.Quantile(0.50), st.Entry.Quantile(0.99))
+	fmt.Printf("  exit cycles:    mean=%.0f p50=%d p99=%d\n",
+		st.Exit.Mean(), st.Exit.Quantile(0.50), st.Exit.Quantile(0.99))
 	fmt.Printf("  tamper events:  %d\n", st.TamperDetected)
 
 	fmt.Println("\n=== TLB (hart 0) ===")
@@ -93,12 +95,8 @@ func main() {
 	fmt.Println("\n=== Probe CVM ===")
 	fmt.Printf("  measurement: %x\n", meas)
 	fmt.Printf("  exits:       %v\n", vm.Exits())
-	fmt.Printf("  trap mix:    %d distinct causes observed\n", len(h.TrapCount))
-}
-
-func max1(v uint64) uint64 {
-	if v == 0 {
-		return 1
+	fmt.Println("  trap mix (by cause, ascending):")
+	for _, ts := range h.TrapMix() {
+		fmt.Printf("    cause %2d %-24s %d\n", ts.Cause, ts.Name, ts.Count)
 	}
-	return v
 }

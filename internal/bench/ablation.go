@@ -218,7 +218,7 @@ func RunA4() (A4Result, error) {
 				return res, err
 			}
 			st := e.SM.Stats
-			entry := float64(st.EntryCycles) / float64(st.EntrySamples)
+			entry := st.Entry.Mean()
 			if validate {
 				row.EntryChecked = entry
 			} else {

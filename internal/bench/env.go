@@ -14,6 +14,7 @@ import (
 	"zion/internal/isa"
 	"zion/internal/platform"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 )
 
 // TickInterval models the guest OS timer tick: 100 Hz at the paper's
@@ -26,6 +27,46 @@ type Env struct {
 	SM *sm.SM
 	HV *hv.Hypervisor
 	H  *hart.Hart
+
+	// Tel is the machine's telemetry scope (nil unless SetTelemetry armed
+	// a sink before NewEnv ran).
+	Tel *telemetry.Scope
+}
+
+// benchSink, when non-nil, is shared by every Env NewEnv boots; each gets
+// its own Scope (distinct PID) so their harts and CVM ids stay apart.
+var benchSink *telemetry.Sink
+
+// telEnvs tracks the environments wired to benchSink, for FlushTelemetry.
+var telEnvs []*Env
+
+// SetTelemetry arms (or, with nil, disarms) telemetry for environments
+// booted after this call. Experiments themselves never check the sink:
+// every record site is nil-scope-safe.
+func SetTelemetry(sink *telemetry.Sink) {
+	benchSink = sink
+	telEnvs = nil
+}
+
+// FlushTelemetry settles attribution at each wired hart's final cycle
+// count — making per-CVM cells sum exactly to hart totals — and publishes
+// end-of-run MMU/PMP gauges. Call once, after the experiments and before
+// exporting.
+func FlushTelemetry() {
+	for _, e := range telEnvs {
+		for _, h := range e.M.Harts {
+			e.Tel.AttrFlush(h.ID, h.Cycles)
+			ts := h.TLB.Stats()
+			e.Tel.Gauge(fmt.Sprintf("hart%d/tlb_hits", h.ID)).Set(ts.Hits)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/tlb_misses", h.ID)).Set(ts.Misses)
+			ps := h.PMP.Stats()
+			e.Tel.Gauge(fmt.Sprintf("hart%d/pmp_checks", h.ID)).Set(ps.Checks)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/pmp_denied", h.ID)).Set(ps.Denied)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/ptw_walks", h.ID)).Set(h.WalkStats.Walks)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/ptw_steps", h.ID)).Set(h.WalkStats.Steps)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/cycles", h.ID)).Set(h.Cycles)
+		}
+	}
 }
 
 // EnvConfig tunes the stack for an experiment.
@@ -47,6 +88,10 @@ func NewEnv(cfg EnvConfig) *Env {
 		cfg.PoolSize = 64 << 20
 	}
 	m := platform.New(1, cfg.RAMSize)
+	sc := benchSink.Scope()
+	if sc != nil && cfg.SM.Telemetry == nil {
+		cfg.SM.Telemetry = sc
+	}
 	monitor, err := sm.New(m, cfg.SM)
 	if err != nil {
 		panic(fmt.Sprintf("bench: secure monitor installation failed: %v", err))
@@ -55,10 +100,20 @@ func NewEnv(cfg EnvConfig) *Env {
 	k.SchedQuantum = cfg.HVQuantum
 	h := m.Harts[0]
 	h.Mode = isa.ModeS
+	if sc != nil {
+		k.SetTelemetry(sc)
+		for _, hh := range m.Harts {
+			hh.Tel = sc
+		}
+	}
 	if err := k.RegisterSecurePool(h, cfg.PoolSize); err != nil {
 		panic(fmt.Sprintf("bench: pool registration failed: %v", err))
 	}
-	return &Env{M: m, SM: monitor, HV: k, H: h}
+	e := &Env{M: m, SM: monitor, HV: k, H: h, Tel: sc}
+	if sc != nil {
+		telEnvs = append(telEnvs, e)
+	}
+	return e
 }
 
 // RunCVMToCompletion drives a CVM until shutdown, tolerating quantum

@@ -6,6 +6,7 @@ import (
 	"zion/internal/asm"
 	"zion/internal/hv"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 )
 
 // mmioStub is a minimal emulated device for the E1 microbenchmark.
@@ -41,21 +42,38 @@ func spinProgram(iters int64) []byte {
 	return p.MustAssemble()
 }
 
+// WSDist summarizes a world-switch latency distribution beyond its mean,
+// pulled from the SM's entry/exit histograms.
+type WSDist struct {
+	P50, P99, Min, Max uint64
+}
+
+func wsDist(h *telemetry.Histogram) WSDist {
+	return WSDist{P50: h.Quantile(0.50), P99: h.Quantile(0.99), Min: h.Min(), Max: h.Max()}
+}
+
+func (d WSDist) String() string {
+	return fmt.Sprintf("p50=%d p99=%d min=%d max=%d", d.P50, d.P99, d.Min, d.Max)
+}
+
 // E1Result reproduces §V.B.1: world-switch cycles for MMIO-triggered
 // entry/exit with and without the shared-vCPU mechanism.
 type E1Result struct {
 	EntryNoShared, EntryShared float64
 	ExitNoShared, ExitShared   float64
 	Iterations                 int
+
+	EntrySharedDist, ExitSharedDist     WSDist
+	EntryNoSharedDist, ExitNoSharedDist WSDist
 }
 
 // Rows renders the paper-style comparison.
 func (r E1Result) Rows() []string {
 	return []string{
-		fmt.Sprintf("CVM entry  without shared vCPU: %8.0f cycles", r.EntryNoShared),
-		fmt.Sprintf("CVM entry  with    shared vCPU: %8.0f cycles  (%+.1f%%)", r.EntryShared, pct(r.EntryNoShared, r.EntryShared)),
-		fmt.Sprintf("CVM exit   without shared vCPU: %8.0f cycles", r.ExitNoShared),
-		fmt.Sprintf("CVM exit   with    shared vCPU: %8.0f cycles  (%+.1f%%)", r.ExitShared, pct(r.ExitNoShared, r.ExitShared)),
+		fmt.Sprintf("CVM entry  without shared vCPU: %8.0f cycles  [%v]", r.EntryNoShared, r.EntryNoSharedDist),
+		fmt.Sprintf("CVM entry  with    shared vCPU: %8.0f cycles  (%+.1f%%)  [%v]", r.EntryShared, pct(r.EntryNoShared, r.EntryShared), r.EntrySharedDist),
+		fmt.Sprintf("CVM exit   without shared vCPU: %8.0f cycles  [%v]", r.ExitNoShared, r.ExitNoSharedDist),
+		fmt.Sprintf("CVM exit   with    shared vCPU: %8.0f cycles  (%+.1f%%)  [%v]", r.ExitShared, pct(r.ExitNoShared, r.ExitShared), r.ExitSharedDist),
 	}
 }
 
@@ -73,12 +91,13 @@ func RunE1(iters int) (E1Result, error) {
 			return res, err
 		}
 		st := e.SM.Stats
-		entry := float64(st.EntryCycles) / float64(st.EntrySamples)
-		exit := float64(st.ExitCycles) / float64(st.ExitSamples)
+		entry, exit := st.Entry.Mean(), st.Exit.Mean()
 		if disable {
 			res.EntryNoShared, res.ExitNoShared = entry, exit
+			res.EntryNoSharedDist, res.ExitNoSharedDist = wsDist(st.Entry), wsDist(st.Exit)
 		} else {
 			res.EntryShared, res.ExitShared = entry, exit
+			res.EntrySharedDist, res.ExitSharedDist = wsDist(st.Entry), wsDist(st.Exit)
 		}
 	}
 	return res, nil
@@ -90,15 +109,18 @@ type E2Result struct {
 	EntryLong, EntryShort float64
 	ExitLong, ExitShort   float64
 	Iterations            int
+
+	EntryShortDist, ExitShortDist WSDist
+	EntryLongDist, ExitLongDist   WSDist
 }
 
 // Rows renders the paper-style comparison.
 func (r E2Result) Rows() []string {
 	return []string{
-		fmt.Sprintf("CVM entry  long path : %8.0f cycles", r.EntryLong),
-		fmt.Sprintf("CVM entry  short path: %8.0f cycles  (%+.1f%%)", r.EntryShort, pct(r.EntryLong, r.EntryShort)),
-		fmt.Sprintf("CVM exit   long path : %8.0f cycles", r.ExitLong),
-		fmt.Sprintf("CVM exit   short path: %8.0f cycles  (%+.1f%%)", r.ExitShort, pct(r.ExitLong, r.ExitShort)),
+		fmt.Sprintf("CVM entry  long path : %8.0f cycles  [%v]", r.EntryLong, r.EntryLongDist),
+		fmt.Sprintf("CVM entry  short path: %8.0f cycles  (%+.1f%%)  [%v]", r.EntryShort, pct(r.EntryLong, r.EntryShort), r.EntryShortDist),
+		fmt.Sprintf("CVM exit   long path : %8.0f cycles  [%v]", r.ExitLong, r.ExitLongDist),
+		fmt.Sprintf("CVM exit   short path: %8.0f cycles  (%+.1f%%)  [%v]", r.ExitShort, pct(r.ExitLong, r.ExitShort), r.ExitShortDist),
 	}
 }
 
@@ -116,12 +138,13 @@ func RunE2(iters int) (E2Result, error) {
 			return res, err
 		}
 		st := e.SM.Stats
-		entry := float64(st.EntryCycles) / float64(st.EntrySamples)
-		exit := float64(st.ExitCycles) / float64(st.ExitSamples)
+		entry, exit := st.Entry.Mean(), st.Exit.Mean()
 		if long {
 			res.EntryLong, res.ExitLong = entry, exit
+			res.EntryLongDist, res.ExitLongDist = wsDist(st.Entry), wsDist(st.Exit)
 		} else {
 			res.EntryShort, res.ExitShort = entry, exit
+			res.EntryShortDist, res.ExitShortDist = wsDist(st.Entry), wsDist(st.Exit)
 		}
 	}
 	return res, nil
@@ -200,8 +223,7 @@ func RunE3(pages int) (E3Result, error) {
 	res.Stage2 = avg(sm.StageBlock)
 	// Stage 3 spans the world switch: SM-side cost plus the exit, the
 	// hypervisor's expansion assist, and the re-entry.
-	entry := float64(st.EntryCycles) / float64(st.EntrySamples)
-	exit := float64(st.ExitCycles) / float64(st.ExitSamples)
+	entry, exit := st.Entry.Mean(), st.Exit.Mean()
 	res.Stage3 = avg(sm.StageExpand) + exit + entry +
 		float64(e2.H.Cost.HVExpandAssist)
 	total := float64(st.FaultCycles[sm.StageCache]) + float64(st.FaultCycles[sm.StageBlock]) +

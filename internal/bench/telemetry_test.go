@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"zion/internal/telemetry"
+)
+
+// runE1Traced runs a small E1 under a fresh sink and returns the exported
+// Chrome trace plus the sink for deeper inspection.
+func runE1Traced(t *testing.T, iters int) ([]byte, *telemetry.Sink, E1Result) {
+	t.Helper()
+	sink := telemetry.New(telemetry.Config{})
+	SetTelemetry(sink)
+	defer SetTelemetry(nil)
+	r, err := RunE1(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FlushTelemetry()
+	var buf bytes.Buffer
+	if err := sink.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sink, r
+}
+
+// TestSeededTraceDeterminism: the simulation is seeded and the trace clock
+// is the simulated cycle counter, so two identical runs must export
+// byte-identical Chrome traces.
+func TestSeededTraceDeterminism(t *testing.T) {
+	a, _, _ := runE1Traced(t, 20)
+	b, _, _ := runE1Traced(t, 20)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-configuration runs exported different traces (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestAttributionSumsToHartTotals: after FlushTelemetry, every hart's
+// attribution cells must sum exactly to its cycle counter — no cycle
+// uncounted, none double-counted.
+func TestAttributionSumsToHartTotals(t *testing.T) {
+	sink := telemetry.New(telemetry.Config{})
+	SetTelemetry(sink)
+	defer SetTelemetry(nil)
+	if _, err := RunE1(20); err != nil {
+		t.Fatal(err)
+	}
+	envs := telEnvs // capture before any reset
+	FlushTelemetry()
+
+	rows, totals := sink.Attr.Rows()
+	if len(totals) == 0 {
+		t.Fatal("no attribution totals recorded")
+	}
+	type hk struct{ pid, hart int32 }
+	sums := map[hk]uint64{}
+	for _, r := range rows {
+		sums[hk{r.PID, r.Hart}] += r.Total()
+	}
+	for _, tot := range totals {
+		if got := sums[hk{tot.PID, tot.Hart}]; got != tot.Cycles {
+			t.Errorf("p%d/h%d: attribution rows sum to %d, cursor total %d",
+				tot.PID, tot.Hart, got, tot.Cycles)
+		}
+	}
+	// The cursor totals themselves must equal the real hart cycle counters.
+	for _, e := range envs {
+		pid := e.Tel.PID()
+		for _, h := range e.M.Harts {
+			found := false
+			for _, tot := range totals {
+				if tot.PID == pid && tot.Hart == int32(h.ID) {
+					found = true
+					if tot.Cycles != h.Cycles {
+						t.Errorf("p%d/h%d: attributed %d cycles, hart ran %d",
+							pid, h.ID, tot.Cycles, h.Cycles)
+					}
+				}
+			}
+			if !found && h.Cycles > 0 {
+				t.Errorf("p%d/h%d ran %d cycles but has no attribution total", pid, h.ID, h.Cycles)
+			}
+		}
+	}
+	// Guest cycles must actually be attributed to the CVM, not the host.
+	var guest uint64
+	for _, r := range rows {
+		if r.CVM >= 0 {
+			guest += r.Buckets[telemetry.AttrGuest]
+		}
+	}
+	if guest == 0 {
+		t.Error("no guest cycles attributed to any CVM")
+	}
+}
+
+// TestTraceContainsWorldSwitchSpans: the exported trace must carry the SM
+// world-switch span taxonomy with per-CVM labels.
+func TestTraceContainsWorldSwitchSpans(t *testing.T) {
+	raw, _, _ := runE1Traced(t, 20)
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Args struct {
+				CVM int32 `json:"cvm"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	want := map[string]bool{"ws.entry": false, "ws.exit": false}
+	for _, ev := range f.TraceEvents {
+		if _, ok := want[ev.Name]; ok && ev.Cat == "sm" && ev.Ph == "X" && ev.Args.CVM >= 0 {
+			want[ev.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no %q span with a CVM label in the trace", name)
+		}
+	}
+}
+
+// TestTelemetryOffBitIdentical: arming telemetry must not perturb the
+// simulation — cycle-domain results with the sink on and off are
+// bit-identical, proving record sites never advance simulated time.
+func TestTelemetryOffBitIdentical(t *testing.T) {
+	SetTelemetry(nil)
+	off, err := RunE1(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, on := runE1Traced(t, 20)
+	if off != on {
+		t.Errorf("telemetry changed benchmark results:\noff: %+v\non:  %+v", off, on)
+	}
+}
+
+// TestMicroRowsReportPercentiles: world-switch rows must surface the
+// distribution, not just the mean.
+func TestMicroRowsReportPercentiles(t *testing.T) {
+	_, _, r := runE1Traced(t, 20)
+	if r.EntrySharedDist.P99 == 0 || r.EntrySharedDist.P50 == 0 {
+		t.Errorf("entry distribution empty: %+v", r.EntrySharedDist)
+	}
+	if r.EntrySharedDist.P50 > r.EntrySharedDist.P99 {
+		t.Errorf("p50 %d > p99 %d", r.EntrySharedDist.P50, r.EntrySharedDist.P99)
+	}
+	if r.EntrySharedDist.Min > r.EntrySharedDist.P50 || r.EntrySharedDist.P99 > r.EntrySharedDist.Max {
+		t.Errorf("distribution out of order: %+v", r.EntrySharedDist)
+	}
+}

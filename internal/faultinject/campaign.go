@@ -7,6 +7,7 @@ import (
 
 	"zion/internal/asm"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 )
 
 // checksumProgram builds a CVM image that computes sum(1..n) into a0 and
@@ -50,6 +51,9 @@ type CampaignConfig struct {
 	Quantum uint64
 	// Classes restricts the swept fault classes (default: all).
 	Classes []Class
+	// Telemetry, when set, receives campaign outcome counters
+	// (fi/class_*, fi/outcome_*, quarantines, leaked blocks, ...).
+	Telemetry *telemetry.Scope
 }
 
 // Report summarizes a completed campaign.
@@ -188,5 +192,30 @@ func Run(cfg CampaignConfig) (*Report, error) {
 	rep.AuditRuns = in.s.Stats.AuditRuns
 	rep.LeakedBlocks = in.s.PoolTotalBlocks() - in.s.PoolFreeBlocks()
 	rep.ResidualFindings = in.s.Audit()
+	rep.publish(cfg.Telemetry)
 	return rep, nil
+}
+
+// publish mirrors the report into a telemetry scope as fi/* metrics so
+// fault campaigns show up next to the benchmark counters. Nil-safe.
+func (rep *Report) publish(tel *telemetry.Scope) {
+	if tel == nil {
+		return
+	}
+	tel.Counter("fi/faults").Add(uint64(rep.Faults))
+	for c := Class(0); c < numClasses; c++ {
+		if rep.ByClass[c] > 0 {
+			tel.Counter("fi/class_" + c.String()).Add(uint64(rep.ByClass[c]))
+		}
+	}
+	for o := Outcome(0); o < numOutcomes; o++ {
+		if rep.Outcomes[o] > 0 {
+			tel.Counter("fi/outcome_" + o.String()).Add(uint64(rep.Outcomes[o]))
+		}
+	}
+	tel.Counter("fi/quarantines").Add(rep.Quarantines)
+	tel.Counter("fi/spurious_traps").Add(rep.SpuriousTraps)
+	tel.Counter("fi/audit_runs").Add(rep.AuditRuns)
+	tel.Gauge("fi/leaked_blocks").Set(uint64(rep.LeakedBlocks))
+	tel.Gauge("fi/residual_findings").Set(uint64(len(rep.ResidualFindings)))
 }

@@ -16,10 +16,13 @@ package hart
 import (
 	"fmt"
 
+	"sort"
+
 	"zion/internal/isa"
 	"zion/internal/mem"
 	"zion/internal/pmp"
 	"zion/internal/ptw"
+	"zion/internal/telemetry"
 	"zion/internal/tlb"
 )
 
@@ -82,6 +85,12 @@ type Hart struct {
 
 	// Stats for the harness.
 	TrapCount map[uint64]uint64
+	// WalkStats counts page-table walk activity (telemetry).
+	WalkStats ptw.WalkStats
+
+	// Tel, when non-nil, records a cycle-domain instant per architectural
+	// trap. Nil costs one branch per trap.
+	Tel *telemetry.Scope
 }
 
 // New creates a hart wired to the given RAM and bus.
@@ -97,7 +106,7 @@ func New(id int, ram *mem.PhysMemory, bus Bus) *Hart {
 		csr:       newCSRFile(uint64(id)),
 		TrapCount: make(map[uint64]uint64),
 	}
-	h.walker = ptw.Walker{Mem: ram}
+	h.walker = ptw.Walker{Mem: ram, Stats: &h.WalkStats}
 	return h
 }
 
@@ -208,6 +217,10 @@ func (h *Hart) TakeTrap(ti trapInfo) Trap {
 	target := h.trapTarget(ti.cause, from)
 	h.Cycles += h.Cost.TrapEntry
 	h.TrapCount[ti.cause]++
+	if h.Tel != nil {
+		h.Tel.Instant(h.ID, "hart", "trap", h.Cycles, telemetry.NoCVM,
+			ti.cause, isa.CauseName(ti.cause))
+	}
 
 	t := Trap{Cause: ti.cause, Tval: ti.tval, Tval2: ti.tval2, Tinst: ti.tinst,
 		Target: target, From: from, PC: h.PC}
@@ -394,4 +407,23 @@ func modeFrom(base uint64, virt bool) isa.PrivMode {
 // String summarizes the hart for diagnostics.
 func (h *Hart) String() string {
 	return fmt.Sprintf("hart%d[%v pc=%#x cycles=%d]", h.ID, h.Mode, h.PC, h.Cycles)
+}
+
+// TrapStat is one (cause, count) entry of the hart's trap mix.
+type TrapStat struct {
+	Cause uint64
+	Name  string
+	Count uint64
+}
+
+// TrapMix returns the trap counts sorted by cause number. TrapCount is a
+// map; every renderer and summer must go through this accessor so output
+// is deterministic across runs.
+func (h *Hart) TrapMix() []TrapStat {
+	out := make([]TrapStat, 0, len(h.TrapCount))
+	for cause, n := range h.TrapCount {
+		out = append(out, TrapStat{Cause: cause, Name: isa.CauseName(cause), Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cause < out[j].Cause })
+	return out
 }

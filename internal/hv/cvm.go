@@ -206,6 +206,7 @@ func (k *Hypervisor) RunCVM(h *hart.Hart, vm *VM, vcpuID int) (sm.ExitInfo, erro
 
 		case sm.ExitPoolEmpty:
 			vm.countExit("poolempty")
+			k.Tel.Counter("hv/pool_expansions").Inc()
 			h.Advance(h.Cost.HVExpandAssist)
 			if err := k.RegisterSecurePool(h, 4<<20); err != nil {
 				return info, fmt.Errorf("hv: pool expansion failed: %w", err)
@@ -221,6 +222,7 @@ func (k *Hypervisor) RunCVM(h *hart.Hart, vm *VM, vcpuID int) (sm.ExitInfo, erro
 // runs on the parameters the SM published in the shared vCPU, and for
 // reads the result goes back through the shared vCPU data slot.
 func (k *Hypervisor) emulateCVMMMIO(h *hart.Hart, vm *VM, vcpuID int, info sm.ExitInfo) error {
+	k.Tel.Counter("hv/mmio_emulations").Inc()
 	h.Advance(h.Cost.HVExitHandle + h.Cost.HVMMIOEmul)
 	dev, off, ok := vm.deviceAt(info.GPA)
 	if !ok {

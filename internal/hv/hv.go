@@ -17,6 +17,7 @@ import (
 	"zion/internal/platform"
 	"zion/internal/ptw"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 )
 
 // FrameAlloc is a bump allocator over a normal-memory region. The real
@@ -104,6 +105,17 @@ type Hypervisor struct {
 
 	// Stage-2 fault timing for normal VMs (§V.C comparison).
 	S2FaultCycles, S2FaultCount uint64
+
+	// Tel, when set via SetTelemetry, records scheduler-slice spans,
+	// expansion/MMIO counters, and the normal-VM stage-2 fault histogram.
+	Tel    *telemetry.Scope
+	s2Hist *telemetry.Histogram
+}
+
+// SetTelemetry attaches the hypervisor to a telemetry scope (nil detaches).
+func (k *Hypervisor) SetTelemetry(sc *telemetry.Scope) {
+	k.Tel = sc
+	k.s2Hist = sc.Histogram("hv/s2fault_cycles")
 }
 
 // New wires a hypervisor over the machine. normBase/normSize delimit the

@@ -6,6 +6,7 @@ import (
 	"zion/internal/hart"
 	"zion/internal/isa"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 )
 
 // CreateNormalVM builds a plain (non-confidential) VM: hypervisor-owned
@@ -195,6 +196,8 @@ func (k *Hypervisor) handleNormalExit(h *hart.Hart, vm *VM, v *VCPUState, t hart
 			h.SRet() // retry the access
 			k.S2FaultCycles += h.Cycles - start
 			k.S2FaultCount++
+			k.s2Hist.Observe(h.Cycles - start)
+			k.Tel.Span(h.ID, "hv", "s2fault.normal", start, h.Cycles, telemetry.NoCVM, gpa)
 			return NormalExit{}, false, nil
 		}
 		k.saveVCPU(h, v, h.CSR(isa.CSRSepc))

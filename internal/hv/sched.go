@@ -5,6 +5,7 @@ import (
 
 	"zion/internal/hart"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 )
 
 // Scheduler multiplexes many vCPUs — confidential and normal, mixed —
@@ -60,8 +61,11 @@ func (s *Scheduler) RunAll(h *hart.Hart) ([]VMResult, error) {
 				continue
 			}
 			e.rounds++
+			sliceStart := h.Cycles
 			if e.vm.Confidential {
 				info, err := s.k.RunCVM(h, e.vm, e.vcpu)
+				s.k.Tel.Span(h.ID, "hv", "slice."+e.vm.Name, sliceStart, h.Cycles,
+					e.vm.CVMID, e.rounds)
 				if err != nil {
 					// Graceful degradation: a fatal per-CVM fault (the SM
 					// quarantined the CVM) or a recoverable protocol error
@@ -89,6 +93,8 @@ func (s *Scheduler) RunAll(h *hart.Hart) ([]VMResult, error) {
 				continue
 			}
 			exit, err := s.k.RunNormalVCPU(h, e.vm, e.vcpu)
+			s.k.Tel.Span(h.ID, "hv", "slice."+e.vm.Name, sliceStart, h.Cycles,
+				telemetry.NoCVM, e.rounds)
 			if err != nil {
 				return nil, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
 			}

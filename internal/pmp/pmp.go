@@ -58,9 +58,19 @@ func (a AccessType) String() string {
 // Unit is one hart's PMP block: 16 config bytes (packed into pmpcfg0/2 on
 // RV64) and 16 address registers.
 type Unit struct {
-	cfg  [NumEntries]uint8
-	addr [NumEntries]uint64 // raw pmpaddr values (physical address >> 2)
+	cfg   [NumEntries]uint8
+	addr  [NumEntries]uint64 // raw pmpaddr values (physical address >> 2)
+	stats Stats
 }
+
+// Stats counts PMP check activity (telemetry).
+type Stats struct {
+	Checks uint64 // accesses evaluated
+	Denied uint64 // accesses rejected
+}
+
+// Stats returns the accumulated check counts.
+func (u *Unit) Stats() Stats { return u.stats }
 
 // New returns a PMP unit with all entries off (reset state). With no
 // matching entry, M-mode accesses succeed and S/U accesses fail, per spec.
@@ -171,6 +181,15 @@ func (u *Unit) entryRange(i int) (lo, hi uint64, ok bool) {
 // Per spec, an access that only partially matches an entry fails
 // regardless of permissions.
 func (u *Unit) Check(addr, n uint64, acc AccessType, machineMode bool) bool {
+	ok := u.check(addr, n, acc, machineMode)
+	u.stats.Checks++
+	if !ok {
+		u.stats.Denied++
+	}
+	return ok
+}
+
+func (u *Unit) check(addr, n uint64, acc AccessType, machineMode bool) bool {
 	if n == 0 {
 		n = 1
 	}

@@ -97,9 +97,20 @@ type Opts struct {
 	NoAD   bool // fault instead of updating A/D bits (Svade behaviour)
 }
 
+// WalkStats accumulates walk activity for the telemetry layer. The counts
+// include nested (VS-stage-1 via G-stage) walks, so Steps reflects every
+// PTE fetch the memory system really performed.
+type WalkStats struct {
+	Walks  uint64 // translations attempted
+	Steps  uint64 // PTE fetches performed
+	Faults uint64 // walks that ended in a page fault
+}
+
 // Walker reads and updates page tables in physical memory.
 type Walker struct {
 	Mem *mem.PhysMemory
+	// Stats, when non-nil, collects walk counts (telemetry).
+	Stats *WalkStats
 }
 
 // vpn extracts the 9-bit (or wider, for the Sv39x4 root) VPN slice for a level.
@@ -139,6 +150,18 @@ func MaxVA(stage2 bool) uint64 {
 // updates the leaf's A (and for writes D) bit unless opts.NoAD is set, in
 // which case a stale A/D bit faults.
 func (w *Walker) Walk(rootPA, va uint64, acc Access, opts Opts) (Result, error) {
+	res, err := w.walk(rootPA, va, acc, opts)
+	if w.Stats != nil {
+		w.Stats.Walks++
+		w.Stats.Steps += uint64(res.Steps)
+		if err != nil {
+			w.Stats.Faults++
+		}
+	}
+	return res, err
+}
+
+func (w *Walker) walk(rootPA, va uint64, acc Access, opts Opts) (Result, error) {
 	fault := func(reason string) (Result, error) {
 		return Result{}, &PageFault{Addr: va, Access: acc, GuestPage: opts.Stage2, Reason: reason}
 	}

@@ -3,6 +3,7 @@ package sm
 import (
 	"zion/internal/hart"
 	"zion/internal/isa"
+	"zion/internal/telemetry"
 )
 
 // Quarantine is the SM's graceful-degradation policy for fatal per-CVM
@@ -67,9 +68,12 @@ func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error) {
 		note = "quarantine: " + cause.Error()
 	}
 	s.trace(h.Cycles, EvViolation, c.ID, 0, note)
+	s.tel.Counter("sm/quarantines").Inc()
 	for _, hh := range s.machine.Harts {
+		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
 		hh.TLB.FlushVMID(c.vmid)
 		hh.Advance(hh.Cost.TLBFlushAll)
+		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"zion/internal/platform"
 	"zion/internal/pmp"
 	"zion/internal/ptw"
+	"zion/internal/telemetry"
 )
 
 // FuncID selects an SM entry point in the hypervisor-facing ECALL ABI.
@@ -163,7 +164,13 @@ type Config struct {
 	// architectures on both halves of the world switch (§V.B.2 baseline).
 	LongPath bool
 	// TraceEvents sizes the SM's diagnostic event ring (0 = tracing off).
+	// With Telemetry set, SM events go to the shared ring and TraceEvents
+	// is ignored; alone, it buys a private ring of that capacity.
 	TraceEvents int
+	// Telemetry attaches the SM to a shared cross-layer telemetry scope:
+	// spans for world switches and HVCalls, per-CVM cycle attribution, and
+	// registry metrics. Nil disables all of it at one nil-check per site.
+	Telemetry *telemetry.Scope
 	// AuditLifecycle runs the cross-layer invariant auditor after every
 	// lifecycle HVCall (continuous verification; costs a full audit walk
 	// per call, so campaigns and tests enable it, benchmarks do not).
@@ -205,7 +212,11 @@ type SM struct {
 	key []byte // platform attestation key
 	rng *drbg
 
-	events *eventLog
+	// tel is the cross-layer telemetry scope (nil = disabled); evTel
+	// carries the "sm.event" diagnostic instants — the shared scope when
+	// one is configured, else a private ring sized by Config.TraceEvents.
+	tel   *telemetry.Scope
+	evTel *telemetry.Scope
 
 	// Stats observable by the harness.
 	Stats Stats
@@ -221,10 +232,11 @@ type Stats struct {
 	ExpansionRounds uint64
 
 	// World-switch timing (§V.B): cycles from the hypervisor's run
-	// request until the guest executes, and from the guest's trap until
-	// the hypervisor regains control.
-	EntryCycles, ExitCycles   uint64
-	EntrySamples, ExitSamples uint64
+	// request until the guest executes (Entry), and from the guest's trap
+	// until the hypervisor regains control (Exit). Histograms carry exact
+	// Count/Sum (Mean reproduces the former raw-sum statistics bit for
+	// bit) plus p50/p99 tail latency.
+	Entry, Exit *telemetry.Histogram
 
 	// Robustness counters: CVMs quarantined by the graceful-degradation
 	// policy, unexpected machine interrupts tolerated during confidential
@@ -252,8 +264,16 @@ func New(m *platform.Machine, cfg Config) (*SM, error) {
 		key:         []byte("zion-platform-sealing-key-v1"),
 		rng:         newDRBG([]byte("zion-platform-entropy-seed")),
 	}
-	if cfg.TraceEvents > 0 {
-		s.events = &eventLog{buf: make([]Event, cfg.TraceEvents)}
+	s.Stats.Entry = telemetry.NewHistogram()
+	s.Stats.Exit = telemetry.NewHistogram()
+	s.tel = cfg.Telemetry
+	switch {
+	case cfg.Telemetry != nil:
+		s.evTel = cfg.Telemetry
+		s.tel.RegisterHistogram("sm/ws_entry_cycles", s.Stats.Entry)
+		s.tel.RegisterHistogram("sm/ws_exit_cycles", s.Stats.Exit)
+	case cfg.TraceEvents > 0:
+		s.evTel = telemetry.New(telemetry.Config{TraceEvents: cfg.TraceEvents}).Scope()
 	}
 	for _, h := range m.Harts {
 		if err := s.programBasePMP(h); err != nil {
@@ -317,6 +337,8 @@ func roundPow2(v uint64) uint64 {
 // severity, and the CVM scope; hostile or malformed calls reject that one
 // call and change no SM state.
 func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
+	start := h.Cycles
+	s.tel.AttrSwitch(h.ID, start, telemetry.NoCVM, telemetry.AttrSMOther)
 	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
 	defer h.Advance(h.Cost.TrapReturn)
 	a := func(i int) uint64 {
@@ -375,6 +397,18 @@ func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
 	if s.cfg.AuditLifecycle && fn != FnRun {
 		s.Audit()
 	}
+	if s.tel != nil {
+		cvm := telemetry.NoCVM
+		if cvmID != 0 {
+			cvm = cvmID
+		}
+		s.tel.Span(h.ID, "sm", "hvcall."+opName(fn), start, h.Cycles, cvm, uint64(fn))
+		s.tel.Counter("sm/hvcalls").Inc()
+		if err != nil {
+			s.tel.Counter("sm/hvcall_errors").Inc()
+		}
+		s.tel.AttrSwitch(h.ID, h.Cycles, telemetry.NoCVM, telemetry.AttrHost)
+	}
 	return ret, wrapErr(opName(fn), cvmID, err)
 }
 
@@ -397,14 +431,18 @@ func (s *SM) registerPool(h *hart.Hart, base, size uint64) error {
 		return fmt.Errorf("%w: pool region must be NAPOT-encodable: %v", ErrBadArgs, err)
 	}
 	for _, hh := range s.machine.Harts {
+		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrPMP)
 		hh.PMP.SetAddr(idx, raw)
 		hh.PMP.SetCfg(idx, pmp.ANAPOT<<3) // perm 0: Normal mode locked out
 		hh.Advance(hh.Cost.PMPWriteEntry)
+		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
 	}
 	// TLB shootdown: translations into the region may be cached.
 	for _, hh := range s.machine.Harts {
+		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
 		hh.TLB.FlushAll()
 		hh.Advance(hh.Cost.TLBFlushAll)
+		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
 	}
 	h.Advance(h.Cost.IOPMPUpdate)
 	return nil
@@ -581,8 +619,10 @@ func (s *SM) destroy(h *hart.Hart, id int) error {
 	s.trace(h.Cycles, EvLifecycle, id, 0, "destroy")
 	// Stage-2 translations for this VMID die with it.
 	for _, hh := range s.machine.Harts {
+		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
 		hh.TLB.FlushVMID(c.vmid)
 		hh.Advance(hh.Cost.TLBFlushAll)
+		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
 	}
 	return nil
 }

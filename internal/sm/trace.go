@@ -38,6 +38,23 @@ func (k EventKind) String() string {
 	return "?"
 }
 
+// kindFromName inverts EventKind.String for the Trace() shim.
+func kindFromName(name string) EventKind {
+	switch name {
+	case "entry":
+		return EvEntry
+	case "exit":
+		return EvExit
+	case "fault":
+		return EvFault
+	case "sbi":
+		return EvSBI
+	case "violation":
+		return EvViolation
+	}
+	return EvLifecycle
+}
+
 // Event is one trace record.
 type Event struct {
 	Cycle uint64
@@ -52,45 +69,39 @@ func (e Event) String() string {
 	return fmt.Sprintf("[%12d] cvm%-3d %-9s arg=%#x %s", e.Cycle, e.CVM, e.Kind, e.Arg, e.Note)
 }
 
-// eventLog is a fixed-capacity ring of events, enabled by
-// Config.TraceEvents. Disabled it costs one branch per record site.
-type eventLog struct {
-	buf  []Event
-	next int
-	full bool
+// smEventCat is the telemetry category carrying SM diagnostic events.
+const smEventCat = "sm.event"
+
+// trace records a diagnostic event on the telemetry ring. The SM's legacy
+// event log now lives on the shared telemetry ring: with an external scope
+// configured, SM events interleave with spans from every other layer; with
+// only Config.TraceEvents set, a private single-category ring preserves
+// the historical bounded-log behavior. Disabled, the cost is the one
+// nil-check inside Instant.
+func (s *SM) trace(cycle uint64, kind EventKind, cvm int, arg uint64, note string) {
+	s.evTel.Instant(0, smEventCat, kind.String(), cycle, cvm, arg, note)
 }
 
-func (l *eventLog) record(e Event) {
-	if l == nil || len(l.buf) == 0 {
-		return
-	}
-	l.buf[l.next] = e
-	l.next = (l.next + 1) % len(l.buf)
-	if l.next == 0 {
-		l.full = true
-	}
-}
-
-// snapshot returns events oldest-first.
-func (l *eventLog) snapshot() []Event {
-	if l == nil || len(l.buf) == 0 {
+// Trace returns the recorded SM events, oldest first (empty unless
+// Config.TraceEvents or Config.Telemetry was set). It is a shim over the
+// telemetry ring, kept for the pre-telemetry API.
+func (s *SM) Trace() []Event {
+	recs := s.evTel.Events(smEventCat)
+	if len(recs) == 0 {
 		return nil
 	}
-	var out []Event
-	if l.full {
-		out = append(out, l.buf[l.next:]...)
+	out := make([]Event, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, Event{
+			Cycle: r.Cycle,
+			Kind:  kindFromName(r.Name),
+			CVM:   int(r.CVM),
+			Arg:   r.Arg,
+			Note:  r.Note,
+		})
 	}
-	return append(out, l.buf[:l.next]...)
+	return out
 }
-
-// trace records an event if tracing is enabled.
-func (s *SM) trace(cycle uint64, kind EventKind, cvm int, arg uint64, note string) {
-	s.events.record(Event{Cycle: cycle, Kind: kind, CVM: cvm, Arg: arg, Note: note})
-}
-
-// Trace returns the recorded events, oldest first (empty unless
-// Config.TraceEvents was set).
-func (s *SM) Trace() []Event { return s.events.snapshot() }
 
 // causeNote renders a trap cause for trace annotations.
 func causeNote(cause uint64) string { return isa.CauseName(cause) }

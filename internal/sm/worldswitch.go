@@ -7,6 +7,7 @@ import (
 	"zion/internal/isa"
 	"zion/internal/pmp"
 	"zion/internal/ptw"
+	"zion/internal/telemetry"
 )
 
 // cvmMedeleg is the CVM-mode exception delegation (§IV.A): traps the
@@ -70,6 +71,7 @@ func (s *SM) restoreHVCtx(h *hart.Hart, c hvCtx) {
 // setPoolPMP flips the secure-pool PMP entries between Normal-mode
 // (no access) and CVM-mode (full access) views.
 func (s *SM) setPoolPMP(h *hart.Hart, open bool) {
+	prev := s.tel.AttrPush(h.ID, h.Cycles, telemetry.AttrPMP)
 	perm := uint8(0)
 	if open {
 		perm = pmp.PermR | pmp.PermW | pmp.PermX
@@ -78,6 +80,7 @@ func (s *SM) setPoolPMP(h *hart.Hart, open bool) {
 		h.PMP.SetCfg(pmpPoolFirst+i, perm|pmp.ANAPOT<<3)
 		h.Advance(h.Cost.PMPWriteEntry)
 	}
+	s.tel.AttrPop(h.ID, h.Cycles, prev)
 }
 
 // RunVCPU is the FnRun implementation: the short-path world switch into
@@ -99,6 +102,7 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	// Entry latency is measured from the hypervisor's ecall (§V.B), so
 	// Check-after-Load state loading counts toward it.
 	entryStart := h.Cycles - h.Cost.TrapEntry - h.Cost.SMDispatch
+	s.tel.AttrSwitch(h.ID, entryStart, c.ID, telemetry.AttrSMEntry)
 
 	// Check-after-Load: consume the hypervisor's answer to the previous
 	// exit before touching any guest state. A validation failure is a
@@ -108,23 +112,28 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 		if err := s.resumeFromExit(h, c, v); err != nil {
 			s.Stats.TamperDetected++
 			s.trace(h.Cycles, EvViolation, c.ID, 0, err.Error())
+			s.tel.Counter("sm/tamper_detected").Inc()
 			err = wrapErr("run", c.ID, err)
 			s.quarantine(h, c, err)
+			s.tel.AttrSwitch(h.ID, h.Cycles, telemetry.NoCVM, telemetry.AttrHost)
 			return ExitInfo{Reason: ExitError}, err
 		}
 	}
 
 	ctx := s.saveHVCtx(h)
 	s.enterCVM(h, c, v)
-	s.Stats.EntryCycles += h.Cycles - entryStart
-	s.Stats.EntrySamples++
+	s.Stats.Entry.Observe(h.Cycles - entryStart)
 	s.trace(h.Cycles, EvEntry, c.ID, uint64(vcpuID), "")
+	s.tel.Span(h.ID, "sm", "ws.entry", entryStart, h.Cycles, c.ID, uint64(vcpuID))
+	s.tel.AttrSwitch(h.ID, h.Cycles, c.ID, telemetry.AttrGuest)
 	info, exitStart := s.runLoop(h, c, v)
+	s.tel.AttrSwitch(h.ID, exitStart, c.ID, telemetry.AttrSMExit)
 	s.exitCVM(h, c, v, ctx, info)
 	h.Advance(h.Cost.TrapReturn)
-	s.Stats.ExitCycles += h.Cycles - exitStart
-	s.Stats.ExitSamples++
+	s.Stats.Exit.Observe(h.Cycles - exitStart)
 	s.trace(h.Cycles, EvExit, c.ID, uint64(info.Reason), info.Reason.String())
+	s.tel.Span(h.ID, "sm", "ws.exit", exitStart, h.Cycles, c.ID, uint64(info.Reason))
+	s.tel.AttrSwitch(h.ID, h.Cycles, telemetry.NoCVM, telemetry.AttrHost)
 	// A fatal fault detected inside the run (internal memory escape,
 	// page-table corruption, shared-page publish failure) quarantines the
 	// CVM now that the Normal-mode context is restored.
@@ -185,8 +194,10 @@ func (s *SM) enterCVM(h *hart.Hart, c *CVM, v *VCPU) {
 	s.armTimer(h, v)
 
 	// Stage-2 mappings changed ownership views; flush and return to guest.
+	prev := s.tel.AttrPush(h.ID, h.Cycles, telemetry.AttrTLB)
 	h.TLB.FlushAll()
 	h.Advance(h.Cost.TLBFlushAll)
+	s.tel.AttrPop(h.ID, h.Cycles, prev)
 
 	mst := h.CSR(isa.CSRMstatus)
 	mst = mst&^isa.MstatusMPP | v.guestPrivBase()<<isa.MstatusMPPShift | isa.MstatusMPV
@@ -244,8 +255,10 @@ func (s *SM) exitCVM(h *hart.Hart, c *CVM, v *VCPU, ctx hvCtx, info ExitInfo) {
 	s.publishExit(h, c, v, info)
 	s.setPoolPMP(h, false)
 	s.restoreHVCtx(h, ctx)
+	prev := s.tel.AttrPush(h.ID, h.Cycles, telemetry.AttrTLB)
 	h.TLB.FlushVMID(c.vmid)
 	h.Advance(h.Cost.TLBFlushAll)
+	s.tel.AttrPop(h.ID, h.Cycles, prev)
 	h.Mode = isa.ModeS
 	h.PC = ctx.sepc
 }
@@ -389,6 +402,7 @@ func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
 			case isa.ModeVS:
 				continue // architecturally delegated; guest handles it
 			case isa.ModeM:
+				s.tel.AttrSwitch(h.ID, trapStart, c.ID, attrBucketForCause(t.Cause))
 				info, done := s.handleCVMTrap(h, c, v, t)
 				if done {
 					if info.Reason == ExitPoolEmpty {
@@ -399,6 +413,8 @@ func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
 					}
 					return info, trapStart
 				}
+				// The trap was serviced in place (MRet): the guest runs again.
+				s.tel.AttrSwitch(h.ID, h.Cycles, c.ID, telemetry.AttrGuest)
 			default:
 				// Nothing may reach HS while in CVM mode.
 				v.sec.PC = t.PC
@@ -406,6 +422,20 @@ func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
 			}
 		}
 	}
+}
+
+// attrBucketForCause maps an M-mode trap cause taken during confidential
+// execution to its attribution bucket.
+func attrBucketForCause(cause uint64) telemetry.AttrBucket {
+	switch {
+	case cause == isa.ExcEcallVS:
+		return telemetry.AttrSBI
+	case cause == isa.ExcLoadGuestPageFault ||
+		cause == isa.ExcStoreGuestPageFault ||
+		cause == isa.ExcInstGuestPageFault:
+		return telemetry.AttrS2Fault
+	}
+	return telemetry.AttrSMOther // timer, spurious interrupts, fatal traps
 }
 
 // handleCVMTrap services an M-mode trap raised during confidential
@@ -502,6 +532,8 @@ func (s *SM) demandPage(h *hart.Hart, c *CVM, v *VCPU, gpa uint64, t hart.Trap) 
 		s.Stats.ExpansionRounds++
 		h.Advance(h.Cost.SMExpandPool)
 		s.Stats.FaultCycles[StageExpand] += h.Cycles - faultStart
+		s.tel.Span(h.ID, "sm", "s2fault.expand", faultStart, h.Cycles, c.ID, uint64(StageExpand))
+		s.tel.Counter("sm/s2faults").Inc()
 		v.sec.PC = h.CSR(isa.CSRMepc)
 		return ExitInfo{Reason: ExitPoolEmpty, GPA: pageGPA}, true
 	}
@@ -536,6 +568,8 @@ func (s *SM) demandPage(h *hart.Hart, c *CVM, v *VCPU, gpa uint64, t hart.Trap) 
 	// Retry the faulting instruction (MRet charges the trap return).
 	h.MRet()
 	s.Stats.FaultCycles[stage] += h.Cycles - faultStart
+	s.tel.Span(h.ID, "sm", "s2fault", faultStart, h.Cycles, c.ID, uint64(stage))
+	s.tel.Counter("sm/s2faults").Inc()
 	return ExitInfo{}, false
 }
 
@@ -582,6 +616,7 @@ func (s *SM) handleGuestSBI(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, bool) {
 	fid := h.Reg(16) // a6
 	a0, a1 := h.Reg(10), h.Reg(11)
 	s.trace(h.Cycles, EvSBI, c.ID, eid, "")
+	s.tel.Counter("sm/sbi_calls").Inc()
 
 	resume := func(ret uint64, errv uint64) {
 		h.SetReg(10, errv)

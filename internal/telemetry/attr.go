@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// AttrBucket classifies where a hart's cycles went. The taxonomy follows
+// the paper's evaluation axes: guest execution vs the architectural-event
+// costs ZION optimizes (world-switch halves, stage-2 faults, PMP
+// reconfiguration, TLB maintenance, SBI emulation).
+type AttrBucket uint8
+
+// Attribution buckets.
+const (
+	AttrHost    AttrBucket = iota // hypervisor / normal-world execution
+	AttrGuest                     // confidential guest instruction stream
+	AttrSMEntry                   // world-switch entry half (trap → guest)
+	AttrSMExit                    // world-switch exit half (trap → hypervisor)
+	AttrS2Fault                   // SM stage-2 fault handling
+	AttrPMP                       // PMP reconfiguration
+	AttrTLB                       // TLB flush / maintenance
+	AttrSBI                       // guest SBI emulation in the SM
+	AttrSMOther                   // other M-mode service (timer virtualization…)
+
+	NumAttrBuckets = iota
+)
+
+// String implements fmt.Stringer.
+func (b AttrBucket) String() string {
+	switch b {
+	case AttrHost:
+		return "host"
+	case AttrGuest:
+		return "guest"
+	case AttrSMEntry:
+		return "sm.entry"
+	case AttrSMExit:
+		return "sm.exit"
+	case AttrS2Fault:
+		return "s2fault"
+	case AttrPMP:
+		return "pmp"
+	case AttrTLB:
+		return "tlb"
+	case AttrSBI:
+		return "sbi"
+	case AttrSMOther:
+		return "sm.other"
+	}
+	return "?"
+}
+
+// attrHartKey identifies one hart of one scope (machine boot).
+type attrHartKey struct{ pid, tid int32 }
+
+// attrCellKey identifies one (hart, CVM) attribution row.
+type attrCellKey struct {
+	pid, tid, cvm int32
+}
+
+// attrCursor is the per-hart accounting position: every cycle in
+// [0, at) has been charged to exactly one (cvm, bucket) cell.
+type attrCursor struct {
+	at     uint64
+	cvm    int32
+	bucket AttrBucket
+}
+
+// Attribution splits each hart's cycle counter across (CVM, bucket) cells
+// with a cursor model: a Switch charges the cycles elapsed since the last
+// Switch to the previously selected cell, then selects a new one. Because
+// every cycle between transitions lands in exactly one cell, the cells of
+// a hart always sum to its flushed cycle total — the invariant the
+// exporters and tests rely on.
+type Attribution struct {
+	mu      sync.Mutex
+	cursors map[attrHartKey]*attrCursor
+	cells   map[attrCellKey]*[NumAttrBuckets]uint64
+}
+
+// NewAttribution returns an empty attribution table.
+func NewAttribution() *Attribution {
+	return &Attribution{
+		cursors: make(map[attrHartKey]*attrCursor),
+		cells:   make(map[attrCellKey]*[NumAttrBuckets]uint64),
+	}
+}
+
+// cursor returns the hart's cursor, creating it at cycle 0 in
+// (NoCVM, AttrHost) so boot-time cycles are attributed to the host.
+func (a *Attribution) cursor(k attrHartKey) *attrCursor {
+	c, ok := a.cursors[k]
+	if !ok {
+		c = &attrCursor{cvm: NoCVM, bucket: AttrHost}
+		a.cursors[k] = c
+	}
+	return c
+}
+
+// charge accrues [cursor, now) to the current cell and moves the cursor.
+// A stale now (before the cursor) charges nothing: record sites may
+// compute "start of event" timestamps that predate a later switch.
+func (a *Attribution) charge(k attrHartKey, now uint64) *attrCursor {
+	c := a.cursor(k)
+	if now > c.at {
+		ck := attrCellKey{pid: k.pid, tid: k.tid, cvm: c.cvm}
+		cell, ok := a.cells[ck]
+		if !ok {
+			cell = &[NumAttrBuckets]uint64{}
+			a.cells[ck] = cell
+		}
+		cell[c.bucket] += now - c.at
+		c.at = now
+	}
+	return c
+}
+
+// Switch charges elapsed cycles to the current cell, then selects
+// (cvm, bucket) for the cycles that follow.
+func (a *Attribution) Switch(pid, tid int32, now uint64, cvm int32, b AttrBucket) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	c := a.charge(attrHartKey{pid, tid}, now)
+	c.cvm, c.bucket = cvm, b
+	a.mu.Unlock()
+}
+
+// Push switches the bucket only (same CVM) and returns the previous
+// bucket for the matching Pop — the carve-out pattern for PMP/TLB work
+// nested inside a world-switch half.
+func (a *Attribution) Push(pid, tid int32, now uint64, b AttrBucket) AttrBucket {
+	if a == nil {
+		return AttrHost
+	}
+	a.mu.Lock()
+	c := a.charge(attrHartKey{pid, tid}, now)
+	prev := c.bucket
+	c.bucket = b
+	a.mu.Unlock()
+	return prev
+}
+
+// Pop restores the bucket saved by Push.
+func (a *Attribution) Pop(pid, tid int32, now uint64, prev AttrBucket) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	c := a.charge(attrHartKey{pid, tid}, now)
+	c.bucket = prev
+	a.mu.Unlock()
+}
+
+// Flush charges every cycle up to now without changing the selected cell.
+// Exporters call it with each hart's final cycle count so the cells sum
+// to the hart total exactly.
+func (a *Attribution) Flush(pid, tid int32, now uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.charge(attrHartKey{pid, tid}, now)
+	a.mu.Unlock()
+}
+
+// AttrRow is one exported (hart, CVM) attribution line.
+type AttrRow struct {
+	PID  int32
+	Hart int32
+	CVM  int32 // NoCVM for host-context cycles
+	// Buckets holds cycles per AttrBucket index.
+	Buckets [NumAttrBuckets]uint64
+}
+
+// Total sums the row's buckets.
+func (r AttrRow) Total() uint64 {
+	var t uint64
+	for _, v := range r.Buckets {
+		t += v
+	}
+	return t
+}
+
+// HartTotal is one hart's attributed cycle total (its cursor position).
+type HartTotal struct {
+	PID    int32
+	Hart   int32
+	Cycles uint64
+}
+
+// Rows returns all attribution cells sorted by (PID, Hart, CVM), plus the
+// per-hart totals they sum to. Sorting keeps exports byte-stable.
+func (a *Attribution) Rows() ([]AttrRow, []HartTotal) {
+	if a == nil {
+		return nil, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make([]attrCellKey, 0, len(a.cells))
+	for k := range a.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		if keys[i].tid != keys[j].tid {
+			return keys[i].tid < keys[j].tid
+		}
+		return keys[i].cvm < keys[j].cvm
+	})
+	rows := make([]AttrRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, AttrRow{PID: k.pid, Hart: k.tid, CVM: k.cvm, Buckets: *a.cells[k]})
+	}
+	hkeys := make([]attrHartKey, 0, len(a.cursors))
+	for k := range a.cursors {
+		hkeys = append(hkeys, k)
+	}
+	sort.Slice(hkeys, func(i, j int) bool {
+		if hkeys[i].pid != hkeys[j].pid {
+			return hkeys[i].pid < hkeys[j].pid
+		}
+		return hkeys[i].tid < hkeys[j].tid
+	})
+	totals := make([]HartTotal, 0, len(hkeys))
+	for _, k := range hkeys {
+		totals = append(totals, HartTotal{PID: k.pid, Hart: k.tid, Cycles: a.cursors[k].at})
+	}
+	return rows, totals
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event JSON (the format Perfetto and chrome://tracing load).
+// Spans become "X" (complete) events, instants become "i"; the simulated
+// cycle domain maps onto the format's microsecond timestamps one cycle =
+// one "us", which only relabels the axis. Attribution rows and hart totals
+// ride along in otherData so a trace file is self-contained.
+//
+// Determinism: events are emitted in ring order (insertion order), rows
+// are pre-sorted, and encoding/json serializes struct fields in
+// declaration order — two identical seeded runs produce byte-identical
+// files.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   uint64          `json:"ts"`
+	Dur  *uint64         `json:"dur,omitempty"`
+	PID  int32           `json:"pid"`
+	TID  int32           `json:"tid"`
+	S    string          `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args chromeEventArgs `json:"args"`
+}
+
+type chromeEventArgs struct {
+	CVM  int32  `json:"cvm"`
+	Arg  uint64 `json:"arg"`
+	Note string `json:"note,omitempty"`
+}
+
+// chromeAttrRow mirrors AttrRow with named buckets for readability.
+type chromeAttrRow struct {
+	PID     int32             `json:"pid"`
+	Hart    int32             `json:"hart"`
+	CVM     int32             `json:"cvm"`
+	Cycles  uint64            `json:"cycles"`
+	Buckets map[string]uint64 `json:"-"`
+}
+
+// MarshalJSON emits buckets in AttrBucket order (maps would randomize).
+func (r chromeAttrRow) MarshalJSON() ([]byte, error) {
+	buf := fmt.Appendf(nil, `{"pid":%d,"hart":%d,"cvm":%d,"cycles":%d`,
+		r.PID, r.Hart, r.CVM, r.Cycles)
+	for b := AttrBucket(0); b < NumAttrBuckets; b++ {
+		name, _ := json.Marshal(b.String())
+		buf = fmt.Appendf(buf, `,%s:%d`, name, r.Buckets[b.String()])
+	}
+	return append(buf, '}'), nil
+}
+
+type chromeHartTotal struct {
+	PID    int32  `json:"pid"`
+	Hart   int32  `json:"hart"`
+	Cycles uint64 `json:"cycles"`
+}
+
+type chromeOtherData struct {
+	ClockDomain string            `json:"clockDomain"`
+	Dropped     uint64            `json:"droppedEvents"`
+	Attribution []chromeAttrRow   `json:"attribution"`
+	HartTotals  []chromeHartTotal `json:"hartTotals"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent   `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	OtherData       chromeOtherData `json:"otherData"`
+}
+
+// ExportChromeTrace writes the sink's ring and attribution table as Chrome
+// trace_event JSON. Callers must AttrFlush each live hart first so the
+// attribution rows sum to the hart totals.
+func (s *Sink) ExportChromeTrace(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	recs := s.Tracer.Snapshot()
+	events := make([]chromeEvent, 0, len(recs))
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  r.Cat,
+			Ts:   r.Cycle,
+			PID:  r.PID,
+			TID:  r.TID,
+			Args: chromeEventArgs{CVM: r.CVM, Arg: r.Arg, Note: r.Note},
+		}
+		switch r.Kind {
+		case RecSpan:
+			ev.Ph = "X"
+			dur := r.Dur
+			ev.Dur = &dur
+		case RecInstant:
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		events = append(events, ev)
+	}
+	rows, totals := s.Attr.Rows()
+	crows := make([]chromeAttrRow, 0, len(rows))
+	for _, r := range rows {
+		buckets := make(map[string]uint64, NumAttrBuckets)
+		for b := AttrBucket(0); b < NumAttrBuckets; b++ {
+			buckets[b.String()] = r.Buckets[b]
+		}
+		crows = append(crows, chromeAttrRow{
+			PID: r.PID, Hart: r.Hart, CVM: r.CVM,
+			Cycles: r.Total(), Buckets: buckets,
+		})
+	}
+	ctotals := make([]chromeHartTotal, 0, len(totals))
+	for _, t := range totals {
+		ctotals = append(ctotals, chromeHartTotal{PID: t.PID, Hart: t.Hart, Cycles: t.Cycles})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ns",
+		OtherData: chromeOtherData{
+			ClockDomain: "simulated-cycles",
+			Dropped:     s.Tracer.Dropped(),
+			Attribution: crows,
+			HartTotals:  ctotals,
+		},
+	})
+}
+
+// ExportTimeline writes a plain-text, human-scannable rendering of the
+// ring (oldest-first) followed by the attribution table.
+func (s *Sink) ExportTimeline(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	for _, r := range s.Tracer.Snapshot() {
+		cvm := "-"
+		if r.CVM != NoCVM {
+			cvm = fmt.Sprintf("cvm%d", r.CVM)
+		}
+		switch r.Kind {
+		case RecSpan:
+			fmt.Fprintf(w, "%12d +%-8d p%d/h%d %-8s %-24s %-6s arg=%#x", r.Cycle, r.Dur, r.PID, r.TID, r.Cat, r.Name, cvm, r.Arg)
+		case RecInstant:
+			fmt.Fprintf(w, "%12d %9s p%d/h%d %-8s %-24s %-6s arg=%#x", r.Cycle, "", r.PID, r.TID, r.Cat, r.Name, cvm, r.Arg)
+		}
+		if r.Note != "" {
+			fmt.Fprintf(w, " %q", r.Note)
+		}
+		fmt.Fprintln(w)
+	}
+	if d := s.Tracer.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d older events dropped by ring overflow)\n", d)
+	}
+	rows, totals := s.Attr.Rows()
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "\nper-CVM cycle attribution:\n")
+		fmt.Fprintf(w, "%-4s %-4s %-6s", "pid", "hart", "cvm")
+		for b := AttrBucket(0); b < NumAttrBuckets; b++ {
+			fmt.Fprintf(w, " %12s", b)
+		}
+		fmt.Fprintf(w, " %14s\n", "total")
+		for _, r := range rows {
+			cvm := "-"
+			if r.CVM != NoCVM {
+				cvm = fmt.Sprintf("cvm%d", r.CVM)
+			}
+			fmt.Fprintf(w, "p%-3d h%-3d %-6s", r.PID, r.Hart, cvm)
+			for _, v := range r.Buckets {
+				fmt.Fprintf(w, " %12d", v)
+			}
+			fmt.Fprintf(w, " %14d\n", r.Total())
+		}
+		for _, t := range totals {
+			fmt.Fprintf(w, "p%-3d h%-3d cycles attributed: %d\n", t.PID, t.Hart, t.Cycles)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: HDR-style base-2 buckets with histSubBits of
+// sub-bucket resolution. Values below 2^(histSubBits+1) are exact; above
+// that each octave splits into 2^histSubBits buckets, bounding relative
+// error by 2^-histSubBits (~6%) — plenty for cycle-latency percentiles
+// while keeping the bucket array small and fixed.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// numBuckets covers every uint64: the top value (msb 63) lands at
+	// index (63-histSubBits)<<histSubBits + (histSub-1).
+	numBuckets = (64-histSubBits)<<histSubBits + histSub
+)
+
+// Histogram is a fixed-bucket cycle histogram. Observations and reads are
+// lock-free (atomic adds plus CAS min/max), so record sites are race-clean
+// and allocation-free. Sum and Count are exact, so Mean() reproduces the
+// raw-sum statistics the histogram replaces bit-for-bit; quantiles are
+// bucket estimates.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // stored as value+1 so 0 means "empty"
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub*2 {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1
+	return (msb-histSubBits)<<histSubBits + int(v>>(uint(msb)-histSubBits))
+}
+
+// bucketLower returns the smallest value in bucket i.
+func bucketLower(i int) uint64 {
+	if i < histSub*2 {
+		return uint64(i)
+	}
+	octave := i >> histSubBits
+	sub := uint64(i&(histSub-1)) + histSub
+	return sub << (uint(octave) - 1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur-1 <= v {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= v {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the exact arithmetic mean (NaN-free: 0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	v := h.min.Load()
+	if v == 0 {
+		return 0
+	}
+	return v - 1
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by rank interpolation
+// within the containing bucket, clamped to the observed min/max so exact
+// extremes (p100 = Max) stay exact.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := bucketLower(i)
+			hi := lo
+			if i+1 < numBuckets {
+				hi = bucketLower(i+1) - 1
+			}
+			// Interpolate by rank position within this bucket.
+			frac := float64(rank-cum-1) / float64(c)
+			v := lo + uint64(frac*float64(hi-lo))
+			return clamp(v, h.Min(), h.Max())
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+func clamp(v, lo, hi uint64) uint64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. All operations are
+// atomic so record sites stay race-clean under future multi-hart
+// parallelism; a nil Counter ignores every operation, so callers can hold
+// an unconditional handle and pay one nil-check when telemetry is off.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins measurement (pool occupancy, ring depth).
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v uint64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last recorded value (0 for a nil gauge).
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is the typed metrics namespace every layer registers into.
+// Metric handles are get-or-create so independently initialized layers can
+// share a name; dumps iterate names sorted, so output is byte-stable.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named cycle histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterHistogram attaches an externally owned histogram under name, so
+// subsystems that keep their own handle (sm.Stats) still show up in dumps.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
+// Dump writes every metric, sorted by name within each type, as a
+// plain-text table.
+func (r *Registry) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.hists)
+	r.mu.Unlock()
+	for _, n := range cnames {
+		fmt.Fprintf(w, "counter %-44s %d\n", n, r.Counter(n).Value())
+	}
+	for _, n := range gnames {
+		fmt.Fprintf(w, "gauge   %-44s %d\n", n, r.Gauge(n).Value())
+	}
+	for _, n := range hnames {
+		h := r.Histogram(n)
+		fmt.Fprintf(w, "hist    %-44s count=%d mean=%.1f p50=%d p99=%d min=%d max=%d\n",
+			n, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Min(), h.Max())
+	}
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

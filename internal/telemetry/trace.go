@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"sync"
+)
+
+// RecKind distinguishes ring records.
+type RecKind uint8
+
+// Record kinds.
+const (
+	// RecSpan is a closed interval [Cycle, Cycle+Dur) — recorded once, at
+	// the instant the span ends, so the ring never holds half-open spans.
+	RecSpan RecKind = iota
+	// RecInstant is a point event.
+	RecInstant
+)
+
+// NoCVM marks a record (or attribution row) that belongs to no
+// confidential VM: hypervisor, normal-VM, or boot-time work.
+const NoCVM = -1
+
+// Rec is one trace record. Timestamps are in the simulated cycle domain,
+// never wall clock, so identical seeded runs produce identical traces.
+type Rec struct {
+	Cycle uint64 // start cycle
+	Dur   uint64 // span length; 0 for instants
+	PID   int32  // scope id (one simulated machine boot)
+	TID   int32  // hart id
+	Kind  RecKind
+	Cat   string // taxonomy: "sm", "sm.event", "hv", "hart"
+	Name  string
+	CVM   int32  // owning confidential VM, or NoCVM
+	Arg   uint64 // category-specific argument (stage, EID, exit reason…)
+	Note  string // free-form annotation (error text, cause name)
+}
+
+// Tracer is a bounded ring of trace records. When full it evicts the
+// oldest record; Dropped() reports how many were lost. All methods are
+// mutex-guarded for race-cleanliness; a nil Tracer ignores every call.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Rec
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// NewTracer returns a tracer holding up to capacity records.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{buf: make([]Rec, capacity)}
+}
+
+// Record appends one record, evicting the oldest when the ring is full.
+func (t *Tracer) Record(r Rec) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.buf[t.next] = r
+	t.next = (t.next + 1) % len(t.buf)
+	if t.next == 0 {
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the ring contents oldest-first.
+func (t *Tracer) Snapshot() []Rec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Rec
+	if t.full {
+		out = append(out, t.buf[t.next:]...)
+	}
+	return append(out, t.buf[:t.next]...)
+}
+
+// Dropped reports how many records were evicted by ring overflow.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len reports how many records the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}

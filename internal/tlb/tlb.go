@@ -32,6 +32,17 @@ type Stats struct {
 	FlushedEnt uint64
 }
 
+// Lookups is the total translation attempts.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate is Hits/Lookups (0 when no lookups ran).
+func (s Stats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
 // TLB is a set-associative cache of leaf translations.
 type TLB struct {
 	sets  int

@@ -25,6 +25,7 @@ import (
 	"zion/internal/isa"
 	"zion/internal/platform"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 	"zion/internal/virtio"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// TraceEvents sizes the Secure Monitor's diagnostic event ring
 	// (0 = tracing off); read it back with Monitor.Trace().
 	TraceEvents int
+	// Telemetry, when set, wires the whole stack (SM, hypervisor, harts)
+	// to a shared telemetry sink; the System's scope is returned by
+	// Telemetry(). See docs/OBSERVABILITY.md.
+	Telemetry *telemetry.Sink
 }
 
 // System is a booted simulated platform.
@@ -61,6 +66,20 @@ type System struct {
 	Hypervisor *hv.Hypervisor
 
 	hart *hart.Hart
+	tel  *telemetry.Scope
+}
+
+// Telemetry returns the System's telemetry scope (nil unless
+// Config.Telemetry supplied a sink at boot).
+func (s *System) Telemetry() *telemetry.Scope { return s.tel }
+
+// FlushTelemetry settles per-CVM cycle attribution at each hart's current
+// cycle count so exported cells sum exactly to hart totals. Call before
+// exporting traces.
+func (s *System) FlushTelemetry() {
+	for _, h := range s.Machine.Harts {
+		s.tel.AttrFlush(h.ID, h.Cycles)
+	}
 }
 
 // VM is an opaque handle to a guest created through the façade.
@@ -100,10 +119,12 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.SecurePoolBytes = 64 << 20
 	}
 	m := platform.New(cfg.Harts, cfg.RAMBytes)
+	sc := cfg.Telemetry.Scope()
 	monitor, err := sm.New(m, sm.Config{
 		SchedQuantum:          cfg.SchedQuantum,
 		ValidateSharedOnEntry: cfg.ValidateSharedOnEntry,
 		TraceEvents:           cfg.TraceEvents,
+		Telemetry:             sc,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("zion: secure monitor installation: %w", err)
@@ -112,7 +133,13 @@ func NewSystem(cfg Config) (*System, error) {
 	k.SchedQuantum = cfg.SchedQuantum
 	h := m.Harts[0]
 	h.Mode = isa.ModeS // the hypervisor drives the platform from HS-mode
-	s := &System{Machine: m, Monitor: monitor, Hypervisor: k, hart: h}
+	if sc != nil {
+		k.SetTelemetry(sc)
+		for _, hh := range m.Harts {
+			hh.Tel = sc
+		}
+	}
+	s := &System{Machine: m, Monitor: monitor, Hypervisor: k, hart: h, tel: sc}
 	if err := k.RegisterSecurePool(h, cfg.SecurePoolBytes); err != nil {
 		return nil, fmt.Errorf("zion: secure pool registration: %w", err)
 	}

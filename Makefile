@@ -4,12 +4,15 @@
 #   make test   - tier-1: full test suite
 #   make race   - full test suite under the race detector
 #   make check  - tier-2: vet + race detector on the whole module + a smoke
-#                 fault-injection campaign (fixed seed, 100 faults)
+#                 fault-injection campaign (fixed seed, 100 faults) + a
+#                 short host-throughput run (also verifies bit-identity)
 #   make bench  - regenerate the paper's evaluation tables
+#   make bench-host       - measure host MIPS fast vs slow, write BENCH_host.json
+#   make bench-host-short - same at 1/8 scale (quick, noisier)
 
 GO ?= go
 
-.PHONY: build test check race smoke bench
+.PHONY: build test check race smoke bench bench-host bench-host-short
 
 build:
 	$(GO) build ./...
@@ -25,6 +28,7 @@ check: build
 	$(MAKE) race
 	$(GO) test ./...
 	$(MAKE) smoke
+	$(MAKE) bench-host-short
 
 # smoke runs one fixed-seed fault campaign through the zionbench driver:
 # quick proof that the robustness path works end to end outside go test.
@@ -33,3 +37,11 @@ smoke:
 
 bench:
 	$(GO) run ./cmd/zionbench
+
+# bench-host times the T1 aes and E4 CoreMark guests with the fast-path
+# engine on vs off; the run fails if the simulated cycle counts diverge.
+bench-host:
+	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host.json
+
+bench-host-short:
+	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host.json -hostdiv 8

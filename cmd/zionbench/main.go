@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,8 @@ func main() {
 	traceCap := flag.Int("tracecap", 0, "trace ring capacity in events (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the simulator itself")
 	memprofile := flag.String("memprofile", "", "write a Go heap profile of the simulator itself")
+	hostbench := flag.String("hostbench", "", "measure host MIPS fast vs slow path and write a JSON report to FILE")
+	hostdiv := flag.Int("hostdiv", 1, "divide host-bench workload scales (faster, noisier)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -221,6 +224,25 @@ func main() {
 		if survived != *fiSeeds {
 			fail("fi", fmt.Errorf("%d campaigns not survived", *fiSeeds-survived))
 		}
+	}
+
+	if *hostbench != "" {
+		section("HOST", "host-side throughput: fast-path engine vs pure interpreter")
+		r, err := bench.RunHost(*hostdiv)
+		if err != nil {
+			fail("host", err)
+		}
+		for _, l := range r.Format() {
+			fmt.Println(l)
+		}
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fail("host", err)
+		}
+		if err := os.WriteFile(*hostbench, append(data, '\n'), 0o644); err != nil {
+			fail("host", err)
+		}
+		fmt.Printf("wrote host benchmark to %s\n", *hostbench)
 	}
 
 	if sink != nil {

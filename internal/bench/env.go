@@ -65,6 +65,19 @@ func FlushTelemetry() {
 			e.Tel.Gauge(fmt.Sprintf("hart%d/ptw_walks", h.ID)).Set(h.WalkStats.Walks)
 			e.Tel.Gauge(fmt.Sprintf("hart%d/ptw_steps", h.ID)).Set(h.WalkStats.Steps)
 			e.Tel.Gauge(fmt.Sprintf("hart%d/cycles", h.ID)).Set(h.Cycles)
+			// Fast-path engine counters: host-side observability only, no
+			// effect on any simulated number.
+			fs := h.FastPathStats()
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/fetch_hits", h.ID)).Set(fs.FetchHits)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/fetch_misses", h.ID)).Set(fs.FetchMisses)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/read_hits", h.ID)).Set(fs.ReadHits)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/read_misses", h.ID)).Set(fs.ReadMisses)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/write_hits", h.ID)).Set(fs.WriteHits)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/write_misses", h.ID)).Set(fs.WriteMisses)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/fills", h.ID)).Set(fs.Fills)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/fill_fails", h.ID)).Set(fs.FillFails)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/block_builds", h.ID)).Set(fs.BlockBuilds)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/block_invals", h.ID)).Set(fs.BlockInvals)
 		}
 	}
 }

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"zion/internal/hart"
+	"zion/internal/telemetry"
+)
+
+// runBothWays executes run once with the fast-path engine and once with
+// the pure slow path and fails unless the results — every simulated cycle
+// count, score, and percentage in the paper tables — are bit-identical.
+// This is the automated form of the PR's core guarantee: the engine is an
+// accelerator, never a semantic change.
+func runBothWays[T any](t *testing.T, name string, run func() (T, error)) {
+	t.Helper()
+	old := hart.DefaultFastPath
+	defer func() { hart.DefaultFastPath = old }()
+
+	hart.DefaultFastPath = true
+	fast, err := run()
+	if err != nil {
+		t.Fatalf("%s (fast): %v", name, err)
+	}
+	hart.DefaultFastPath = false
+	slow, err := run()
+	if err != nil {
+		t.Fatalf("%s (slow): %v", name, err)
+	}
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("%s: fast-path result differs from slow path\nfast: %+v\nslow: %+v", name, fast, slow)
+	}
+}
+
+func TestFastPathBitIdenticalMicro(t *testing.T) {
+	runBothWays(t, "E1", func() (E1Result, error) { return RunE1(50) })
+	runBothWays(t, "E2", func() (E2Result, error) { return RunE2(50) })
+	runBothWays(t, "E3", func() (E3Result, error) { return RunE3(256) })
+}
+
+func TestFastPathBitIdenticalMacro(t *testing.T) {
+	runBothWays(t, "T1", func() (T1Result, error) { return RunT1(16) })
+	runBothWays(t, "E4", func() (E4Result, error) { return RunE4(16) })
+	runBothWays(t, "F3", func() (F3Result, error) { return RunF3(3) })
+}
+
+func TestFastPathBitIdenticalF4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("F4 sweep is slow")
+	}
+	runBothWays(t, "F4", func() (F4Result, error) { return RunF4() })
+}
+
+// Arming the telemetry sink must not change a single simulated number:
+// fast-path counters are exported as gauges, never fed back into cycles.
+func TestFastPathTelemetryOffBitIdentity(t *testing.T) {
+	run := func(armed bool) (E2Result, error) {
+		if armed {
+			SetTelemetry(telemetry.New(telemetry.Config{}))
+		}
+		defer SetTelemetry(nil)
+		return RunE2(50)
+	}
+	on, err := run(true)
+	if err != nil {
+		t.Fatalf("telemetry on: %v", err)
+	}
+	FlushTelemetry() // exercises the fp gauge export path too
+	off, err := run(false)
+	if err != nil {
+		t.Fatalf("telemetry off: %v", err)
+	}
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("telemetry changed results\non:  %+v\noff: %+v", on, off)
+	}
+}
+
+func TestFastPathBitIdenticalAblations(t *testing.T) {
+	runBothWays(t, "A1", func() (A1Result, error) { return RunA1(16) })
+	runBothWays(t, "A2", func() (A2Result, error) { return RunA2(100) })
+	runBothWays(t, "A3", func() (A3Result, error) { return RunA3(500) })
+	runBothWays(t, "A4", func() (A4Result, error) { return RunA4() })
+}

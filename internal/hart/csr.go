@@ -10,12 +10,16 @@ import (
 // from VS-mode are remapped to the vs* shadow registers, and sstatus/sip/
 // sie are implemented as architectural views of their machine-level
 // backing registers, following the hypervisor-extension rules.
+// The backing store is a flat array over the 12-bit CSR address space:
+// the interpreter reads half a dozen CSRs per instruction (interrupt
+// sampling, translation context), which makes a map-backed file the
+// single largest host-time cost in the whole simulator.
 type csrFile struct {
-	regs map[uint16]uint64
+	regs [4096]uint64
 }
 
 func newCSRFile(hartID uint64) *csrFile {
-	f := &csrFile{regs: make(map[uint16]uint64)}
+	f := &csrFile{}
 	f.regs[isa.CSRMhartid] = hartID
 	f.regs[isa.CSRMisa] = (2 << 62) | // RV64
 		1<<0 | 1<<7 | 1<<8 | 1<<12 | 1<<18 | 1<<20 // A, H, I, M, S, U
@@ -33,10 +37,10 @@ const sipMask = uint64(1<<isa.IntSSoft | 1<<isa.IntSTimer | 1<<isa.IntSExt)
 const vsInterruptMask = uint64(1<<isa.IntVSSoft | 1<<isa.IntVSTimer | 1<<isa.IntVSExt)
 
 // raw reads the backing storage without remapping or side effects.
-func (f *csrFile) raw(addr uint16) uint64 { return f.regs[addr] }
+func (f *csrFile) raw(addr uint16) uint64 { return f.regs[addr&0xFFF] }
 
 // setRaw writes backing storage without remapping (trap entry, Go firmware).
-func (f *csrFile) setRaw(addr uint16, v uint64) { f.regs[addr] = v }
+func (f *csrFile) setRaw(addr uint16, v uint64) { f.regs[addr&0xFFF] = v }
 
 // remap translates a supervisor CSR address to its VS shadow when the
 // access comes from a virtualized mode.
@@ -157,6 +161,11 @@ func (h *Hart) writeCSR(addr uint16, v uint64) csrErr {
 	case isa.CSRSstatus:
 		cur := f.raw(isa.CSRMstatus)
 		f.setRaw(isa.CSRMstatus, cur&^sstatusMask|v&sstatusMask)
+		h.mmuGen++ // SUM/MXR may have changed
+		return csrOK
+	case isa.CSRMstatus:
+		f.setRaw(addr, v)
+		h.mmuGen++
 		return csrOK
 	case isa.CSRSie:
 		deleg := f.raw(isa.CSRMideleg) & sipMask
@@ -207,6 +216,7 @@ func (h *Hart) writeCSR(addr uint16, v uint64) csrErr {
 			return csrOK
 		}
 		f.setRaw(addr, v)
+		h.mmuGen++
 		return csrOK
 	}
 	if addr >= isa.CSRPmpaddr0 && addr <= isa.CSRPmpaddr15 {

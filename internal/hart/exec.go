@@ -15,11 +15,67 @@ func (h *Hart) Step() Event {
 		return Event{Kind: EvTrap, Trap: t}
 	}
 
+	// The fast path replaces fetch+decode with a micro-TLB hit into a
+	// pre-decoded page; on any miss it declines and the slow path below
+	// runs unchanged. Both feed the same execute(), so semantics and cycle
+	// accounting are shared by construction.
+	if h.fp != nil {
+		if ev, ok := h.fp.step(h); ok {
+			return ev
+		}
+	}
+
 	raw, aerr := h.Fetch()
 	if aerr != nil {
 		return Event{Kind: EvTrap, Trap: h.TakeTrap(*aerr)}
 	}
-	in := isa.Decode(raw)
+	return h.execute(isa.Decode(raw))
+}
+
+// RunBatch executes up to max Step-equivalents back-to-back on the fast
+// path, re-sampling the machine timer and pending interrupts at every
+// instruction boundary exactly as the per-step run loops do: the timer
+// comparator (deadline/armed, immutable while guest code runs — MMIO
+// stores to the CLINT never take the fast path) is checked against
+// h.Cycles before each instruction, and a fired timer ends the batch so
+// the caller can refresh MTIP and take the interrupt through its normal
+// per-step path. While the timer has not fired, MTIP is cleared each
+// boundary, mirroring tickTimer's else branch.
+//
+// Returns the number of Step-equivalents performed and, when ok is true,
+// the terminating event (trap, WFI) which counts as the final step —
+// identical to what the same sequence of per-step calls would produce.
+// ok=false means the batch stopped without an event (timer fired,
+// fast-path miss, or budget exhausted) and the caller should run one
+// ordinary tick+Step iteration before retrying.
+func (h *Hart) RunBatch(deadline uint64, armed bool, max uint64) (uint64, Event, bool) {
+	if h.fp == nil {
+		return 0, Event{}, false
+	}
+	var n uint64
+	for n < max {
+		if armed && h.Cycles >= deadline {
+			return n, Event{}, false
+		}
+		h.ClearPending(isa.IntMTimer)
+		if cause, ok := h.PendingInterrupt(); ok {
+			return n + 1, Event{Kind: EvTrap, Trap: h.TakeTrap(trapInfo{cause: cause})}, true
+		}
+		ev, ok := h.fp.step(h)
+		if !ok {
+			return n, Event{}, false
+		}
+		n++
+		if ev.Kind != EvNone {
+			return n, ev, true
+		}
+	}
+	return n, Event{}, false
+}
+
+// execute retires one decoded instruction: the shared back half of Step.
+func (h *Hart) execute(in isa.Inst) Event {
+	raw := in.Raw
 	if in.Op == isa.OpInvalid {
 		return h.exception(trapInfo{cause: isa.ExcIllegalInst, tval: uint64(raw)})
 	}

@@ -1,0 +1,382 @@
+package hart
+
+import (
+	"encoding/binary"
+
+	"zion/internal/isa"
+	"zion/internal/mem"
+	"zion/internal/pmp"
+	"zion/internal/ptw"
+)
+
+// DefaultFastPath controls whether New wires a fast-path engine into each
+// hart. On by default; comparison tests and the host benchmark flip it to
+// measure the slow path. The engine is an accelerator, not a semantic
+// layer: every simulated cycle count, TLB/PMP/PTW statistic, and trap is
+// bit-identical with it on or off (docs/PERF.md explains why).
+var DefaultFastPath = true
+
+const (
+	mtlbSize = 64 // direct-mapped entries per access type
+	mtlbMask = mtlbSize - 1
+)
+
+// mtlbEntry caches one page's fully resolved access verdict: the host
+// slice backing the physical page, the TLB entry that justified the
+// translation, and the epochs under which all of it was established. The
+// entry is valid only while every epoch still matches — any architectural
+// event that could change the outcome (TLB insert/flush, PMP reprogram,
+// satp/mstatus write, privilege change) bumps an epoch and silently
+// retires the entry.
+type mtlbEntry struct {
+	page   []byte // backing bytes of the physical page; nil = invalid
+	vaPage uint64 // VA >> PageShift tag
+	paPage uint64 // page-aligned physical address
+	mode   isa.PrivMode
+	bare   bool  // no TLB involved (M-mode, or S/U with satp=Bare)
+	tlbIdx int32 // TLB entry to Touch on each hit (bare=false)
+	tlbGen uint64
+	pmpGen uint64
+	mmuGen uint64
+	// Write entries: cached code-page verdict under memGen.
+	code   bool
+	memGen uint64
+	// Fetch entries: decoded instructions for the page.
+	dp *decodedPage
+}
+
+// decodedPage holds the eager decode of one physical page. live flips to
+// false when the underlying bytes change; every fetch revalidates it, so
+// self-modifying code observes its own stores exactly like the slow path
+// (which re-fetches every instruction).
+type decodedPage struct {
+	live  bool
+	insts [isa.PageSize / 4]isa.Inst
+}
+
+// FastPathStats counts engine effectiveness; exported as fp/* telemetry
+// gauges by the bench harness. Pure host-side counters — they influence
+// nothing in the simulation.
+type FastPathStats struct {
+	FetchHits   uint64 // instructions issued from a decoded page
+	FetchMisses uint64 // fetch micro-TLB misses (entry invalid or absent)
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64 // micro-TLB fill attempts
+	FillFails   uint64 // fills declined (TLB miss, PMP, MMIO, ...)
+	BlockBuilds uint64 // pages decoded into the block cache
+	BlockInvals uint64 // decoded pages dropped after a write hit them
+}
+
+// fastPath is one hart's execution accelerator: three direct-mapped
+// micro-TLBs (fetch/read/write) plus a decoded-instruction cache keyed by
+// physical page. It never produces a result the slow path wouldn't: every
+// cacheable case replays the exact counter mutations (TLB tick/LRU/hits,
+// PMP checks, TLBHit/Mem cycles) the slow path performs, and everything
+// else falls back.
+type fastPath struct {
+	mem   *mem.PhysMemory
+	fetch [mtlbSize]mtlbEntry
+	read  [mtlbSize]mtlbEntry
+	write [mtlbSize]mtlbEntry
+	pages map[uint64]*decodedPage // pa page -> decoded
+	// Pages invalidated this often stop being block-cached (code and hot
+	// data sharing a page would otherwise rebuild the decode per store).
+	invCount  map[uint64]uint32
+	blacklist map[uint64]bool
+	stats     FastPathStats
+}
+
+const blacklistThreshold = 16
+
+func newFastPath(h *Hart) *fastPath {
+	e := &fastPath{
+		mem:       h.Mem,
+		pages:     make(map[uint64]*decodedPage),
+		invCount:  make(map[uint64]uint32),
+		blacklist: make(map[uint64]bool),
+	}
+	h.Mem.AddCodeWatcher(e)
+	return e
+}
+
+// EnableFastPath attaches a fast-path engine to the hart (idempotent).
+func (h *Hart) EnableFastPath() {
+	if h.fp == nil {
+		h.fp = newFastPath(h)
+	}
+}
+
+// DisableFastPath detaches the engine, dropping its caches and code-page
+// registrations.
+func (h *Hart) DisableFastPath() {
+	if h.fp == nil {
+		return
+	}
+	for pa, dp := range h.fp.pages {
+		dp.live = false
+		h.Mem.UnregisterCodePage(pa)
+	}
+	h.Mem.RemoveCodeWatcher(h.fp)
+	h.fp = nil
+}
+
+// FastPathEnabled reports whether the engine is attached.
+func (h *Hart) FastPathEnabled() bool { return h.fp != nil }
+
+// FastPathStats returns the engine counters (zero value when disabled).
+func (h *Hart) FastPathStats() FastPathStats {
+	if h.fp == nil {
+		return FastPathStats{}
+	}
+	return h.fp.stats
+}
+
+// InvalidateCodePage implements mem.CodeWatcher: a write landed in a page
+// this engine decoded.
+func (e *fastPath) InvalidateCodePage(paPage uint64) {
+	dp, ok := e.pages[paPage]
+	if !ok {
+		return
+	}
+	dp.live = false
+	delete(e.pages, paPage)
+	e.mem.UnregisterCodePage(paPage)
+	e.stats.BlockInvals++
+	if c := e.invCount[paPage] + 1; c >= blacklistThreshold {
+		e.blacklist[paPage] = true
+	} else {
+		e.invCount[paPage] = c
+	}
+}
+
+// valid reports whether ent still answers for vaPage under the hart's
+// current translation context.
+func (e *fastPath) valid(h *Hart, ent *mtlbEntry, vaPage uint64) bool {
+	if ent.page == nil || ent.vaPage != vaPage || ent.mode != h.Mode ||
+		ent.mmuGen != h.mmuGen || ent.pmpGen != h.PMP.Gen() {
+		return false
+	}
+	return ent.bare || ent.tlbGen == h.TLB.Gen()
+}
+
+// fill tries to establish a micro-TLB entry for the page-aligned va. It is
+// side-effect-free on the architectural state: translation uses TLB.Peek
+// (no stats, no LRU) and protection uses PMP.Probe (no stats), so a
+// declined fill leaves everything exactly as the slow path expects to find
+// it. A fill succeeds only when a later hit is provably bit-identical to
+// slow-path execution: present TLB entry (or bare translation) whose
+// cached permissions pass the same permsAllow the slow path applies, PMP
+// allowing the access for the whole page within one entry, and the target
+// page fully inside RAM.
+func (e *fastPath) fill(h *Hart, ent *mtlbEntry, va uint64, acc ptw.Access) bool {
+	e.stats.Fills++
+	*ent = mtlbEntry{}
+	bare := false
+	tlbIdx := -1
+	var pa uint64
+	switch h.Mode {
+	case isa.ModeM:
+		bare, pa = true, va
+	case isa.ModeS, isa.ModeU:
+		satp := h.csr.raw(isa.CSRSatp)
+		if satpRoot(satp) == 0 {
+			bare, pa = true, va
+		} else {
+			opts := h.transOpts()
+			opts.User = h.Mode == isa.ModeU
+			asid := uint16(satp >> 44 & 0xFFFF)
+			idx, ppn, perms, level, hit := h.TLB.Peek(va, asid, 0)
+			if !hit || !permsAllow(perms, acc, opts) {
+				e.stats.FillFails++
+				return false
+			}
+			tlbIdx = idx
+			pa = ppn<<uint(isa.PageShift+9*level) | va&pageMask(level)
+		}
+	default: // VS / VU
+		vsatp := h.csr.raw(isa.CSRVsatp)
+		if satpRoot(h.csr.raw(isa.CSRHgatp)) == 0 {
+			// The slow path access-faults before any TLB lookup; never cache.
+			e.stats.FillFails++
+			return false
+		}
+		opts := h.transOpts()
+		opts.User = h.Mode == isa.ModeVU
+		if satpRoot(vsatp) == 0 {
+			// Mirror Translate's Bare-stage-1 hit rule: no guest privilege
+			// check, U pages reachable from both VS and VU.
+			opts.User, opts.SUM = false, true
+		}
+		idx, ppn, perms, level, hit := h.TLB.Peek(va, uint16(vsatp>>44&0xFFFF), h.vmid())
+		if !hit || !permsAllow(perms, acc, opts) {
+			e.stats.FillFails++
+			return false
+		}
+		tlbIdx = idx
+		pa = ppn<<uint(isa.PageShift+9*level) | va&pageMask(level)
+	}
+
+	var pacc pmp.AccessType
+	switch acc {
+	case ptw.AccessRead:
+		pacc = pmp.AccessRead
+	case ptw.AccessWrite:
+		pacc = pmp.AccessWrite
+	default:
+		pacc = pmp.AccessExec
+	}
+	// Probe the whole page: a pass means one PMP entry fully contains it,
+	// so every sub-access resolves against that same entry with the same
+	// verdict the slow path's per-access Check would produce.
+	if !h.PMP.Probe(pa, isa.PageSize, pacc, h.Mode == isa.ModeM) {
+		e.stats.FillFails++
+		return false
+	}
+	if !h.Mem.Contains(pa, isa.PageSize) {
+		e.stats.FillFails++ // MMIO or partial page: bus accesses stay slow
+		return false
+	}
+	*ent = mtlbEntry{
+		page:   e.mem.PageSlice(pa),
+		vaPage: va >> isa.PageShift,
+		paPage: pa,
+		mode:   h.Mode,
+		bare:   bare,
+		tlbIdx: int32(tlbIdx),
+		tlbGen: h.TLB.Gen(),
+		pmpGen: h.PMP.Gen(),
+		mmuGen: h.mmuGen,
+	}
+	return true
+}
+
+// hitAccounting replays the slow path's per-access state changes for a
+// validated entry: the TLB hit (tick, LRU, stats, TLBHit cycles) unless
+// the translation was bare — the slow path consults no TLB then — and the
+// PMP check count.
+func (e *fastPath) hitAccounting(h *Hart, ent *mtlbEntry) {
+	if !ent.bare {
+		h.TLB.Touch(int(ent.tlbIdx))
+		h.Cycles += h.Cost.TLBHit
+	}
+	h.PMP.NoteCheck()
+}
+
+// step executes one instruction through the fast path, or reports ok=false
+// to let Step's slow path run. Called after the interrupt sample.
+func (e *fastPath) step(h *Hart) (Event, bool) {
+	pc := h.PC
+	if pc&3 != 0 {
+		return Event{}, false // misaligned PC: slow path owns the fault
+	}
+	vaPage := pc >> isa.PageShift
+	ent := &e.fetch[vaPage&mtlbMask]
+	if !e.valid(h, ent, vaPage) {
+		e.stats.FetchMisses++
+		if !e.fill(h, ent, pc&^uint64(isa.PageSize-1), ptw.AccessFetch) {
+			return Event{}, false
+		}
+	}
+	dp := ent.dp
+	if dp == nil || !dp.live {
+		if e.blacklist[ent.paPage] {
+			return Event{}, false // write-hot page: decode per fetch instead
+		}
+		dp = e.decodePage(ent.paPage, ent.page)
+		ent.dp = dp
+	}
+	e.stats.FetchHits++
+	e.hitAccounting(h, ent)
+	return h.execute(dp.insts[(pc&(isa.PageSize-1))>>2]), true
+}
+
+// decodePage builds (or returns) the decoded block for a physical page and
+// registers it for write-invalidation.
+func (e *fastPath) decodePage(paPage uint64, page []byte) *decodedPage {
+	if dp, ok := e.pages[paPage]; ok {
+		return dp
+	}
+	dp := &decodedPage{live: true}
+	for i := range dp.insts {
+		dp.insts[i] = isa.Decode(binary.LittleEndian.Uint32(page[i*4:]))
+	}
+	e.pages[paPage] = dp
+	e.mem.RegisterCodePage(paPage)
+	e.stats.BlockBuilds++
+	return dp
+}
+
+// access performs a load or store through the micro-TLB, or reports
+// ok=false for the slow path (page-straddling access, odd width, miss
+// that can't fill, or a store into a decoded code page — the slow path's
+// mem.WriteUint triggers the block invalidation those need).
+func (e *fastPath) access(h *Hart, va uint64, size int, write bool, val uint64) (uint64, bool) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		return 0, false
+	}
+	off := va & (isa.PageSize - 1)
+	if off+uint64(size) > isa.PageSize {
+		return 0, false
+	}
+	vaPage := va >> isa.PageShift
+	var ent *mtlbEntry
+	if write {
+		ent = &e.write[vaPage&mtlbMask]
+	} else {
+		ent = &e.read[vaPage&mtlbMask]
+	}
+	if !e.valid(h, ent, vaPage) {
+		acc := ptw.AccessRead
+		if write {
+			e.stats.WriteMisses++
+			acc = ptw.AccessWrite
+		} else {
+			e.stats.ReadMisses++
+		}
+		if !e.fill(h, ent, va&^uint64(isa.PageSize-1), acc) {
+			return 0, false
+		}
+	}
+	if write {
+		if ent.memGen != e.mem.CodeGen() {
+			ent.code = e.mem.IsCodePage(ent.paPage)
+			ent.memGen = e.mem.CodeGen()
+		}
+		if ent.code {
+			return 0, false
+		}
+	}
+	e.hitAccounting(h, ent)
+	h.Cycles += h.Cost.Mem
+	p := ent.page[off:]
+	if write {
+		e.stats.WriteHits++
+		switch size {
+		case 1:
+			p[0] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(p, uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(p, uint32(val))
+		default:
+			binary.LittleEndian.PutUint64(p, val)
+		}
+		return 0, true
+	}
+	e.stats.ReadHits++
+	switch size {
+	case 1:
+		return uint64(p[0]), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p)), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p)), true
+	default:
+		return binary.LittleEndian.Uint64(p), true
+	}
+}

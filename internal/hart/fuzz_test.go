@@ -1,11 +1,14 @@
 package hart
 
 import (
+	"encoding/binary"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"zion/internal/asm"
 	"zion/internal/isa"
+	"zion/internal/ptw"
 )
 
 // Differential fuzzer: generate random straight-line ALU programs, run
@@ -126,5 +129,303 @@ func TestDifferentialALUFuzz(t *testing.T) {
 					pi, r, h.Reg(r), golden[r])
 			}
 		}
+	}
+}
+
+// --- Lockstep differential fuzzer ----------------------------------------
+//
+// Two harts execute the same randomly generated program from identical
+// initial state: one with the fast-path engine, one on the pure slow path.
+// After every single step the full architectural state — registers, PC,
+// mode, Cycles, Instret, and the event kind/cause — must match, and at the
+// end the TLB/PMP/walker statistics and trap counts must match too. The
+// programs deliberately interleave the events that invalidate fast-path
+// caches: PMP reprogramming, satp Bare<->Sv39 toggles, sfence.vma
+// variants, and stores into the instruction stream.
+
+// instrWord assembles a single instruction and returns its encoding.
+func instrWord(t *testing.T, build func(p *asm.Program)) uint32 {
+	t.Helper()
+	p := asm.New(0)
+	build(p)
+	return binary.LittleEndian.Uint32(p.MustAssemble())
+}
+
+// lockstep drives both harts one instruction at a time until the program's
+// terminating ecall, failing on the first divergence.
+func lockstep(t *testing.T, tag string, pi int, fast, slow *Hart, wantCause uint64) {
+	t.Helper()
+	const maxSteps = 50000
+	for s := 0; s < maxSteps; s++ {
+		ef := fast.Step()
+		es := slow.Step()
+		if ef.Kind != es.Kind {
+			t.Fatalf("%s program %d step %d: event kind fast=%v slow=%v", tag, pi, s, ef.Kind, es.Kind)
+		}
+		if ef.Kind == EvTrap && ef.Trap.Cause != es.Trap.Cause {
+			t.Fatalf("%s program %d step %d: trap cause fast=%s slow=%s",
+				tag, pi, s, isa.CauseName(ef.Trap.Cause), isa.CauseName(es.Trap.Cause))
+		}
+		if fast.PC != slow.PC || fast.Mode != slow.Mode ||
+			fast.Cycles != slow.Cycles || fast.Instret != slow.Instret {
+			t.Fatalf("%s program %d step %d: pc %#x/%#x mode %v/%v cycles %d/%d instret %d/%d",
+				tag, pi, s, fast.PC, slow.PC, fast.Mode, slow.Mode,
+				fast.Cycles, slow.Cycles, fast.Instret, slow.Instret)
+		}
+		if fast.X != slow.X {
+			t.Fatalf("%s program %d step %d: register files diverge", tag, pi, s)
+		}
+		if ef.Kind == EvTrap {
+			if ef.Trap.Cause != wantCause {
+				t.Fatalf("%s program %d: unexpected trap %s at pc=%#x",
+					tag, pi, isa.CauseName(ef.Trap.Cause), ef.Trap.PC)
+			}
+			// Terminal: compare the accounting the paper tables are built from.
+			if fast.TLB.Stats() != slow.TLB.Stats() {
+				t.Fatalf("%s program %d: TLB stats fast=%+v slow=%+v", tag, pi, fast.TLB.Stats(), slow.TLB.Stats())
+			}
+			if fast.PMP.Stats() != slow.PMP.Stats() {
+				t.Fatalf("%s program %d: PMP stats fast=%+v slow=%+v", tag, pi, fast.PMP.Stats(), slow.PMP.Stats())
+			}
+			if fast.WalkStats != slow.WalkStats {
+				t.Fatalf("%s program %d: walk stats fast=%+v slow=%+v", tag, pi, fast.WalkStats, slow.WalkStats)
+			}
+			if !reflect.DeepEqual(fast.TrapCount, slow.TrapCount) {
+				t.Fatalf("%s program %d: trap counts fast=%v slow=%v", tag, pi, fast.TrapCount, slow.TrapCount)
+			}
+			// And the data region itself.
+			fb, err1 := fast.Mem.Read(ramBase+dataOff, 2*isa.PageSize)
+			sb, err2 := slow.Mem.Read(ramBase+dataOff, 2*isa.PageSize)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s program %d: data readback: %v / %v", tag, pi, err1, err2)
+			}
+			if !reflect.DeepEqual(fb, sb) {
+				t.Fatalf("%s program %d: data memory diverges", tag, pi)
+			}
+			return
+		}
+	}
+	t.Fatalf("%s program %d: no terminating event after %d steps (pc=%#x)", tag, pi, maxSteps, fast.PC)
+}
+
+const dataOff = 1 << 20 // data region offset within RAM used by fuzz programs
+
+// emitSMCStore writes a pre-encoded instruction into the given slot label —
+// a store into the instruction stream the fast path must notice.
+func emitSMCStore(p *asm.Program, word uint32, slot string) {
+	p.LA(28, slot)      // t3
+	p.LI(29, int64(word)) // t4
+	p.SW(29, 28, 0)
+}
+
+// genLockstepBody emits the shared random body: ALU ops, loads/stores to
+// the data region, and (via hooks) class-specific invalidation events.
+func genLockstepBody(t *testing.T, rng *rand.Rand, p *asm.Program, ops int, special func(i int) bool) {
+	regs := []asm.Reg{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	for _, r := range regs {
+		p.LI(r, int64(rng.Uint64()))
+	}
+	// Data pointer sits on a page boundary; signed 12-bit offsets reach
+	// into the page on either side, exercising accesses near the edge.
+	p.LIU(20, ramBase+dataOff+isa.PageSize) // s4
+	off := func(mask int64) int64 { return (int64(rng.Intn(4096)) - 2048) &^ mask }
+	for i := 0; i < ops; i++ {
+		if special(i) {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0, 1: // ALU
+			op := aluOps[rng.Intn(len(aluOps))]
+			op.emit(p, regs[rng.Intn(len(regs))], regs[rng.Intn(len(regs))],
+				regs[rng.Intn(len(regs))], int64(rng.Intn(4096)-2048))
+		case 2: // store: width-aligned offsets around the page boundary
+			rs := regs[rng.Intn(len(regs))]
+			switch rng.Intn(4) {
+			case 0:
+				p.SB(rs, 20, off(0))
+			case 1:
+				p.SH(rs, 20, off(1))
+			case 2:
+				p.SW(rs, 20, off(3))
+			default:
+				p.SD(rs, 20, off(7))
+			}
+		default: // load
+			rd := regs[rng.Intn(len(regs))]
+			switch rng.Intn(4) {
+			case 0:
+				p.LBU(rd, 20, off(0))
+			case 1:
+				p.LHU(rd, 20, off(1))
+			case 2:
+				p.LW(rd, 20, off(3))
+			default:
+				p.LD(rd, 20, off(7))
+			}
+		}
+	}
+}
+
+// newLockstepPair returns (fast, slow) harts over independent but identical
+// memories.
+func newLockstepPair(t *testing.T) (*Hart, *Hart) {
+	t.Helper()
+	fast := newHart(t)
+	slow := newHart(t)
+	fast.EnableFastPath()
+	slow.DisableFastPath()
+	return fast, slow
+}
+
+// TestLockstepFuzzMachineMode interleaves ALU/memory traffic with PMP
+// reprogramming and self-modifying stores, all in M-mode.
+func TestLockstepFuzzMachineMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x10C3_57E9))
+	addiW := instrWord(t, func(p *asm.Program) { p.ADDI(5, 5, 1) })
+	xorW := instrWord(t, func(p *asm.Program) { p.XOR(6, 6, 6) })
+
+	for pi := 0; pi < 30; pi++ {
+		// A few programs hammer one slot past the blacklist threshold so
+		// the decode-thrash path is exercised too.
+		nSMC := rng.Intn(4)
+		if pi%10 == 9 {
+			nSMC = 20
+		}
+		smcAt := map[int]bool{}
+		for len(smcAt) < nSMC {
+			smcAt[rng.Intn(60)] = true
+		}
+		slots := 0
+		p := asm.New(ramBase)
+		genLockstepBody(t, rng, p, 60, func(i int) bool {
+			switch {
+			case smcAt[i]:
+				w := addiW
+				if slots%2 == 1 {
+					w = xorW
+				}
+				// Reuse one slot for thrash programs, fresh slots otherwise.
+				name := "slot0"
+				if nSMC <= 4 {
+					name = "slot" + string(rune('0'+slots))
+				}
+				emitSMCStore(p, w, name)
+				slots++
+			case i%13 == 5: // PMP address reprogram
+				entry := uint16(rng.Intn(4))
+				p.LIU(28, rng.Uint64()%(ramSize>>2)+(ramBase>>2))
+				p.CSRRW(0, isa.CSRPmpaddr0+entry, 28)
+			case i%17 == 7: // PMP config reprogram (no lock bits)
+				p.LIU(28, rng.Uint64()&0x1F1F1F1F)
+				p.CSRRW(0, isa.CSRPmpcfg0, 28)
+			default:
+				return false
+			}
+			return true
+		})
+		// Executable slots: every stored word is executed on the way out.
+		n := slots
+		if n > 0 && nSMC > 4 {
+			n = 1
+		}
+		for s := 0; s < n; s++ {
+			p.Label("slot" + string(rune('0'+s)))
+			p.NOP()
+		}
+		p.ECALL()
+
+		fast, slow := newLockstepPair(t)
+		load(t, fast, ramBase, p)
+		load(t, slow, ramBase, p)
+		lockstep(t, "M", pi, fast, slow, isa.ExcEcallM)
+	}
+}
+
+// TestLockstepFuzzSupervisorSv39 runs S-mode programs under an identity
+// Sv39 mapping, toggling satp between Bare and Sv39 and issuing sfence.vma
+// variants between memory traffic.
+func TestLockstepFuzzSupervisorSv39(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5339_AB42))
+
+	// Identity 1 GiB superpage over RAM, tables in high RAM.
+	buildRoot := func(h *Hart) uint64 {
+		next := uint64(ramBase + 48<<20)
+		b := &ptw.Builder{Mem: h.Mem, Alloc: func() (uint64, error) {
+			f := next
+			next += isa.PageSize
+			return f, nil
+		}}
+		root, err := b.NewRoot(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Map(root, ramBase, ramBase,
+			isa.PTERead|isa.PTEWrite|isa.PTEExec|isa.PTEAccess|isa.PTEDirty, 2, false); err != nil {
+			t.Fatal(err)
+		}
+		return root
+	}
+
+	for pi := 0; pi < 25; pi++ {
+		p := asm.New(ramBase)
+		genLockstepBody(t, rng, p, 60, func(i int) bool {
+			switch {
+			case i%9 == 4: // satp toggle: x22 = Bare, x23 = Sv39
+				if rng.Intn(2) == 0 {
+					p.CSRRW(0, isa.CSRSatp, 22)
+				} else {
+					p.CSRRW(0, isa.CSRSatp, 23)
+				}
+			case i%11 == 6: // sfence.vma variants
+				switch rng.Intn(3) {
+				case 0:
+					p.SFENCEVMA(0, 0)
+				case 1:
+					p.SFENCEVMA(20, 0) // by VA
+				default:
+					p.SFENCEVMA(0, 21) // by ASID (x21 = 0)
+				}
+			default:
+				return false
+			}
+			return true
+		})
+		p.ECALL()
+
+		fast, slow := newLockstepPair(t)
+		for _, h := range []*Hart{fast, slow} {
+			load(t, h, ramBase, p)
+			openPMP(t, h)
+			root := buildRoot(h)
+			sv39 := uint64(isa.SatpModeSv39)<<isa.SatpModeShift | root>>isa.PageShift
+			h.SetCSR(isa.CSRSatp, sv39)
+			h.SetReg(21, 0)
+			h.SetReg(22, 0) // Bare
+			h.SetReg(23, sv39)
+			// Drop to S-mode at the program start.
+			h.SetCSR(isa.CSRMstatus,
+				h.CSR(isa.CSRMstatus)&^isa.MstatusMPP|uint64(1)<<isa.MstatusMPPShift)
+			h.SetCSR(isa.CSRMepc, ramBase)
+			h.MRet()
+		}
+		lockstep(t, "S", pi, fast, slow, isa.ExcEcallS)
+	}
+}
+
+// TestLockstepFastPathNotVacuous makes sure the fuzz configurations above
+// actually exercise the engine: a representative M-mode program must
+// produce fast-path fetch hits.
+func TestLockstepFastPathNotVacuous(t *testing.T) {
+	p := asm.New(ramBase)
+	for i := 0; i < 100; i++ {
+		p.ADDI(5, 5, 1)
+	}
+	p.ECALL()
+	fast, slow := newLockstepPair(t)
+	load(t, fast, ramBase, p)
+	load(t, slow, ramBase, p)
+	lockstep(t, "sanity", 0, fast, slow, isa.ExcEcallM)
+	if st := fast.FastPathStats(); st.FetchHits == 0 {
+		t.Fatalf("fast path never hit: %+v", st)
 	}
 }

@@ -79,6 +79,13 @@ type Hart struct {
 	csr    *csrFile
 	walker ptw.Walker
 
+	// fp is the optional fast-path engine (fastpath.go); nil = pure slow
+	// path. mmuGen is the translation-context epoch it validates against:
+	// bumped on every write that could change how virtual addresses
+	// resolve (satp/vsatp/hgatp/mstatus, including the sstatus view).
+	fp     *fastPath
+	mmuGen uint64
+
 	// LR/SC reservation.
 	resValid bool
 	resAddr  uint64
@@ -107,6 +114,9 @@ func New(id int, ram *mem.PhysMemory, bus Bus) *Hart {
 		TrapCount: make(map[uint64]uint64),
 	}
 	h.walker = ptw.Walker{Mem: ram, Stats: &h.WalkStats}
+	if DefaultFastPath {
+		h.EnableFastPath()
+	}
 	return h
 }
 
@@ -142,6 +152,14 @@ func (h *Hart) ClearPending(intNum uint) {
 func (h *Hart) PendingInterrupt() (cause uint64, ok bool) {
 	mip := h.csr.raw(isa.CSRMip)
 	mie := h.csr.raw(isa.CSRMie)
+
+	// Fast out: every deliverable interrupt below is pending&enabled at
+	// some level, i.e. a subset of (mip|hvip) & (mie|hie). This is the
+	// per-instruction common case.
+	if (mip|h.csr.raw(isa.CSRHvip))&(mie|h.csr.raw(isa.CSRHie)) == 0 {
+		return 0, false
+	}
+
 	mideleg := h.csr.raw(isa.CSRMideleg)
 	mstatus := h.csr.raw(isa.CSRMstatus)
 

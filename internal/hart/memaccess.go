@@ -33,16 +33,22 @@ func satpRoot(v uint64) uint64 {
 	return (v & isa.SatpPPNMask) << isa.PageShift
 }
 
+// transOpts derives the walk options from mstatus. The fast path builds
+// micro-TLB entries with the same helper so the two can never diverge.
+func (h *Hart) transOpts() ptw.Opts {
+	mstatus := h.csr.raw(isa.CSRMstatus)
+	return ptw.Opts{
+		SUM: mstatus&isa.MstatusSUM != 0,
+		MXR: mstatus&isa.MstatusMXR != 0,
+	}
+}
+
 // Translate resolves va for the hart's current mode, charging TLB and
 // page-walk cycles, and returns the final physical address. rawInst is the
 // in-flight instruction (for htinst synthesis on guest-page faults); pass
 // 0 for fetches.
 func (h *Hart) Translate(va uint64, acc ptw.Access, rawInst uint32) (uint64, accessErr) {
-	mstatus := h.csr.raw(isa.CSRMstatus)
-	opts := ptw.Opts{
-		SUM: mstatus&isa.MstatusSUM != 0,
-		MXR: mstatus&isa.MstatusMXR != 0,
-	}
+	opts := h.transOpts()
 	switch h.Mode {
 	case isa.ModeM:
 		return va, nil // no translation; PMP handled by caller
@@ -159,6 +165,11 @@ func pageFaultInfo(err error, va uint64, rawInst uint32) accessErr {
 // MemAccess performs a data access at va: translation, PMP, then RAM or
 // bus. For writes val is stored; for reads the loaded value is returned.
 func (h *Hart) MemAccess(va uint64, size int, write bool, val uint64, rawInst uint32) (uint64, accessErr) {
+	if h.fp != nil {
+		if v, ok := h.fp.access(h, va, size, write, val); ok {
+			return v, nil
+		}
+	}
 	acc := ptw.AccessRead
 	pacc := pmp.AccessRead
 	if write {

@@ -90,12 +90,18 @@ func (k *Hypervisor) RunNormalVCPU(h *hart.Hart, vm *VM, vcpuID int) (NormalExit
 	h.MRet()
 
 	for {
-		if k.M.CLINT.TimerPending(h.ID, h.Cycles) {
-			h.SetPending(isa.IntMTimer)
-		} else {
-			h.ClearPending(isa.IntMTimer)
+		// Hot path: batch fast-path instructions; the batch re-samples the
+		// timer and interrupts per boundary, matching the loop body below.
+		dl, armed := k.M.CLINT.NextDeadline(h.ID)
+		_, ev, batched := h.RunBatch(dl, armed, ^uint64(0))
+		if !batched {
+			if k.M.CLINT.TimerPending(h.ID, h.Cycles) {
+				h.SetPending(isa.IntMTimer)
+			} else {
+				h.ClearPending(isa.IntMTimer)
+			}
+			ev = h.Step()
 		}
-		ev := h.Step()
 		switch ev.Kind {
 		case hart.EvNone:
 			continue

@@ -50,7 +50,14 @@ type Unit struct {
 	sidMap  map[SourceID]int
 	// Violations counts rejected transactions, for diagnostics and tests.
 	Violations int
+	// gen counts reprogrammings, mirroring pmp.Unit.Gen. DMA verdicts are
+	// evaluated per transaction today (nothing caches them), but any future
+	// cached verdict must revalidate against this counter.
+	gen uint64
 }
+
+// Gen returns the reprogramming generation.
+func (u *Unit) Gen() uint64 { return u.gen }
 
 // New returns an empty IOPMP. With no enrolment every DMA is rejected
 // (default-deny), which is the posture ZION boots with.
@@ -61,6 +68,7 @@ func New() *Unit {
 // DefineDomain creates (or resets) memory domain md.
 func (u *Unit) DefineDomain(md int) {
 	u.domains[md] = &Domain{}
+	u.gen++
 }
 
 // AssignSource routes a source ID to a memory domain.
@@ -69,6 +77,7 @@ func (u *Unit) AssignSource(sid SourceID, md int) error {
 		return fmt.Errorf("iopmp: domain %d not defined", md)
 	}
 	u.sidMap[sid] = md
+	u.gen++
 	return nil
 }
 
@@ -82,6 +91,7 @@ func (u *Unit) AddEntry(md int, e Entry) error {
 		return fmt.Errorf("iopmp: zero-size entry")
 	}
 	d.entries = append(d.entries, e)
+	u.gen++
 	return nil
 }
 
@@ -90,6 +100,7 @@ func (u *Unit) AddEntry(md int, e Entry) error {
 func (u *Unit) ClearDomain(md int) {
 	if d, ok := u.domains[md]; ok {
 		d.entries = nil
+		u.gen++
 	}
 }
 

@@ -22,7 +22,29 @@ type PhysMemory struct {
 	base  uint64
 	size  uint64
 	pages map[uint64][]byte // page index -> backing bytes
+
+	// Code-page registry: pages whose bytes some consumer has decoded and
+	// cached (the hart's fast-path block cache). Writes to a registered
+	// page notify every watcher so cached decodings are dropped before the
+	// stale bytes could execute — this is what keeps self-modifying code,
+	// guest image reloads, DMA, and fault injection correct with the block
+	// cache on. Refcounted so multiple harts can share a page.
+	codePages map[uint64]int // page index -> refcount
+	codeGen   uint64         // bumped on every register/unregister
+	watchers  []CodeWatcher
 }
+
+// CodeWatcher observes writes landing in registered code pages.
+type CodeWatcher interface {
+	// InvalidateCodePage is called with the page-aligned physical address
+	// of a registered code page that was just written (or is about to be
+	// overwritten by a bulk operation covering it).
+	InvalidateCodePage(pageAddr uint64)
+}
+
+// zeroPage backs reads of untouched pages on the scalar fast path.
+// It is never written.
+var zeroPage = make([]byte, isa.PageSize)
 
 // NewPhysMemory creates a RAM of size bytes starting at physical address
 // base. Both must be page-aligned.
@@ -54,6 +76,80 @@ func (m *PhysMemory) page(addr uint64, alloc bool) ([]byte, uint64) {
 	return p, addr & (isa.PageSize - 1)
 }
 
+// PageSlice returns the live backing bytes of the page containing addr,
+// materializing it if untouched. The slice aliases RAM: writes through it
+// are real stores that bypass the code-page write notifications, so only
+// the fast path — which refuses to cache stores to code pages — may write
+// through it. Returns nil when addr is outside the RAM.
+func (m *PhysMemory) PageSlice(addr uint64) []byte {
+	if !m.Contains(addr, 1) {
+		return nil
+	}
+	p, _ := m.page(addr, true)
+	return p
+}
+
+// AddCodeWatcher registers a watcher for code-page write notifications.
+func (m *PhysMemory) AddCodeWatcher(w CodeWatcher) {
+	m.watchers = append(m.watchers, w)
+}
+
+// RemoveCodeWatcher detaches a previously added watcher.
+func (m *PhysMemory) RemoveCodeWatcher(w CodeWatcher) {
+	for i, x := range m.watchers {
+		if x == w {
+			m.watchers = append(m.watchers[:i], m.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// RegisterCodePage marks the page containing addr as holding decoded code.
+func (m *PhysMemory) RegisterCodePage(addr uint64) {
+	if m.codePages == nil {
+		m.codePages = make(map[uint64]int)
+	}
+	m.codePages[(addr-m.base)>>isa.PageShift]++
+	m.codeGen++
+}
+
+// UnregisterCodePage drops one registration of the page containing addr.
+func (m *PhysMemory) UnregisterCodePage(addr uint64) {
+	idx := (addr - m.base) >> isa.PageShift
+	if n := m.codePages[idx]; n > 1 {
+		m.codePages[idx] = n - 1
+	} else if n == 1 {
+		delete(m.codePages, idx)
+	}
+	m.codeGen++
+}
+
+// IsCodePage reports whether the page containing addr is registered.
+func (m *PhysMemory) IsCodePage(addr uint64) bool {
+	return m.codePages[(addr-m.base)>>isa.PageShift] > 0
+}
+
+// CodeGen returns the registry generation; cached IsCodePage answers are
+// valid only while it is unchanged.
+func (m *PhysMemory) CodeGen() uint64 { return m.codeGen }
+
+// noteWrite notifies watchers about registered code pages overlapping a
+// write of n bytes at addr. The empty-registry check keeps the cost of
+// this hook to one predictable branch on every store when no decoded
+// blocks exist.
+func (m *PhysMemory) noteWrite(addr, n uint64) {
+	if len(m.codePages) == 0 || n == 0 {
+		return
+	}
+	for pa := addr &^ uint64(isa.PageSize-1); pa < addr+n; pa += isa.PageSize {
+		if m.codePages[(pa-m.base)>>isa.PageShift] > 0 {
+			for _, w := range m.watchers {
+				w.InvalidateCodePage(pa)
+			}
+		}
+	}
+}
+
 // Read copies n bytes starting at addr into a fresh slice. It reports an
 // error if the range escapes the RAM.
 func (m *PhysMemory) Read(addr, n uint64) ([]byte, error) {
@@ -82,6 +178,7 @@ func (m *PhysMemory) Write(addr uint64, data []byte) error {
 	if !m.Contains(addr, n) {
 		return fmt.Errorf("mem: write [%#x,+%d) outside RAM [%#x,+%#x)", addr, n, m.base, m.size)
 	}
+	m.noteWrite(addr, n)
 	off := uint64(0)
 	for off < n {
 		p, po := m.page(addr+off, true)
@@ -96,8 +193,27 @@ func (m *PhysMemory) Write(addr uint64, data []byte) error {
 }
 
 // ReadUint reads a little-endian unsigned integer of width 1, 2, 4 or 8
-// bytes at addr.
+// bytes at addr. Accesses that stay within one page index the backing
+// slice directly and never allocate — this is the interpreter's load path.
 func (m *PhysMemory) ReadUint(addr uint64, width int) (uint64, error) {
+	po := addr & (isa.PageSize - 1)
+	if po+uint64(width) <= isa.PageSize && m.Contains(addr, uint64(width)) {
+		p, _ := m.page(addr, false)
+		if p == nil {
+			p = zeroPage // untouched pages read as zero
+		}
+		switch width {
+		case 1:
+			return uint64(p[po]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[po:])), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[po:])), nil
+		case 8:
+			return binary.LittleEndian.Uint64(p[po:]), nil
+		}
+		return 0, fmt.Errorf("mem: bad access width %d", width)
+	}
 	b, err := m.Read(addr, uint64(width))
 	if err != nil {
 		return 0, err
@@ -116,8 +232,30 @@ func (m *PhysMemory) ReadUint(addr uint64, width int) (uint64, error) {
 }
 
 // WriteUint writes a little-endian unsigned integer of width 1, 2, 4 or 8
-// bytes at addr.
+// bytes at addr. Like ReadUint, single-page accesses write the backing
+// slice in place with zero allocations.
 func (m *PhysMemory) WriteUint(addr, val uint64, width int) error {
+	switch width {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("mem: bad access width %d", width)
+	}
+	po := addr & (isa.PageSize - 1)
+	if po+uint64(width) <= isa.PageSize && m.Contains(addr, uint64(width)) {
+		m.noteWrite(addr, uint64(width))
+		p, _ := m.page(addr, true)
+		switch width {
+		case 1:
+			p[po] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(p[po:], uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(p[po:], uint32(val))
+		case 8:
+			binary.LittleEndian.PutUint64(p[po:], val)
+		}
+		return nil
+	}
 	var b [8]byte
 	switch width {
 	case 1:
@@ -152,6 +290,7 @@ func (m *PhysMemory) Zero(addr, n uint64) error {
 	if !m.Contains(addr, n) {
 		return fmt.Errorf("mem: zero [%#x,+%d) outside RAM", addr, n)
 	}
+	m.noteWrite(addr, n)
 	off := uint64(0)
 	for off < n {
 		p, po := m.page(addr+off, false)
@@ -170,13 +309,48 @@ func (m *PhysMemory) Zero(addr, n uint64) error {
 }
 
 // Copy moves n bytes from src to dst within the RAM (bounce-buffer copies).
-// Overlapping ranges behave like memmove.
+// Overlapping ranges behave like memmove. Non-overlapping copies — the
+// common case for guest image loads and bounce buffers — run page-to-page
+// without staging the whole range through an allocated buffer.
 func (m *PhysMemory) Copy(dst, src, n uint64) error {
-	b, err := m.Read(src, n)
-	if err != nil {
-		return err
+	if !m.Contains(src, n) {
+		return fmt.Errorf("mem: read [%#x,+%d) outside RAM [%#x,+%#x)", src, n, m.base, m.size)
 	}
-	return m.Write(dst, b)
+	if !m.Contains(dst, n) {
+		return fmt.Errorf("mem: write [%#x,+%d) outside RAM [%#x,+%#x)", dst, n, m.base, m.size)
+	}
+	if n == 0 || dst == src {
+		return nil
+	}
+	if src < dst+n && dst < src+n {
+		// Overlapping: stage through a buffer to keep memmove semantics.
+		b, err := m.Read(src, n)
+		if err != nil {
+			return err
+		}
+		return m.Write(dst, b)
+	}
+	m.noteWrite(dst, n)
+	for off := uint64(0); off < n; {
+		sp, spo := m.page(src+off, false)
+		dp, dpo := m.page(dst+off, true)
+		chunk := isa.PageSize - spo
+		if c := isa.PageSize - dpo; c < chunk {
+			chunk = c
+		}
+		if c := n - off; c < chunk {
+			chunk = c
+		}
+		if sp == nil {
+			for i := dpo; i < dpo+chunk; i++ {
+				dp[i] = 0 // untouched source pages read as zero
+			}
+		} else {
+			copy(dp[dpo:dpo+chunk], sp[spo:spo+chunk])
+		}
+		off += chunk
+	}
+	return nil
 }
 
 // TouchedPages returns how many distinct pages have been materialized,
@@ -194,6 +368,7 @@ func (m *PhysMemory) FlipBit(addr uint64, bit uint) error {
 	if !m.Contains(addr, 1) {
 		return fmt.Errorf("mem: flip at %#x outside RAM [%#x,+%#x)", addr, m.base, m.size)
 	}
+	m.noteWrite(addr, 1)
 	p, po := m.page(addr, true)
 	p[po] ^= 1 << bit
 	return nil

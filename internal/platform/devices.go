@@ -1,20 +1,28 @@
 package platform
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // CLINT is the core-local interruptor: per-hart mtimecmp registers and a
 // machine timer. In this simulator each hart's mtime is its own cycle
 // counter (per-hart virtual time), which is exact for the single-vCPU
 // macro benchmarks the paper runs and keeps multi-hart runs independent.
+//
+// Timer state is atomic rather than mutex-guarded because TimerPending is
+// polled at every instruction boundary; writers store mtimecmp before
+// setting armed, so a timer observed as armed always has its deadline
+// visible.
 type CLINT struct {
-	mu       sync.Mutex
-	mtimecmp []uint64
-	armed    []bool
+	mu       sync.Mutex // serialises writers only
+	mtimecmp []atomic.Uint64
+	armed    []atomic.Bool
 }
 
 // NewCLINT creates a CLINT for n harts with all timers disarmed.
 func NewCLINT(n int) *CLINT {
-	return &CLINT{mtimecmp: make([]uint64, n), armed: make([]bool, n)}
+	return &CLINT{mtimecmp: make([]atomic.Uint64, n), armed: make([]atomic.Bool, n)}
 }
 
 // Range implements MMIODevice.
@@ -31,11 +39,11 @@ func (c *CLINT) Access(hartID int, off uint64, size int, write bool, val uint64)
 	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.mtimecmp)) {
 		idx := int((off - mtimecmpOff) / 8)
 		if write {
-			c.mtimecmp[idx] = val
-			c.armed[idx] = true
+			c.mtimecmp[idx].Store(val)
+			c.armed[idx].Store(true)
 			return 0
 		}
-		return c.mtimecmp[idx]
+		return c.mtimecmp[idx].Load()
 	}
 	return 0
 }
@@ -45,29 +53,26 @@ func (c *CLINT) Access(hartID int, off uint64, size int, write bool, val uint64)
 func (c *CLINT) SetTimer(i int, deadline uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.mtimecmp[i] = deadline
-	c.armed[i] = true
+	c.mtimecmp[i].Store(deadline)
+	c.armed[i].Store(true)
 }
 
 // DisarmTimer cancels hart i's timer.
 func (c *CLINT) DisarmTimer(i int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.armed[i] = false
+	c.armed[i].Store(false)
 }
 
 // TimerPending reports whether hart i's timer has fired at time now.
+// Lock-free: this sits on the per-instruction hot path.
 func (c *CLINT) TimerPending(i int, now uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.armed[i] && now >= c.mtimecmp[i]
+	return c.armed[i].Load() && now >= c.mtimecmp[i].Load()
 }
 
 // NextDeadline returns hart i's armed deadline.
 func (c *CLINT) NextDeadline(i int) (uint64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.mtimecmp[i], c.armed[i]
+	return c.mtimecmp[i].Load(), c.armed[i].Load()
 }
 
 // UART is a write-only console device: bytes stored for inspection.

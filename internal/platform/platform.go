@@ -119,9 +119,19 @@ func (m *Machine) RunHart(i int, maxSteps uint64) (uint64, error) {
 	h := m.Harts[i]
 	var steps uint64
 	for steps < maxSteps {
-		m.tickTimer(h)
-		ev := h.Step()
-		steps++
+		// Hot path: batch fast-path instructions; the batch re-samples the
+		// timer and interrupts per boundary, matching the loop body below.
+		dl, armed := m.CLINT.NextDeadline(h.ID)
+		n, ev, batched := h.RunBatch(dl, armed, maxSteps-steps)
+		steps += n
+		if !batched {
+			if steps >= maxSteps {
+				break
+			}
+			m.tickTimer(h)
+			ev = h.Step()
+			steps++
+		}
 		switch ev.Kind {
 		case hart.EvNone:
 			continue

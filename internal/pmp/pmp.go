@@ -61,6 +61,9 @@ type Unit struct {
 	cfg   [NumEntries]uint8
 	addr  [NumEntries]uint64 // raw pmpaddr values (physical address >> 2)
 	stats Stats
+	// gen counts reprogrammings (SetCfg/SetAddr/Restore). A cached Probe
+	// verdict is valid only while gen is unchanged.
+	gen uint64
 }
 
 // Stats counts PMP check activity (telemetry).
@@ -83,6 +86,7 @@ func (u *Unit) SetCfg(i int, cfg uint8) {
 		return
 	}
 	u.cfg[i] = cfg
+	u.gen++
 }
 
 // Cfg returns one entry's configuration byte.
@@ -98,7 +102,11 @@ func (u *Unit) SetAddr(i int, v uint64) {
 		return
 	}
 	u.addr[i] = v
+	u.gen++
 }
+
+// Gen returns the reprogramming generation (see the field comment).
+func (u *Unit) Gen() uint64 { return u.gen }
 
 // Addr returns pmpaddr[i].
 func (u *Unit) Addr(i int) uint64 { return u.addr[i] }
@@ -189,6 +197,19 @@ func (u *Unit) Check(addr, n uint64, acc AccessType, machineMode bool) bool {
 	return ok
 }
 
+// Probe evaluates the same rules as Check without recording statistics.
+// The fast path probes whole pages when building micro-TLB entries; a
+// passing probe is cacheable because full containment means every
+// sub-access resolves against the same first-matching entry with the same
+// permission bits (partial-match rejection can't differ within the page).
+func (u *Unit) Probe(addr, n uint64, acc AccessType, machineMode bool) bool {
+	return u.check(addr, n, acc, machineMode)
+}
+
+// NoteCheck counts one allowed access evaluated by a cached fast-path
+// verdict, keeping Stats.Checks bit-identical to slow-path execution.
+func (u *Unit) NoteCheck() { u.stats.Checks++ }
+
 func (u *Unit) check(addr, n uint64, acc AccessType, machineMode bool) bool {
 	if n == 0 {
 		n = 1
@@ -236,7 +257,10 @@ func (u *Unit) Save() Snapshot { return Snapshot{Cfg: u.cfg, Addr: u.addr} }
 // Restore overwrites the unit's state, ignoring locks (only M-mode firmware
 // calls this, and hardware lock semantics apply to CSR writes, not to the
 // conceptual reprogramming the SM performs before mret).
-func (u *Unit) Restore(s Snapshot) { u.cfg, u.addr = s.Cfg, s.Addr }
+func (u *Unit) Restore(s Snapshot) {
+	u.cfg, u.addr = s.Cfg, s.Addr
+	u.gen++
+}
 
 // ActiveEntries returns the indices of enabled entries (diagnostics).
 func (u *Unit) ActiveEntries() []int {

@@ -373,15 +373,25 @@ func extend(data uint64, width int, signed bool) uint64 {
 // event began (for §V.B exit-latency accounting).
 func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
 	for {
-		if s.cfg.StepHook != nil {
+		var ev hart.Event
+		var batched bool
+		if s.cfg.StepHook == nil {
+			// Hot path: run fast-path instructions back-to-back; the batch
+			// re-samples the timer and interrupts at every boundary, so it
+			// is step-for-step identical to the loop below.
+			dl, armed := s.machine.CLINT.NextDeadline(h.ID)
+			_, ev, batched = h.RunBatch(dl, armed, ^uint64(0))
+		} else {
 			s.cfg.StepHook(h, v.ID)
 		}
-		if s.machine.CLINT.TimerPending(h.ID, h.Cycles) {
-			h.SetPending(isa.IntMTimer)
-		} else {
-			h.ClearPending(isa.IntMTimer)
+		if !batched {
+			if s.machine.CLINT.TimerPending(h.ID, h.Cycles) {
+				h.SetPending(isa.IntMTimer)
+			} else {
+				h.ClearPending(isa.IntMTimer)
+			}
+			ev = h.Step()
 		}
-		ev := h.Step()
 		switch ev.Kind {
 		case hart.EvNone:
 			continue

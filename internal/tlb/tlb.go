@@ -50,6 +50,12 @@ type TLB struct {
 	tick  uint64
 	arr   []Entry // sets × ways
 	stats Stats
+	// gen counts content changes (inserts and flushes). The hart's
+	// fast-path micro-TLB snapshots it when caching a hit: as long as gen
+	// is unchanged, no entry was replaced or invalidated, so a Lookup of
+	// the same (va, asid, vmid) would find the same first-matching entry.
+	// LRU updates do not bump gen — they never change which entry matches.
+	gen uint64
 }
 
 // New builds a TLB with the given geometry. Typical embedded cores carry
@@ -98,9 +104,52 @@ func (t *TLB) Lookup(va uint64, asid, vmid uint16) (ppn uint64, perms uint64, le
 	return 0, 0, 0, false
 }
 
+// Gen returns the content generation (see the field comment).
+func (t *TLB) Gen() uint64 { return t.gen }
+
+// Peek searches exactly like Lookup — same level order, same way order —
+// but with zero side effects: no tick advance, no LRU update, no stats.
+// On a hit it additionally returns the matched entry's index in the
+// backing array, which Touch accepts to replay the hit's state effects
+// later. The fast path uses Peek to build micro-TLB entries without
+// perturbing the statistics the slow path would have produced.
+func (t *TLB) Peek(va uint64, asid, vmid uint16) (idx int, ppn uint64, perms uint64, level int, hit bool) {
+	vpnFull := va >> isa.PageShift
+	for lvl := 0; lvl < 3; lvl++ {
+		vpn := vpnFull >> (9 * uint(lvl))
+		s := int(vpn) % t.sets
+		if s < 0 {
+			s += t.sets
+		}
+		base := s * t.ways
+		for i := 0; i < t.ways; i++ {
+			e := &t.arr[base+i]
+			if !e.valid || e.level != lvl || e.vpn != vpn || e.vmid != vmid {
+				continue
+			}
+			if !e.global && e.asid != asid {
+				continue
+			}
+			return base + i, e.ppn, e.perms, e.level, true
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// Touch replays the state effects of a Lookup hit on entry idx: it
+// advances the tick, refreshes the entry's LRU stamp, and counts a hit —
+// bit-identical to what Lookup would have done. idx must come from a Peek
+// whose result is still current (TLB gen unchanged since).
+func (t *TLB) Touch(idx int) {
+	t.tick++
+	t.arr[idx].lru = t.tick
+	t.stats.Hits++
+}
+
 // Insert caches a leaf translation. level is the leaf level (0/1/2);
 // va and pa are truncated to the page frame of that level.
 func (t *TLB) Insert(va, pa uint64, perms uint64, level int, asid, vmid uint16) {
+	t.gen++
 	t.tick++
 	vpn := va >> uint(isa.PageShift+9*level)
 	set := t.set(vpn)
@@ -130,6 +179,7 @@ func (t *TLB) Insert(va, pa uint64, perms uint64, level int, asid, vmid uint16) 
 // FlushAll invalidates every entry (sfence.vma x0, x0 with no ASID plus
 // hfence of all VMIDs — the big hammer the SM uses on pool expansion).
 func (t *TLB) FlushAll() {
+	t.gen++
 	t.stats.Flushes++
 	for i := range t.arr {
 		if t.arr[i].valid {
@@ -142,6 +192,7 @@ func (t *TLB) FlushAll() {
 // FlushASID invalidates all non-global entries for an ASID within a VMID
 // (sfence.vma x0, asid).
 func (t *TLB) FlushASID(asid, vmid uint16) {
+	t.gen++
 	t.stats.Flushes++
 	for i := range t.arr {
 		e := &t.arr[i]
@@ -154,6 +205,7 @@ func (t *TLB) FlushASID(asid, vmid uint16) {
 
 // FlushVMID invalidates every entry belonging to a VMID (hfence.gvma).
 func (t *TLB) FlushVMID(vmid uint16) {
+	t.gen++
 	t.stats.Flushes++
 	for i := range t.arr {
 		e := &t.arr[i]
@@ -167,6 +219,7 @@ func (t *TLB) FlushVMID(vmid uint16) {
 // FlushPage invalidates translations covering va for (asid, vmid),
 // including superpages (sfence.vma va, asid).
 func (t *TLB) FlushPage(va uint64, asid, vmid uint16) {
+	t.gen++
 	t.stats.Flushes++
 	vpnFull := va >> isa.PageShift
 	for i := range t.arr {

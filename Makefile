@@ -3,16 +3,22 @@
 #   make build  - compile everything
 #   make test   - tier-1: full test suite
 #   make race   - full test suite under the race detector
-#   make check  - tier-2: vet + race detector on the whole module + a smoke
+#   make lint   - golangci-lint if installed, else 'go vet' with a notice
+#   make check  - tier-2: lint + race detector on the whole module + a smoke
 #                 fault-injection campaign (fixed seed, 100 faults) + a
 #                 short host-throughput run (also verifies bit-identity)
 #   make bench  - regenerate the paper's evaluation tables
-#   make bench-host       - measure host MIPS fast vs slow, write BENCH_host.json
-#   make bench-host-short - same at 1/8 scale (quick, noisier)
+#   make bench-host       - measure host MIPS fast vs slow plus the multi-hart
+#                           parallel engine, write BENCH_host.json
+#   make bench-host-short - same at 1/8 scale, write BENCH_host_short.json
+#                           (the committed CI gate baseline)
+#   make bench-gate       - re-measure at 1/8 scale and fail if the simulated
+#                           cycle/instret fingerprint drifts from the committed
+#                           BENCH_host_short.json or a speedup regresses >20%
 
 GO ?= go
 
-.PHONY: build test check race smoke bench bench-host bench-host-short
+.PHONY: build test check race lint smoke bench bench-host bench-host-short bench-gate
 
 build:
 	$(GO) build ./...
@@ -23,8 +29,19 @@ test: build
 race: build
 	$(GO) test -race ./...
 
+# lint prefers golangci-lint (.golangci.yml enables govet, staticcheck,
+# errcheck, ineffassign) but degrades to plain 'go vet' so 'make check'
+# works on machines without the binary.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "lint: golangci-lint not found on PATH; falling back to 'go vet ./...'"; \
+		$(GO) vet ./...; \
+	fi
+
 check: build
-	$(GO) vet ./...
+	$(MAKE) lint
 	$(MAKE) race
 	$(GO) test ./...
 	$(MAKE) smoke
@@ -39,9 +56,17 @@ bench:
 	$(GO) run ./cmd/zionbench
 
 # bench-host times the T1 aes and E4 CoreMark guests with the fast-path
-# engine on vs off; the run fails if the simulated cycle counts diverge.
+# engine on vs off, then the 4-hart aes workload sequentially vs under the
+# quantum-barrier parallel engine; the run fails if any simulated cycle
+# count diverges between engines.
 bench-host:
 	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host.json
 
 bench-host-short:
-	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host.json -hostdiv 8
+	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host_short.json -hostdiv 8
+
+# bench-gate is the CI regression gate: fresh 1/8-scale measurement, gated
+# against the committed same-scale baseline. The fresh numbers are written
+# to BENCH_host_ci.json (uploaded as a CI artifact, never committed).
+bench-gate:
+	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host_ci.json -hostdiv 8 -hostgate BENCH_host_short.json

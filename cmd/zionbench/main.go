@@ -44,6 +44,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a Go heap profile of the simulator itself")
 	hostbench := flag.String("hostbench", "", "measure host MIPS fast vs slow path and write a JSON report to FILE")
 	hostdiv := flag.Int("hostdiv", 1, "divide host-bench workload scales (faster, noisier)")
+	hostharts := flag.Int("hostharts", 4, "harts for the parallel host-throughput section (0 = skip)")
+	hostgate := flag.String("hostgate", "", "gate the fresh host benchmark against baseline JSON FILE; exit nonzero on fingerprint drift or >20% speedup regression")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -226,23 +228,49 @@ func main() {
 		}
 	}
 
-	if *hostbench != "" {
+	if *hostbench != "" || *hostgate != "" {
 		section("HOST", "host-side throughput: fast-path engine vs pure interpreter")
 		r, err := bench.RunHost(*hostdiv)
 		if err != nil {
 			fail("host", err)
 		}
+		if *hostharts > 0 {
+			// The multi-hart section doubles as a determinism check: it
+			// errors out unless the parallel run's per-hart fingerprints are
+			// bit-identical to the sequential reference.
+			p, err := bench.RunParallelHost(*hostdiv, *hostharts)
+			if err != nil {
+				fail("host", err)
+			}
+			r.Parallel = &p
+		}
 		for _, l := range r.Format() {
 			fmt.Println(l)
 		}
-		data, err := json.MarshalIndent(r, "", "  ")
-		if err != nil {
-			fail("host", err)
+		if *hostbench != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fail("host", err)
+			}
+			if err := os.WriteFile(*hostbench, append(data, '\n'), 0o644); err != nil {
+				fail("host", err)
+			}
+			fmt.Printf("wrote host benchmark to %s\n", *hostbench)
 		}
-		if err := os.WriteFile(*hostbench, append(data, '\n'), 0o644); err != nil {
-			fail("host", err)
+		if *hostgate != "" {
+			data, err := os.ReadFile(*hostgate)
+			if err != nil {
+				fail("hostgate", err)
+			}
+			var baseline bench.HostResult
+			if err := json.Unmarshal(data, &baseline); err != nil {
+				fail("hostgate", err)
+			}
+			if err := bench.CheckHostRegression(baseline, r); err != nil {
+				fail("hostgate", err)
+			}
+			fmt.Printf("host gate passed against %s\n", *hostgate)
 		}
-		fmt.Printf("wrote host benchmark to %s\n", *hostbench)
 	}
 
 	if sink != nil {

@@ -89,6 +89,9 @@ type EnvConfig struct {
 	PoolSize uint64
 	// HVQuantum arms the normal-VM scheduler tick (0 = none).
 	HVQuantum uint64
+	// Harts is the hart count (0 = 1). Multi-hart environments drive the
+	// extra harts through platform.RunParallel or per-hart run loops.
+	Harts int
 }
 
 // NewEnv boots a stack: machine, Secure Monitor, hypervisor, one secure
@@ -100,7 +103,10 @@ func NewEnv(cfg EnvConfig) *Env {
 	if cfg.PoolSize == 0 {
 		cfg.PoolSize = 64 << 20
 	}
-	m := platform.New(1, cfg.RAMSize)
+	if cfg.Harts <= 0 {
+		cfg.Harts = 1
+	}
+	m := platform.New(cfg.Harts, cfg.RAMSize)
 	sc := benchSink.Scope()
 	if sc != nil && cfg.SM.Telemetry == nil {
 		cfg.SM.Telemetry = sc
@@ -112,7 +118,9 @@ func NewEnv(cfg EnvConfig) *Env {
 	k := hv.New(m, monitor, platform.RAMBase+0x0100_0000, cfg.RAMSize-0x0200_0000)
 	k.SchedQuantum = cfg.HVQuantum
 	h := m.Harts[0]
-	h.Mode = isa.ModeS
+	for _, hh := range m.Harts {
+		hh.Mode = isa.ModeS
+	}
 	if sc != nil {
 		k.SetTelemetry(sc)
 		for _, hh := range m.Harts {

@@ -37,6 +37,9 @@ type HostResult struct {
 	ScalarReadAllocs  float64 `json:"scalar_read_allocs_per_op"`
 	ScalarWriteAllocs float64 `json:"scalar_write_allocs_per_op"`
 	MinSpeedup        float64 `json:"min_speedup"`
+	// Parallel is the multi-hart quantum-barrier throughput section
+	// (absent in files written before the parallel engine existed).
+	Parallel *ParallelHostResult `json:"parallel,omitempty"`
 }
 
 // Format renders a human summary.
@@ -48,7 +51,55 @@ func (r HostResult) Format() []string {
 	}
 	out = append(out, fmt.Sprintf("scalar mem path: %.2f allocs/op read, %.2f allocs/op write",
 		r.ScalarReadAllocs, r.ScalarWriteAllocs))
+	if p := r.Parallel; p != nil {
+		out = append(out, fmt.Sprintf("parallel: %s x%d harts on %d host cores: %.2f -> %.2f MIPS (%.2fx, deterministic=%v)",
+			p.Workload, p.Harts, p.HostCores, p.SeqMIPS, p.ParMIPS, p.Speedup, p.Deterministic))
+	}
 	return out
+}
+
+// CheckHostRegression gates a freshly measured HostResult against the
+// committed baseline. Two classes of check:
+//
+//   - Bit-identity: instructions and simulated cycles per workload must
+//     match the baseline exactly — any drift means the simulation changed
+//     behaviour, which is a correctness failure, not a perf one. The
+//     parallel section must report Deterministic.
+//   - Throughput: per-workload fast-path speedup (fast/slow MIPS, a
+//     machine-relative ratio) must not regress more than 20% below the
+//     baseline ratio. Absolute MIPS is deliberately not gated — CI runners
+//     differ — and the parallel speedup is gated only when the host has
+//     enough cores for the baseline ratio to be reproducible.
+func CheckHostRegression(baseline, current HostResult) error {
+	base := make(map[string]HostRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[r.Name] = r
+	}
+	for _, r := range current.Rows {
+		b, ok := base[r.Name]
+		if !ok {
+			continue // new workload: nothing to compare against yet
+		}
+		if r.Instructions != b.Instructions || r.Cycles != b.Cycles {
+			return fmt.Errorf("host gate: %s simulation fingerprint diverged: instructions %d vs baseline %d, cycles %d vs baseline %d",
+				r.Name, r.Instructions, b.Instructions, r.Cycles, b.Cycles)
+		}
+		if b.Speedup > 0 && r.Speedup < b.Speedup*0.8 {
+			return fmt.Errorf("host gate: %s fast-path speedup regressed >20%%: %.2fx vs baseline %.2fx",
+				r.Name, r.Speedup, b.Speedup)
+		}
+	}
+	if p := current.Parallel; p != nil {
+		if !p.Deterministic {
+			return fmt.Errorf("host gate: parallel engine non-deterministic")
+		}
+		bp := baseline.Parallel
+		if bp != nil && p.HostCores >= bp.Harts && bp.Speedup > 0 && p.Speedup < bp.Speedup*0.8 {
+			return fmt.Errorf("host gate: parallel speedup regressed >20%%: %.2fx vs baseline %.2fx (on %d cores)",
+				p.Speedup, bp.Speedup, p.HostCores)
+		}
+	}
+	return nil
 }
 
 type hostSample struct {

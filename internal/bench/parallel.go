@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"zion/internal/hart"
+	"zion/internal/hv"
+	"zion/internal/platform"
+	"zion/internal/sm"
+	"zion/internal/workloads"
+)
+
+// This file is the harness side of the parallel multi-hart engine: the
+// sequential-vs-parallel lockstep fingerprints the determinism tests and
+// the CI gate rely on, and the multi-hart host-throughput benchmark.
+//
+// The determinism contract (see internal/platform/engine.go): for a fixed
+// seed, a workload's per-hart simulated Cycles, Instret, and trap mix are
+// bit-identical whether the harts run sequentially on one goroutine or
+// concurrently under the quantum-barrier engine — host scheduling may
+// reorder cross-hart *service* work (CVM id assignment, frame allocation
+// order) but never anything cycle-accounted.
+
+// HartFingerprint is one hart's architecturally visible outcome: exactly
+// the quantities the paper's tables are computed from.
+type HartFingerprint struct {
+	Cycles  uint64          `json:"cycles"`
+	Instret uint64          `json:"instret"`
+	Traps   []hart.TrapStat `json:"traps"`
+}
+
+// Fingerprint captures a hart's current (Cycles, Instret, trap mix).
+func Fingerprint(h *hart.Hart) HartFingerprint {
+	return HartFingerprint{Cycles: h.Cycles, Instret: h.Instret, Traps: h.TrapMix()}
+}
+
+// Equal reports bit-identity of two fingerprints.
+func (f HartFingerprint) Equal(o HartFingerprint) bool {
+	if f.Cycles != o.Cycles || f.Instret != o.Instret || len(f.Traps) != len(o.Traps) {
+		return false
+	}
+	for i := range f.Traps {
+		if f.Traps[i].Cause != o.Traps[i].Cause || f.Traps[i].Count != o.Traps[i].Count {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a fingerprint compactly for test failure messages.
+func (f HartFingerprint) String() string {
+	s := fmt.Sprintf("cycles=%d instret=%d traps={", f.Cycles, f.Instret)
+	for i, t := range f.Traps {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", t.Name, t.Count)
+	}
+	return s + "}"
+}
+
+// runCVMOn drives a CVM to completion on an arbitrary hart (the per-hart
+// generalisation of Env.RunCVMToCompletion, which is pinned to hart 0).
+func (e *Env) runCVMOn(h *hart.Hart, vm *hv.VM, vcpu int) (uint64, error) {
+	for {
+		info, err := e.HV.RunCVM(h, vm, vcpu)
+		if err != nil {
+			return 0, err
+		}
+		switch info.Reason {
+		case sm.ExitShutdown:
+			return info.Data, nil
+		case sm.ExitTimer:
+			continue
+		default:
+			return 0, fmt.Errorf("bench: unexpected exit %v on hart %d", info.Reason, h.ID)
+		}
+	}
+}
+
+// cvmRunner builds the per-hart work of the lockstep and throughput
+// harnesses: create one CVM of kernel k on this hart, run it to shutdown.
+func (e *Env) cvmRunner(k workloads.Kernel, scale int) platform.HartRunner {
+	img := workloads.Program(k, scale)
+	return func(h *hart.Hart) error {
+		vm, err := e.HV.CreateCVM(h, fmt.Sprintf("%s-h%d", k.Name, h.ID), img, hv.GuestRAMBase)
+		if err != nil {
+			return err
+		}
+		_, err = e.runCVMOn(h, vm, 0)
+		return err
+	}
+}
+
+// RunWorkloadCopies boots an n-hart stack and runs one private copy of
+// kernel k per hart: sequentially (hart 0 to completion, then hart 1, …)
+// when cfg is nil, or concurrently under the quantum-barrier engine
+// otherwise. It returns each hart's fingerprint plus the host wall-clock
+// seconds spent executing guests.
+func RunWorkloadCopies(k workloads.Kernel, scale, n int, cfg *platform.EngineConfig) ([]HartFingerprint, float64, error) {
+	e := NewEnv(EnvConfig{Harts: n, SM: sm.Config{SchedQuantum: rv8TickQuantum()}})
+	runners := make([]platform.HartRunner, n)
+	for i := 0; i < n; i++ {
+		runners[i] = e.cvmRunner(k, scale)
+	}
+	t0 := time.Now()
+	if cfg == nil {
+		for i, r := range runners {
+			if err := r(e.M.Harts[i]); err != nil {
+				return nil, 0, fmt.Errorf("bench: sequential hart %d: %w", i, err)
+			}
+		}
+	} else {
+		if err := e.M.RunParallel(*cfg, runners); err != nil {
+			return nil, 0, fmt.Errorf("bench: parallel run: %w", err)
+		}
+	}
+	sec := time.Since(t0).Seconds()
+	fps := make([]HartFingerprint, n)
+	for i, h := range e.M.Harts {
+		fps[i] = Fingerprint(h)
+	}
+	return fps, sec, nil
+}
+
+// ParallelHostResult is the multi-hart host-throughput section of
+// BENCH_host.json. Speedup is wall-clock sequential/parallel for the same
+// n-hart workload; it approaches min(n, host cores) on an idle machine and
+// 1.0 on a single-core host — which is why the CI gate compares the ratio
+// against the committed baseline rather than an absolute target, and why
+// HostCores is recorded alongside it.
+type ParallelHostResult struct {
+	Workload      string  `json:"workload"`
+	Harts         int     `json:"harts"`
+	HostCores     int     `json:"host_cores"`
+	Instructions  uint64  `json:"instructions"`
+	Cycles        uint64  `json:"simulated_cycles"`
+	SeqSeconds    float64 `json:"seq_seconds"`
+	ParSeconds    float64 `json:"par_seconds"`
+	SeqMIPS       float64 `json:"seq_mips"`
+	ParMIPS       float64 `json:"par_mips"`
+	Speedup       float64 `json:"speedup"`
+	Deterministic bool    `json:"deterministic"`
+}
+
+// RunParallelHost measures host throughput of the quantum-barrier engine
+// on an n-hart aes workload against the same work run sequentially, and
+// cross-checks the determinism contract while doing so: the per-hart
+// fingerprints of both runs must be bit-identical or the benchmark errors.
+func RunParallelHost(scaleDiv, harts int) (ParallelHostResult, error) {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	if harts < 1 {
+		harts = 4
+	}
+	var k workloads.Kernel
+	for _, c := range workloads.RV8() {
+		if c.Name == "aes" {
+			k = c
+		}
+	}
+	scale := k.DefaultScale * 8 / scaleDiv
+	if scale < 8 {
+		scale = 8
+	}
+	seqFP, seqSec, err := RunWorkloadCopies(k, scale, harts, nil)
+	if err != nil {
+		return ParallelHostResult{}, err
+	}
+	cfg := platform.EngineConfig{Quantum: platform.DefaultQuantum}
+	parFP, parSec, err := RunWorkloadCopies(k, scale, harts, &cfg)
+	if err != nil {
+		return ParallelHostResult{}, err
+	}
+	res := ParallelHostResult{
+		Workload:      k.Name,
+		Harts:         harts,
+		HostCores:     runtime.NumCPU(),
+		SeqSeconds:    seqSec,
+		ParSeconds:    parSec,
+		Deterministic: true,
+	}
+	for i := range seqFP {
+		if !seqFP[i].Equal(parFP[i]) {
+			res.Deterministic = false
+			return res, fmt.Errorf("bench: hart %d sequential/parallel divergence: %v vs %v",
+				i, seqFP[i], parFP[i])
+		}
+		res.Instructions += seqFP[i].Instret
+		res.Cycles += seqFP[i].Cycles
+	}
+	if seqSec > 0 {
+		res.SeqMIPS = float64(res.Instructions) / seqSec / 1e6
+	}
+	if parSec > 0 {
+		res.ParMIPS = float64(res.Instructions) / parSec / 1e6
+	}
+	if parSec > 0 {
+		res.Speedup = seqSec / parSec
+	}
+	return res, nil
+}

@@ -2,6 +2,8 @@ package hart
 
 import (
 	"encoding/binary"
+	"sync"
+	"sync/atomic"
 
 	"zion/internal/isa"
 	"zion/internal/mem"
@@ -48,9 +50,13 @@ type mtlbEntry struct {
 // decodedPage holds the eager decode of one physical page. live flips to
 // false when the underlying bytes change; every fetch revalidates it, so
 // self-modifying code observes its own stores exactly like the slow path
-// (which re-fetches every instruction).
+// (which re-fetches every instruction). live is atomic because under the
+// parallel engine the invalidating store may come from a peer hart's
+// goroutine (mem watcher dispatch); the fast path is semantically
+// transparent, so a cross-hart invalidation landing mid-quantum changes
+// only host-side cache effectiveness, never simulated results.
 type decodedPage struct {
-	live  bool
+	live  atomic.Bool
 	insts [isa.PageSize / 4]isa.Inst
 }
 
@@ -81,6 +87,13 @@ type fastPath struct {
 	fetch [mtlbSize]mtlbEntry
 	read  [mtlbSize]mtlbEntry
 	write [mtlbSize]mtlbEntry
+
+	// mu guards the decoded-page registry below: InvalidateCodePage may
+	// be dispatched from a peer hart's goroutine (its store hit one of
+	// our registered code pages), while the owner decodes and blacklists
+	// on its own goroutine. The per-instruction hit path (micro-TLB entry
+	// valid, decoded page live) never takes it.
+	mu    sync.Mutex
 	pages map[uint64]*decodedPage // pa page -> decoded
 	// Pages invalidated this often stop being block-cached (code and hot
 	// data sharing a page would otherwise rebuild the decode per store).
@@ -115,10 +128,12 @@ func (h *Hart) DisableFastPath() {
 	if h.fp == nil {
 		return
 	}
+	h.fp.mu.Lock()
 	for pa, dp := range h.fp.pages {
-		dp.live = false
+		dp.live.Store(false)
 		h.Mem.UnregisterCodePage(pa)
 	}
+	h.fp.mu.Unlock()
 	h.Mem.RemoveCodeWatcher(h.fp)
 	h.fp = nil
 }
@@ -131,17 +146,22 @@ func (h *Hart) FastPathStats() FastPathStats {
 	if h.fp == nil {
 		return FastPathStats{}
 	}
+	h.fp.mu.Lock()
+	defer h.fp.mu.Unlock()
 	return h.fp.stats
 }
 
 // InvalidateCodePage implements mem.CodeWatcher: a write landed in a page
-// this engine decoded.
+// this engine decoded. Under the parallel engine the writer may be a
+// peer hart, so the registry mutations are lock-protected.
 func (e *fastPath) InvalidateCodePage(paPage uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	dp, ok := e.pages[paPage]
 	if !ok {
 		return
 	}
-	dp.live = false
+	dp.live.Store(false)
 	delete(e.pages, paPage)
 	e.mem.UnregisterCodePage(paPage)
 	e.stats.BlockInvals++
@@ -281,11 +301,14 @@ func (e *fastPath) step(h *Hart) (Event, bool) {
 		}
 	}
 	dp := ent.dp
-	if dp == nil || !dp.live {
+	if dp == nil || !dp.live.Load() {
+		e.mu.Lock()
 		if e.blacklist[ent.paPage] {
+			e.mu.Unlock()
 			return Event{}, false // write-hot page: decode per fetch instead
 		}
-		dp = e.decodePage(ent.paPage, ent.page)
+		dp = e.decodePageLocked(ent.paPage, ent.page)
+		e.mu.Unlock()
 		ent.dp = dp
 	}
 	e.stats.FetchHits++
@@ -293,13 +316,14 @@ func (e *fastPath) step(h *Hart) (Event, bool) {
 	return h.execute(dp.insts[(pc&(isa.PageSize-1))>>2]), true
 }
 
-// decodePage builds (or returns) the decoded block for a physical page and
-// registers it for write-invalidation.
-func (e *fastPath) decodePage(paPage uint64, page []byte) *decodedPage {
+// decodePageLocked builds (or returns) the decoded block for a physical
+// page and registers it for write-invalidation. Caller holds e.mu.
+func (e *fastPath) decodePageLocked(paPage uint64, page []byte) *decodedPage {
 	if dp, ok := e.pages[paPage]; ok {
 		return dp
 	}
-	dp := &decodedPage{live: true}
+	dp := &decodedPage{}
+	dp.live.Store(true)
 	for i := range dp.insts {
 		dp.insts[i] = isa.Decode(binary.LittleEndian.Uint32(page[i*4:]))
 	}

@@ -98,6 +98,22 @@ type Hart struct {
 	// Tel, when non-nil, records a cycle-domain instant per architectural
 	// trap. Nil costs one branch per trap.
 	Tel *telemetry.Scope
+
+	// Parallel-engine hooks (internal/platform engine). When the quantum
+	// barrier is active, Yield is non-nil and QuantumDeadline is the cycle
+	// count at which this hart must rendezvous with its peers before
+	// continuing. Both are owned by the engine: nil/0 when running under
+	// the sequential scheduler, so every hook below degrades to a branch.
+	//
+	// Yield(idle) parks the calling goroutine at the quantum barrier.
+	// idle reports that the hart cannot make progress on its own (WFI
+	// with nothing armed); when every participating hart is idle the
+	// engine declares global halt and Yield returns false, meaning "stop
+	// running, nothing will ever wake you". A true return means cross-hart
+	// events (IPIs, TLB shootdowns, PMP reprogramming) for the new quantum
+	// have been delivered and execution may continue.
+	QuantumDeadline uint64
+	Yield           func(idle bool) bool
 }
 
 // New creates a hart wired to the given RAM and bus.
@@ -133,6 +149,36 @@ func (h *Hart) SetReg(r uint8, v uint64) {
 
 // Reg reads a GPR.
 func (h *Hart) Reg(r uint8) uint64 { return h.X[r] }
+
+// BatchDeadline merges the caller's natural run-loop deadline (usually
+// the hart's next timer comparator) with the quantum barrier deadline.
+// RunBatch re-checks its deadline before every instruction, so stopping
+// early at the quantum edge is semantically invisible: the caller's loop
+// simply resumes the batch after CheckYield returns.
+func (h *Hart) BatchDeadline(dl uint64, armed bool) (uint64, bool) {
+	if h.Yield == nil {
+		return dl, armed
+	}
+	if !armed || h.QuantumDeadline < dl {
+		return h.QuantumDeadline, true
+	}
+	return dl, true
+}
+
+// CheckYield parks the hart at the quantum barrier when its cycle count
+// has reached the current quantum deadline. It loops because a single
+// timer jump (e.g. a WFI fast-forward across a scheduler quantum) can
+// overshoot many engine quanta at once; the hart then pays one barrier
+// per quantum it crossed, which is what keeps cross-hart event delivery
+// deterministic. Returns false only on global halt (all harts idle).
+func (h *Hart) CheckYield() bool {
+	for h.Yield != nil && h.Cycles >= h.QuantumDeadline {
+		if !h.Yield(false) {
+			return false
+		}
+	}
+	return true
+}
 
 // --- Interrupt injection -------------------------------------------------
 

@@ -71,7 +71,9 @@ func (k *Hypervisor) CreateCVM(h *hart.Hart, name string, image []byte, entry ui
 		return nil, err
 	}
 	vm.sharedVCPU = append(vm.sharedVCPU, sh)
+	k.mu.Lock()
 	k.VMs = append(k.VMs, vm)
+	k.mu.Unlock()
 	return vm, nil
 }
 
@@ -120,6 +122,8 @@ func (k *Hypervisor) MapShared(h *hart.Hart, vm *VM, gpa uint64) (uint64, error)
 		return 0, fmt.Errorf("hv: GPA %#x outside shared window", gpa)
 	}
 	gpa &^= uint64(isa.PageSize - 1)
+	vm.statMu.Lock()
+	defer vm.statMu.Unlock()
 	if pa, ok := vm.sharedMap[gpa]; ok {
 		return pa, nil
 	}
@@ -165,6 +169,8 @@ func (k *Hypervisor) MapShared(h *hart.Hart, vm *VM, gpa uint64) (uint64, error)
 
 // SharedPA resolves a shared-window GPA to the backing normal frame.
 func (vm *VM) SharedPA(gpa uint64) (uint64, bool) {
+	vm.statMu.Lock()
+	defer vm.statMu.Unlock()
 	pa, ok := vm.sharedMap[gpa&^uint64(isa.PageSize-1)]
 	if !ok {
 		return 0, false
@@ -294,6 +300,8 @@ func (k *Hypervisor) RestoreCVM(h *hart.Hart, name string, blob []byte) (*VM, er
 		return nil, err
 	}
 	vm.sharedVCPU = append(vm.sharedVCPU, sh)
+	k.mu.Lock()
 	k.VMs = append(k.VMs, vm)
+	k.mu.Unlock()
 	return vm, nil
 }

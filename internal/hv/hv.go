@@ -11,6 +11,7 @@ package hv
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"zion/internal/hart"
 	"zion/internal/isa"
@@ -23,8 +24,10 @@ import (
 // FrameAlloc is a bump allocator over a normal-memory region. The real
 // host kernel uses a buddy allocator; for the simulator's purposes only
 // the contact surface (page-sized frames, contiguous region carve-outs)
-// matters.
+// matters. It is safe for concurrent use: under the parallel engine
+// several harts can fault and allocate frames in the same quantum.
 type FrameAlloc struct {
+	mu        sync.Mutex
 	next, end uint64
 }
 
@@ -40,6 +43,8 @@ func (a *FrameAlloc) Page() (uint64, error) {
 
 // Contig returns a contiguous, aligned region.
 func (a *FrameAlloc) Contig(size, align uint64) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	p := (a.next + align - 1) &^ (align - 1)
 	if p+size > a.end {
 		return 0, errors.New("hv: normal memory exhausted")
@@ -49,7 +54,11 @@ func (a *FrameAlloc) Contig(size, align uint64) (uint64, error) {
 }
 
 // Remaining reports bytes left.
-func (a *FrameAlloc) Remaining() uint64 { return a.end - a.next }
+func (a *FrameAlloc) Remaining() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.end - a.next
+}
 
 // EmuDevice is an emulated MMIO device (the QEMU role). Offsets are
 // relative to the device's GPA window.
@@ -89,8 +98,10 @@ type VM struct {
 
 	devices []EmuDevice
 
-	// Stats for the harness.
-	Exits map[string]uint64
+	// statMu guards Exits and sharedMap: vCPUs of the same VM may exit
+	// and fault concurrently on different harts under the parallel engine.
+	statMu sync.Mutex
+	Exits  map[string]uint64
 }
 
 // Hypervisor is the Normal-mode kernel + VMM.
@@ -98,12 +109,17 @@ type Hypervisor struct {
 	M     *platform.Machine
 	SM    *sm.SM
 	Alloc *FrameAlloc
-	VMs   []*VM
+
+	// mu guards VMs and the stage-2 fault counters; under the parallel
+	// engine multiple harts create VMs and take stage-2 faults
+	// concurrently. Guest stepping happens outside it.
+	mu  sync.Mutex
+	VMs []*VM
 
 	// SchedQuantum in cycles for normal VMs (CVM quantum is SM config).
 	SchedQuantum uint64
 
-	// Stage-2 fault timing for normal VMs (§V.C comparison).
+	// Stage-2 fault timing for normal VMs (§V.C comparison). Guarded by mu.
 	S2FaultCycles, S2FaultCount uint64
 
 	// Tel, when set via SetTelemetry, records scheduler-slice spans,
@@ -181,6 +197,8 @@ func (vm *VM) deviceAt(gpa uint64) (EmuDevice, uint64, bool) {
 
 // countExit tallies an exit reason.
 func (vm *VM) countExit(kind string) {
+	vm.statMu.Lock()
+	defer vm.statMu.Unlock()
 	if vm.Exits == nil {
 		vm.Exits = make(map[string]uint64)
 	}

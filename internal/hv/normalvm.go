@@ -12,7 +12,7 @@ import (
 // CreateNormalVM builds a plain (non-confidential) VM: hypervisor-owned
 // stage-2 over normal memory, image copied in, one vCPU.
 func (k *Hypervisor) CreateNormalVM(name string, image []byte, entry uint64) (*VM, error) {
-	vm := &VM{Name: name, vmid: uint16(len(k.VMs) + 0x100)}
+	vm := &VM{Name: name}
 	b := k.builder()
 	// The Sv39x4 root needs 16 KiB contiguous+aligned frames.
 	root, err := k.Alloc.Contig(4*isa.PageSize, 4*isa.PageSize)
@@ -43,7 +43,10 @@ func (k *Hypervisor) CreateNormalVM(name string, image []byte, entry uint64) (*V
 		}
 	}
 	vm.vcpus = append(vm.vcpus, &VCPUState{PC: entry, Mode: isa.ModeVS})
+	k.mu.Lock()
+	vm.vmid = uint16(len(k.VMs) + 0x100)
 	k.VMs = append(k.VMs, vm)
+	k.mu.Unlock()
 	return vm, nil
 }
 
@@ -90,9 +93,15 @@ func (k *Hypervisor) RunNormalVCPU(h *hart.Hart, vm *VM, vcpuID int) (NormalExit
 	h.MRet()
 
 	for {
+		// Parallel engine: rendezvous at the quantum barrier before
+		// resuming the guest. A false return means the machine halted.
+		if !h.CheckYield() {
+			k.saveVCPU(h, v, h.PC)
+			return NormalExit{Reason: sm.ExitTimer}, nil
+		}
 		// Hot path: batch fast-path instructions; the batch re-samples the
 		// timer and interrupts per boundary, matching the loop body below.
-		dl, armed := k.M.CLINT.NextDeadline(h.ID)
+		dl, armed := h.BatchDeadline(k.M.CLINT.NextDeadline(h.ID))
 		_, ev, batched := h.RunBatch(dl, armed, ^uint64(0))
 		if !batched {
 			if k.M.CLINT.TimerPending(h.ID, h.Cycles) {
@@ -200,8 +209,10 @@ func (k *Hypervisor) handleNormalExit(h *hart.Hart, vm *VM, v *VCPUState, t hart
 				return NormalExit{Reason: sm.ExitError}, true, err
 			}
 			h.SRet() // retry the access
+			k.mu.Lock()
 			k.S2FaultCycles += h.Cycles - start
 			k.S2FaultCount++
+			k.mu.Unlock()
 			k.s2Hist.Observe(h.Cycles - start)
 			k.Tel.Span(h.ID, "hv", "s2fault.normal", start, h.Cycles, telemetry.NoCVM, gpa)
 			return NormalExit{}, false, nil

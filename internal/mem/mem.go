@@ -8,9 +8,19 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"zion/internal/isa"
 )
+
+// pageBuf is one 4 KiB backing page. Pages are reached through atomic
+// pointers so multiple hart goroutines can materialize and access them
+// concurrently (parallel quantum-barrier engine); the bytes themselves
+// are raw DRAM — concurrent sub-word access to the *same* word from two
+// harts within one quantum is a guest-level data race, exactly as on
+// hardware without atomics, and the workloads never do it.
+type pageBuf [isa.PageSize]byte
 
 // PhysMemory is a sparse physical address space. Pages are allocated lazily
 // on first touch; reads of untouched pages observe zeros, matching DRAM
@@ -19,9 +29,10 @@ import (
 // PhysMemory performs no protection checks itself: it is the raw DRAM
 // below PMP/IOPMP/MMU. Callers must route accesses through those layers.
 type PhysMemory struct {
-	base  uint64
-	size  uint64
-	pages map[uint64][]byte // page index -> backing bytes
+	base    uint64
+	size    uint64
+	pages   []atomic.Pointer[pageBuf] // page index -> backing bytes
+	touched atomic.Int64              // materialized page count
 
 	// Code-page registry: pages whose bytes some consumer has decoded and
 	// cached (the hart's fast-path block cache). Writes to a registered
@@ -29,8 +40,14 @@ type PhysMemory struct {
 	// stale bytes could execute — this is what keeps self-modifying code,
 	// guest image reloads, DMA, and fault injection correct with the block
 	// cache on. Refcounted so multiple harts can share a page.
+	//
+	// The registry is read on every store (noteWrite) and written only on
+	// decode/invalidate, so it is guarded by an RWMutex with an atomic
+	// count in front as the common-case "no code pages" fast-out.
+	codeMu    sync.RWMutex
 	codePages map[uint64]int // page index -> refcount
-	codeGen   uint64         // bumped on every register/unregister
+	nCode     atomic.Int32   // distinct registered pages (fast-out)
+	codeGen   atomic.Uint64  // bumped on every register/unregister
 	watchers  []CodeWatcher
 }
 
@@ -52,7 +69,8 @@ func NewPhysMemory(base, size uint64) *PhysMemory {
 	if base%isa.PageSize != 0 || size%isa.PageSize != 0 {
 		panic(fmt.Sprintf("mem: unaligned RAM base=%#x size=%#x", base, size))
 	}
-	return &PhysMemory{base: base, size: size, pages: make(map[uint64][]byte)}
+	return &PhysMemory{base: base, size: size,
+		pages: make([]atomic.Pointer[pageBuf], size>>isa.PageShift)}
 }
 
 // Base returns the first physical address of the RAM.
@@ -68,12 +86,23 @@ func (m *PhysMemory) Contains(addr, n uint64) bool {
 
 func (m *PhysMemory) page(addr uint64, alloc bool) ([]byte, uint64) {
 	idx := (addr - m.base) >> isa.PageShift
-	p := m.pages[idx]
-	if p == nil && alloc {
-		p = make([]byte, isa.PageSize)
-		m.pages[idx] = p
+	p := m.pages[idx].Load()
+	if p == nil {
+		if !alloc {
+			return nil, addr & (isa.PageSize - 1)
+		}
+		// First touch may race between harts: CAS so both agree on one
+		// backing page. The loser's freshly zeroed buffer is discarded,
+		// which is indistinguishable from having never allocated it.
+		fresh := new(pageBuf)
+		if m.pages[idx].CompareAndSwap(nil, fresh) {
+			m.touched.Add(1)
+			p = fresh
+		} else {
+			p = m.pages[idx].Load()
+		}
 	}
-	return p, addr & (isa.PageSize - 1)
+	return p[:], addr & (isa.PageSize - 1)
 }
 
 // PageSlice returns the live backing bytes of the page containing addr,
@@ -91,11 +120,15 @@ func (m *PhysMemory) PageSlice(addr uint64) []byte {
 
 // AddCodeWatcher registers a watcher for code-page write notifications.
 func (m *PhysMemory) AddCodeWatcher(w CodeWatcher) {
+	m.codeMu.Lock()
 	m.watchers = append(m.watchers, w)
+	m.codeMu.Unlock()
 }
 
 // RemoveCodeWatcher detaches a previously added watcher.
 func (m *PhysMemory) RemoveCodeWatcher(w CodeWatcher) {
+	m.codeMu.Lock()
+	defer m.codeMu.Unlock()
 	for i, x := range m.watchers {
 		if x == w {
 			m.watchers = append(m.watchers[:i], m.watchers[i+1:]...)
@@ -106,46 +139,70 @@ func (m *PhysMemory) RemoveCodeWatcher(w CodeWatcher) {
 
 // RegisterCodePage marks the page containing addr as holding decoded code.
 func (m *PhysMemory) RegisterCodePage(addr uint64) {
+	m.codeMu.Lock()
 	if m.codePages == nil {
 		m.codePages = make(map[uint64]int)
 	}
-	m.codePages[(addr-m.base)>>isa.PageShift]++
-	m.codeGen++
+	idx := (addr - m.base) >> isa.PageShift
+	m.codePages[idx]++
+	if m.codePages[idx] == 1 {
+		m.nCode.Add(1)
+	}
+	m.codeGen.Add(1)
+	m.codeMu.Unlock()
 }
 
 // UnregisterCodePage drops one registration of the page containing addr.
 func (m *PhysMemory) UnregisterCodePage(addr uint64) {
+	m.codeMu.Lock()
 	idx := (addr - m.base) >> isa.PageShift
 	if n := m.codePages[idx]; n > 1 {
 		m.codePages[idx] = n - 1
 	} else if n == 1 {
 		delete(m.codePages, idx)
+		m.nCode.Add(-1)
 	}
-	m.codeGen++
+	m.codeGen.Add(1)
+	m.codeMu.Unlock()
 }
 
 // IsCodePage reports whether the page containing addr is registered.
 func (m *PhysMemory) IsCodePage(addr uint64) bool {
-	return m.codePages[(addr-m.base)>>isa.PageShift] > 0
+	m.codeMu.RLock()
+	ok := m.codePages[(addr-m.base)>>isa.PageShift] > 0
+	m.codeMu.RUnlock()
+	return ok
 }
 
 // CodeGen returns the registry generation; cached IsCodePage answers are
 // valid only while it is unchanged.
-func (m *PhysMemory) CodeGen() uint64 { return m.codeGen }
+func (m *PhysMemory) CodeGen() uint64 { return m.codeGen.Load() }
 
 // noteWrite notifies watchers about registered code pages overlapping a
-// write of n bytes at addr. The empty-registry check keeps the cost of
-// this hook to one predictable branch on every store when no decoded
-// blocks exist.
+// write of n bytes at addr. The atomic empty-registry check keeps the
+// cost of this hook to one predictable load on every store when no
+// decoded blocks exist. Hit pages and the watcher list are collected
+// under the read lock but dispatched outside it: a watcher reacts by
+// unregistering pages, which needs the write lock.
 func (m *PhysMemory) noteWrite(addr, n uint64) {
-	if len(m.codePages) == 0 || n == 0 {
+	if m.nCode.Load() == 0 || n == 0 {
 		return
 	}
+	var hits []uint64
+	var ws []CodeWatcher
+	m.codeMu.RLock()
 	for pa := addr &^ uint64(isa.PageSize-1); pa < addr+n; pa += isa.PageSize {
 		if m.codePages[(pa-m.base)>>isa.PageShift] > 0 {
-			for _, w := range m.watchers {
-				w.InvalidateCodePage(pa)
-			}
+			hits = append(hits, pa)
+		}
+	}
+	if hits != nil {
+		ws = append(ws, m.watchers...)
+	}
+	m.codeMu.RUnlock()
+	for _, pa := range hits {
+		for _, w := range ws {
+			w.InvalidateCodePage(pa)
 		}
 	}
 }
@@ -355,7 +412,7 @@ func (m *PhysMemory) Copy(dst, src, n uint64) error {
 
 // TouchedPages returns how many distinct pages have been materialized,
 // which tests use to verify lazy allocation.
-func (m *PhysMemory) TouchedPages() int { return len(m.pages) }
+func (m *PhysMemory) TouchedPages() int { return int(m.touched.Load()) }
 
 // FlipBit inverts one bit of the byte at addr — the fault-injection
 // primitive modelling a DRAM single-event upset. It bypasses nothing the

@@ -18,24 +18,66 @@ type CLINT struct {
 	mu       sync.Mutex // serialises writers only
 	mtimecmp []atomic.Uint64
 	armed    []atomic.Bool
+	msip     []atomic.Uint32
+
+	// onMSIP, when non-nil, is called after an msip register changes so
+	// the platform can reflect the bit into the target hart's mip CSR.
+	// Under the parallel engine cross-hart msip writes are deferred to
+	// the target's quantum barrier, so the callback always runs on the
+	// goroutine that owns the target hart.
+	onMSIP func(hartID int, set bool)
 }
 
 // NewCLINT creates a CLINT for n harts with all timers disarmed.
 func NewCLINT(n int) *CLINT {
-	return &CLINT{mtimecmp: make([]atomic.Uint64, n), armed: make([]atomic.Bool, n)}
+	return &CLINT{
+		mtimecmp: make([]atomic.Uint64, n),
+		armed:    make([]atomic.Bool, n),
+		msip:     make([]atomic.Uint32, n),
+	}
 }
 
 // Range implements MMIODevice.
 func (c *CLINT) Range() (uint64, uint64) { return CLINTBase, CLINTSize }
 
-// mtimecmp registers live at offset 0x4000 + 8*hart, as on SiFive CLINTs.
-const mtimecmpOff = 0x4000
+// Register layout, as on SiFive CLINTs: msip at offset 0 + 4*hart (the
+// software-interrupt / IPI doorbell), mtimecmp at 0x4000 + 8*hart.
+const (
+	msipOff     = 0x0
+	mtimecmpOff = 0x4000
+)
+
+// targetHart returns which hart's register an access at off touches, or
+// ok=false for offsets outside any per-hart register. The platform uses
+// this to route cross-hart CLINT writes through the quantum barrier.
+func (c *CLINT) targetHart(off uint64) (int, bool) {
+	if off < msipOff+uint64(4*len(c.msip)) {
+		return int(off / 4), true
+	}
+	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.mtimecmp)) {
+		return int((off - mtimecmpOff) / 8), true
+	}
+	return 0, false
+}
 
 // Access implements MMIODevice: guests and the hypervisor program
-// mtimecmp through MMIO exactly as on hardware.
+// mtimecmp through MMIO exactly as on hardware, and raise IPIs by
+// storing to a peer's msip doorbell.
 func (c *CLINT) Access(hartID int, off uint64, size int, write bool, val uint64) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if off < msipOff+uint64(4*len(c.msip)) {
+		idx := int(off / 4)
+		if write {
+			bit := uint32(val & 1)
+			c.msip[idx].Store(bit)
+			if c.onMSIP != nil {
+				c.onMSIP(idx, bit != 0)
+			}
+			return 0
+		}
+		return uint64(c.msip[idx].Load())
+	}
 	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.mtimecmp)) {
 		idx := int((off - mtimecmpOff) / 8)
 		if write {
@@ -47,6 +89,9 @@ func (c *CLINT) Access(hartID int, off uint64, size int, write bool, val uint64)
 	}
 	return 0
 }
+
+// MSIP reports hart i's software-interrupt doorbell.
+func (c *CLINT) MSIP(i int) bool { return c.msip[i].Load() != 0 }
 
 // SetTimer arms hart i's comparator directly (used by the Go-implemented
 // SM/hypervisor, which on hardware would use the SBI TIME extension).

@@ -1,0 +1,326 @@
+// Parallel multi-hart execution with deterministic quantum barriers.
+//
+// Each hart runs on its own goroutine and executes up to Quantum
+// simulated cycles before rendezvousing with every other hart at a
+// barrier. Cross-hart effects — CLINT MSIP/mtimecmp writes, IPI-driven
+// TLB shootdowns, PMP reprogramming by the Secure Monitor, any mutation
+// of a peer hart's architectural state — are never applied mid-quantum:
+// they are posted to the destination hart's inbox and applied on the
+// destination's own goroutine when it is released into the next epoch.
+//
+// Determinism model:
+//
+//   - A hart's own instruction stream, cycle accounting, and trap mix
+//     depend only on its architectural state at each quantum boundary,
+//     never on host scheduling. Workloads with no cross-hart traffic are
+//     therefore bit-identical to the sequential engine.
+//   - An op posted during epoch G is visible to its destination at the
+//     start of epoch G+1, regardless of which hart posted it or when
+//     within the quantum. Ready ops are sorted by (epoch, source hart,
+//     per-source sequence number) before application, so free-running
+//     mode and Ordered mode (one hart at a time, ascending ID — the
+//     reference interleaving) deliver identical op streams.
+//   - Cross-hart *reads* of shared device state (a hart polling a peer's
+//     CLINT registers) see barrier-granularity snapshots; the paper
+//     workloads and the lockstep suite never read a peer's registers
+//     mid-quantum.
+//
+// The delivery latency of an IPI is therefore bounded by one quantum of
+// simulated time — the modeling analogue of interconnect latency — and
+// is exactly reproducible for a fixed quantum.
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"zion/internal/hart"
+)
+
+// DefaultQuantum is the barrier period in simulated cycles. 100k cycles
+// is ~1ms of simulated time at the paper's 100 MHz Rocket clock: long
+// enough to amortize barrier cost (sub-microsecond on the host) over
+// tens of thousands of instructions, short enough that IPI delivery
+// latency stays well under a scheduler tick.
+const DefaultQuantum = 100_000
+
+// EngineConfig configures RunParallel.
+type EngineConfig struct {
+	// Quantum is the barrier period in simulated cycles (0 = DefaultQuantum).
+	Quantum uint64
+	// Ordered releases harts one at a time in ascending hart-ID order
+	// within each epoch instead of letting them run concurrently. It is
+	// the reference interleaving the free-running mode is validated
+	// against: both must produce identical results for any workload.
+	Ordered bool
+}
+
+// HartRunner drives one hart to completion (e.g. a closure over
+// Machine.RunHart or hv.RunCVM).
+type HartRunner func(h *hart.Hart) error
+
+// xop is one deferred cross-hart operation.
+type xop struct {
+	src   int    // posting hart
+	seq   uint64 // per-source monotonic sequence number
+	epoch uint64 // engine epoch at post time
+	fn    func() // applied on the destination hart's goroutine
+}
+
+// engine is the quantum-barrier scheduler state. All fields below mu are
+// guarded by it; the engine pointer itself is published to Machine
+// before the hart goroutines start and cleared after they join.
+type engine struct {
+	m       *Machine
+	quantum uint64
+	ordered bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      uint64   // current epoch; 0 = entry barrier, not yet running
+	arrived  int      // active harts waiting at the barrier
+	nActive  int      // harts that have not finished their runner
+	turn     int      // Ordered mode: hart currently released (-1 = none)
+	deadline uint64   // cycle deadline of the current epoch
+	halted   bool     // every active hart idle: global halt
+	idle     []bool   // per-hart: cannot make progress without peer help
+	done     []bool   // per-hart: runner returned
+	inbox    [][]xop  // per-hart pending cross-hart ops
+	seq      []uint64 // per-hart op sequence counters
+}
+
+// barrier parks hart src until every active hart has arrived and the
+// next epoch begins. idle declares that the hart cannot make progress on
+// its own (WFI with no wakeup in sight); when every active hart is idle
+// and no cross-hart ops are pending, the engine halts and barrier
+// returns false ("stop running, nothing will ever wake you"). On a true
+// return, the hart's quantum deadline has been advanced and all
+// cross-hart ops from previous epochs have been applied.
+func (e *engine) barrier(src int, idle bool) bool {
+	e.mu.Lock()
+	if e.halted {
+		e.mu.Unlock()
+		return false
+	}
+	e.idle[src] = idle
+	e.arrived++
+	myGen := e.gen
+	if e.arrived == e.nActive {
+		e.beginEpochLocked()
+	} else if e.ordered && e.turn == src {
+		e.turn = e.nextTurnLocked(src)
+		e.cond.Broadcast()
+	}
+	for !e.halted && (e.gen == myGen || (e.ordered && e.turn != src)) {
+		e.cond.Wait()
+	}
+	if e.halted {
+		e.mu.Unlock()
+		return false
+	}
+	ops := e.takeReadyLocked(src)
+	h := e.m.Harts[src]
+	h.QuantumDeadline = e.deadline
+	e.mu.Unlock()
+	// Apply outside the engine lock: ops touch the destination hart's
+	// TLB/PMP/CSRs and may post further ops (engine.post only takes the
+	// lock briefly and never waits).
+	for _, op := range ops {
+		op.fn()
+	}
+	return true
+}
+
+// beginEpochLocked transitions the barrier to the next epoch, or
+// declares global halt when every active hart is idle with an empty
+// inbox (the multi-hart generalization of the sequential engine's
+// "idle forever: nothing to wake the hart" exit).
+func (e *engine) beginEpochLocked() {
+	allIdle := true
+	for i, d := range e.done {
+		if d {
+			continue
+		}
+		if !e.idle[i] || len(e.inbox[i]) > 0 {
+			allIdle = false
+			break
+		}
+	}
+	if e.nActive == 0 || allIdle {
+		e.halted = true
+		e.cond.Broadcast()
+		return
+	}
+	e.gen++
+	e.arrived = 0
+	e.deadline += e.quantum
+	if e.ordered {
+		e.turn = e.nextTurnLocked(-1)
+	}
+	e.cond.Broadcast()
+}
+
+// nextTurnLocked returns the lowest active hart ID greater than prev.
+// Within an epoch harts are released in strictly ascending ID order, so
+// every active hart above prev has not yet run this epoch.
+func (e *engine) nextTurnLocked(prev int) int {
+	for i := prev + 1; i < len(e.done); i++ {
+		if !e.done[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// takeReadyLocked removes and returns the ops visible to hart src in the
+// current epoch: exactly those posted in earlier epochs. Same-epoch ops
+// stay queued (in Ordered mode a lower-ID hart may post before a
+// higher-ID hart is released into the same epoch; free-running mode
+// could never deliver those early, so neither may Ordered mode). The
+// (epoch, src, seq) sort makes application order independent of the
+// host-level interleaving of posts from different harts.
+func (e *engine) takeReadyLocked(dst int) []xop {
+	q := e.inbox[dst]
+	if len(q) == 0 {
+		return nil
+	}
+	var ready, rest []xop
+	for _, op := range q {
+		if op.epoch < e.gen {
+			ready = append(ready, op)
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	e.inbox[dst] = rest
+	sort.Slice(ready, func(i, j int) bool {
+		a, b := ready[i], ready[j]
+		if a.epoch != b.epoch {
+			return a.epoch < b.epoch
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	return ready
+}
+
+// post queues fn for application on hart dst's goroutine at its next
+// epoch release. Ops to finished harts are dropped: the hart's
+// architectural state is frozen, and because a hart's finishing epoch is
+// itself deterministic, the drop/deliver outcome is identical across
+// engine modes.
+func (e *engine) post(src, dst int, fn func()) {
+	e.mu.Lock()
+	if e.done[dst] || e.halted {
+		e.mu.Unlock()
+		return
+	}
+	e.seq[src]++
+	e.inbox[dst] = append(e.inbox[dst], xop{src: src, seq: e.seq[src], epoch: e.gen, fn: fn})
+	e.mu.Unlock()
+}
+
+// finish retires hart src from the barrier after its runner returns.
+// Pending ops for it are dropped (see post); if it was the last hart the
+// others were waiting for, the next epoch begins without it.
+func (e *engine) finish(src int) {
+	e.mu.Lock()
+	if e.done[src] {
+		e.mu.Unlock()
+		return
+	}
+	e.done[src] = true
+	e.inbox[src] = nil
+	e.nActive--
+	if !e.halted && e.nActive > 0 {
+		if e.arrived == e.nActive {
+			e.beginEpochLocked()
+		} else if e.ordered && e.turn == src {
+			e.turn = e.nextTurnLocked(src)
+			e.cond.Broadcast()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// OnHart runs fn against hart dst's architectural state. Under the
+// sequential scheduler, or when src == dst, it runs immediately (the
+// pre-parallel behaviour). Under the parallel engine a cross-hart fn is
+// posted to dst's inbox and applied on dst's goroutine at its next
+// barrier release — the only way the Secure Monitor and hypervisor are
+// allowed to touch a peer hart's PMP/TLB/CSR state while it runs.
+func (m *Machine) OnHart(src, dst int, fn func()) {
+	if e := m.engine; e != nil && src != dst {
+		e.post(src, dst, fn)
+		return
+	}
+	fn()
+}
+
+// RunParallel runs every hart on its own goroutine under the quantum
+// barrier: runners[i] drives hart i (typically a closure over RunHart or
+// a hypervisor run loop). It returns when every runner has returned or
+// the engine halts with all harts idle, propagating the lowest-numbered
+// hart's error. The machine reverts to the sequential scheduler on
+// return.
+func (m *Machine) RunParallel(cfg EngineConfig, runners []HartRunner) error {
+	n := len(m.Harts)
+	if len(runners) != n {
+		return fmt.Errorf("platform: %d runners for %d harts", len(runners), n)
+	}
+	q := cfg.Quantum
+	if q == 0 {
+		q = DefaultQuantum
+	}
+	e := &engine{
+		m: m, quantum: q, ordered: cfg.Ordered,
+		nActive: n, turn: -1,
+		idle: make([]bool, n), done: make([]bool, n),
+		inbox: make([][]xop, n), seq: make([]uint64, n),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	// The first epoch deadline lands on the next quantum boundary above
+	// the most-advanced hart, so a machine resumed mid-run still gives
+	// every hart a non-empty first quantum.
+	var maxc uint64
+	for _, h := range m.Harts {
+		if h.Cycles > maxc {
+			maxc = h.Cycles
+		}
+	}
+	e.deadline = maxc / q * q // beginEpochLocked adds the first quantum
+	m.engine = e
+	for i, h := range m.Harts {
+		i := i
+		h.Yield = func(idle bool) bool { return e.barrier(i, idle) }
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range m.Harts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer e.finish(i)
+			// Entry barrier: no hart executes until all goroutines are
+			// up, so epoch 1 starts from a fully-populated rendezvous.
+			if e.barrier(i, false) {
+				errs[i] = runners[i](m.Harts[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	m.engine = nil
+	for _, h := range m.Harts {
+		h.Yield = nil
+		h.QuantumDeadline = 0
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -62,6 +62,12 @@ type Machine struct {
 	MHandler  TrapHandler // Secure Monitor (M-mode)
 	HSHandler TrapHandler // hypervisor (HS-mode)
 	VSHandler TrapHandler // guest kernel's Go half (VS-mode)
+
+	// engine is non-nil while RunParallel drives the harts on their own
+	// goroutines under the quantum barrier (engine.go). It is published
+	// before the hart goroutines start and cleared after they join, so
+	// hart-goroutine reads are ordered by goroutine create/join.
+	engine *engine
 }
 
 // New builds a machine with the given hart count and RAM size.
@@ -78,6 +84,16 @@ func New(nharts int, ramSize uint64) *Machine {
 		h := hart.New(i, m.RAM, (*busAdapter)(m))
 		m.Harts = append(m.Harts, h)
 	}
+	// Reflect msip doorbell writes into the target hart's mip CSR. The
+	// bus defers cross-hart writes to the target's quantum barrier, so
+	// this always runs on the goroutine that owns the target hart.
+	m.CLINT.onMSIP = func(hartID int, set bool) {
+		if set {
+			m.Harts[hartID].SetPending(isa.IntMSoft)
+		} else {
+			m.Harts[hartID].ClearPending(isa.IntMSoft)
+		}
+	}
 	return m
 }
 
@@ -87,12 +103,27 @@ func (m *Machine) AddDevice(d MMIODevice) { m.devices = append(m.devices, d) }
 // busAdapter implements hart.Bus over the device list.
 type busAdapter Machine
 
-// Access implements hart.Bus.
+// Access implements hart.Bus. Under the parallel engine, a write that
+// targets a *peer* hart's CLINT register (an IPI doorbell store or a
+// cross-hart mtimecmp program) is not applied inline: it is posted to
+// the target hart and applied at its next quantum-barrier release, which
+// is what makes IPI delivery deterministic (engine.go).
 func (b *busAdapter) Access(hartID int, pa uint64, size int, write bool, val uint64) (uint64, bool) {
 	for _, d := range b.devices {
 		base, dsz := d.Range()
 		if pa >= base && pa+uint64(size) <= base+dsz {
-			return d.Access(hartID, pa-base, size, write, val), true
+			off := pa - base
+			if write && d == MMIODevice(b.CLINT) {
+				if e := (*Machine)(b).engine; e != nil {
+					if target, ok := b.CLINT.targetHart(off); ok && target != hartID {
+						e.post(hartID, target, func() {
+							d.Access(hartID, off, size, write, val)
+						})
+						return 0, true
+					}
+				}
+			}
+			return d.Access(hartID, off, size, write, val), true
 		}
 	}
 	return 0, false
@@ -119,9 +150,16 @@ func (m *Machine) RunHart(i int, maxSteps uint64) (uint64, error) {
 	h := m.Harts[i]
 	var steps uint64
 	for steps < maxSteps {
+		// Parallel engine: rendezvous with the other harts once this
+		// hart's cycle count crosses the quantum deadline. A false return
+		// is global halt (every hart idle): stop like the sequential
+		// "idle forever" exit.
+		if !h.CheckYield() {
+			return steps, nil
+		}
 		// Hot path: batch fast-path instructions; the batch re-samples the
 		// timer and interrupts per boundary, matching the loop body below.
-		dl, armed := m.CLINT.NextDeadline(h.ID)
+		dl, armed := h.BatchDeadline(m.CLINT.NextDeadline(h.ID))
 		n, ev, batched := h.RunBatch(dl, armed, maxSteps-steps)
 		steps += n
 		if !batched {
@@ -136,6 +174,12 @@ func (m *Machine) RunHart(i int, maxSteps uint64) (uint64, error) {
 		case hart.EvNone:
 			continue
 		case hart.EvWFI:
+			if h.Yield != nil {
+				if !m.parallelWFI(h) {
+					return steps, nil // global halt: no peer will ever wake this hart
+				}
+				continue
+			}
 			// Advance virtual time to the next timer deadline so the
 			// machine makes progress while the guest idles.
 			if dl, ok := m.CLINT.NextDeadline(h.ID); ok && dl > h.Cycles {
@@ -155,6 +199,46 @@ func (m *Machine) RunHart(i int, maxSteps uint64) (uint64, error) {
 		}
 	}
 	return steps, nil
+}
+
+// parallelWFI idles a hart under the quantum barrier until its own timer
+// fires or a peer's cross-hart event (IPI doorbell, mtimecmp program)
+// arrives at a barrier release. Unlike the sequential engine, an idle
+// hart may not simply return "idle forever": it must keep participating
+// in the rendezvous, both so the other harts are never blocked waiting
+// for it and so a peer's MSIP write can still wake it — the idle-hart
+// livelock this file's sequential exit would otherwise cause. Returns
+// false only on global halt (every hart idle with no pending events),
+// which is when "idle forever" becomes provably true machine-wide.
+func (m *Machine) parallelWFI(h *hart.Hart) bool {
+	for {
+		dl, armed := m.CLINT.NextDeadline(h.ID)
+		if armed && dl > h.Cycles && dl <= h.QuantumDeadline {
+			// The timer fires within this quantum: take the same virtual-
+			// time jump the sequential engine takes.
+			h.Cycles = dl
+			h.Advance(h.Cost.WFIWake)
+			return true
+		}
+		// A timer beyond the quantum still counts as progress; an armed-
+		// but-already-fired comparator does not (were its interrupt
+		// deliverable the hart would never have retired WFI), matching
+		// the sequential engine's idle-forever verdict for that state.
+		canProgress := armed && dl > h.Cycles
+		if h.Cycles < h.QuantumDeadline {
+			h.Cycles = h.QuantumDeadline // idle simulated time is free
+		}
+		if !h.Yield(!canProgress) {
+			return false
+		}
+		// Barrier released: cross-hart ops have been applied. Re-sample
+		// the timer and wake on any now-deliverable interrupt.
+		m.tickTimer(h)
+		if _, ok := h.PendingInterrupt(); ok {
+			h.Advance(h.Cost.WFIWake)
+			return true
+		}
+	}
 }
 
 // dispatch routes a trap event to the registered privileged component.

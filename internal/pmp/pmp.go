@@ -7,6 +7,13 @@
 // the SM flips permissions on the world switch into CVM mode. The model
 // checks every simulated S/U-level access, so a hypervisor "attack" on
 // secure memory faults exactly as it would on hardware.
+//
+// Concurrency: like the TLB, a PMP unit is per-hart state owned by that
+// hart's goroutine, with no internal locking. The SM reprograms *other*
+// harts' pool entries on FnRegisterPool; under the parallel engine those
+// writes go through platform.Machine.OnHart and land at the peer's next
+// quantum barrier — the simulated analogue of the IPI+fence sequence real
+// firmware uses, and the reason PMP reads need no atomics.
 package pmp
 
 import "fmt"

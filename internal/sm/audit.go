@@ -94,6 +94,14 @@ func (f AuditFinding) String() string {
 // Audit runs every cross-layer invariant check and returns the findings,
 // deterministically ordered. An empty result is the healthy state.
 func (s *SM) Audit() []AuditFinding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auditLocked()
+}
+
+// auditLocked is Audit for callers already holding s.mu (HVCall's
+// per-lifecycle-call auditing; s.mu is not reentrant).
+func (s *SM) auditLocked() []AuditFinding {
 	var out []AuditFinding
 	out = append(out, s.auditPMP()...)
 	out = append(out, s.auditOwnership()...)
@@ -107,7 +115,11 @@ func (s *SM) Audit() []AuditFinding {
 }
 
 // LastAudit returns the findings of the most recent audit run.
-func (s *SM) LastAudit() []AuditFinding { return s.lastAudit }
+func (s *SM) LastAudit() []AuditFinding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAudit
+}
 
 // auditPMP verifies that every hart still carries the SM's PMP plan:
 // pool regions NAPOT-mapped with Normal-mode access denied (the auditor
@@ -361,6 +373,8 @@ func (s *SM) auditPoolLeak() []AuditFinding {
 // authoritative region list, recovering from injected or transient PMP
 // corruption. It returns the number of entries rewritten.
 func (s *SM) RepairPMP() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fixed := 0
 	for _, h := range s.machine.Harts {
 		if err := s.programBasePMP(h); err == nil {

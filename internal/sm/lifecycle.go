@@ -81,10 +81,15 @@ func (s *SM) relinquishPage(h *hart.Hart, c *CVM, gpa uint64) error {
 	if !freed {
 		return ErrNotFound
 	}
-	// The unmapped translation may be cached.
+	// The unmapped translation may be cached. Peer harts are shot down
+	// through the IPI seam: immediate in sequential runs, delivered at the
+	// peer's next quantum barrier under the parallel engine.
 	for _, hh := range s.machine.Harts {
-		hh.TLB.FlushVMID(c.vmid)
-		hh.Advance(hh.Cost.TLBFlushAll / 4)
+		hh := hh
+		s.machine.OnHart(h.ID, hh.ID, func() {
+			hh.TLB.FlushVMID(c.vmid)
+			hh.Advance(hh.Cost.TLBFlushAll / 4)
+		})
 	}
 	h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy / 2)
 	return nil
@@ -101,6 +106,8 @@ func vcpuCaches(c *CVM) []*pageCache {
 // OwnedPages reports how many secure frames a CVM currently owns
 // (observability for ballooning policies and tests).
 func (s *SM) OwnedPages(id int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c, err := s.cvm(id)
 	if err != nil {
 		return 0, err

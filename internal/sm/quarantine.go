@@ -69,17 +69,26 @@ func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error) {
 	}
 	s.trace(h.Cycles, EvViolation, c.ID, 0, note)
 	s.tel.Counter("sm/quarantines").Inc()
+	// The dead VMID's cached translations are flushed on every hart via
+	// the IPI seam: immediate when sequential, at the peer's next quantum
+	// barrier under the parallel engine.
 	for _, hh := range s.machine.Harts {
-		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
-		hh.TLB.FlushVMID(c.vmid)
-		hh.Advance(hh.Cost.TLBFlushAll)
-		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		hh := hh
+		vmid := c.vmid
+		s.machine.OnHart(h.ID, hh.ID, func() {
+			prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
+			hh.TLB.FlushVMID(vmid)
+			hh.Advance(hh.Cost.TLBFlushAll)
+			s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		})
 	}
 }
 
 // Quarantine forcibly quarantines a live CVM (operator/auditor policy:
 // e.g. the invariant auditor found this CVM's page tables corrupted).
 func (s *SM) Quarantine(h *hart.Hart, id int, cause error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c, ok := s.cvms[id]
 	if !ok {
 		if _, done := s.quarantined[id]; done {
@@ -93,12 +102,18 @@ func (s *SM) Quarantine(h *hart.Hart, id int, cause error) error {
 
 // Quarantined returns the diagnostic record of a quarantined CVM.
 func (s *SM) Quarantined(id int) (*QuarantineRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	rec, ok := s.quarantined[id]
 	return rec, ok
 }
 
 // QuarantineCount reports how many CVMs are currently quarantined.
-func (s *SM) QuarantineCount() int { return len(s.quarantined) }
+func (s *SM) QuarantineCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.quarantined)
+}
 
 // releaseQuarantine drops the diagnostic record (FnDestroy on a
 // quarantined id: the hypervisor finished its post-mortem). The frames

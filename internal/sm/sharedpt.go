@@ -35,10 +35,16 @@ func (s *SM) registerShared(h *hart.Hart, id int, subtablePA uint64) error {
 		return err
 	}
 	c.sharedSubtable = subtablePA
-	// The root changed: stale translations for this VMID must go.
+	// The root changed: stale translations for this VMID must go. Peer
+	// harts are shot down through the IPI seam (immediate sequentially,
+	// next quantum barrier under the parallel engine).
+	vmid := c.vmid
 	for _, hh := range s.machine.Harts {
-		hh.TLB.FlushVMID(c.vmid)
-		hh.Advance(hh.Cost.TLBFlushAll)
+		hh := hh
+		s.machine.OnHart(h.ID, hh.ID, func() {
+			hh.TLB.FlushVMID(vmid)
+			hh.Advance(hh.Cost.TLBFlushAll)
+		})
 	}
 	return nil
 }
@@ -56,9 +62,13 @@ func (s *SM) revokeShared(h *hart.Hart, id int) error {
 		return err
 	}
 	c.sharedSubtable = 0
+	vmid := c.vmid
 	for _, hh := range s.machine.Harts {
-		hh.TLB.FlushVMID(c.vmid)
-		hh.Advance(hh.Cost.TLBFlushAll)
+		hh := hh
+		s.machine.OnHart(h.ID, hh.ID, func() {
+			hh.TLB.FlushVMID(vmid)
+			hh.Advance(hh.Cost.TLBFlushAll)
+		})
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package sm
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"zion/internal/hart"
 	"zion/internal/iopmp"
@@ -196,6 +197,14 @@ type ExitInfo struct {
 
 // SM is the Secure Monitor.
 type SM struct {
+	// mu serialises the SM's shared state across harts — the software
+	// analogue of the spinlock a real monitor takes on its global tables.
+	// Guest stepping (runLoop batches) runs outside it; only world-switch
+	// halves, hvcalls, and trap servicing hold it, so harts execute guest
+	// code concurrently and serialise on monitor services. Lock order:
+	// s.mu before any engine post; barrier-applied cross-hart ops never
+	// take s.mu.
+	mu      sync.Mutex
 	machine *platform.Machine
 	ram     *mem.PhysMemory
 	pool    securePool
@@ -337,6 +346,8 @@ func roundPow2(v uint64) uint64 {
 // severity, and the CVM scope; hostile or malformed calls reject that one
 // call and change no SM state.
 func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	start := h.Cycles
 	s.tel.AttrSwitch(h.ID, start, telemetry.NoCVM, telemetry.AttrSMOther)
 	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
@@ -395,7 +406,7 @@ func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
 		err = ErrBadArgs
 	}
 	if s.cfg.AuditLifecycle && fn != FnRun {
-		s.Audit()
+		s.auditLocked()
 	}
 	if s.tel != nil {
 		cvm := telemetry.NoCVM
@@ -430,19 +441,29 @@ func (s *SM) registerPool(h *hart.Hart, base, size uint64) error {
 	if err != nil {
 		return fmt.Errorf("%w: pool region must be NAPOT-encodable: %v", ErrBadArgs, err)
 	}
+	// PMP carve-out plus TLB shootdown on every hart. Peer harts are
+	// reached through the IPI seam (Machine.OnHart): sequential runs
+	// apply immediately; under the parallel engine the reprogramming is
+	// delivered at the peer's next quantum barrier, on its own goroutine.
 	for _, hh := range s.machine.Harts {
-		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrPMP)
-		hh.PMP.SetAddr(idx, raw)
-		hh.PMP.SetCfg(idx, pmp.ANAPOT<<3) // perm 0: Normal mode locked out
-		hh.Advance(hh.Cost.PMPWriteEntry)
-		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		hh := hh
+		s.machine.OnHart(h.ID, hh.ID, func() {
+			prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrPMP)
+			hh.PMP.SetAddr(idx, raw)
+			hh.PMP.SetCfg(idx, pmp.ANAPOT<<3) // perm 0: Normal mode locked out
+			hh.Advance(hh.Cost.PMPWriteEntry)
+			s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		})
 	}
 	// TLB shootdown: translations into the region may be cached.
 	for _, hh := range s.machine.Harts {
-		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
-		hh.TLB.FlushAll()
-		hh.Advance(hh.Cost.TLBFlushAll)
-		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		hh := hh
+		s.machine.OnHart(h.ID, hh.ID, func() {
+			prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
+			hh.TLB.FlushAll()
+			hh.Advance(hh.Cost.TLBFlushAll)
+			s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		})
 	}
 	h.Advance(h.Cost.IOPMPUpdate)
 	return nil
@@ -617,12 +638,18 @@ func (s *SM) destroy(h *hart.Hart, id int) error {
 	c.state = stDead
 	delete(s.cvms, id)
 	s.trace(h.Cycles, EvLifecycle, id, 0, "destroy")
-	// Stage-2 translations for this VMID die with it.
+	// Stage-2 translations for this VMID die with it. The shootdown of
+	// peer harts rides the IPI seam (immediate when sequential, next
+	// quantum barrier under the parallel engine).
 	for _, hh := range s.machine.Harts {
-		prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
-		hh.TLB.FlushVMID(c.vmid)
-		hh.Advance(hh.Cost.TLBFlushAll)
-		s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		hh := hh
+		vmid := c.vmid
+		s.machine.OnHart(h.ID, hh.ID, func() {
+			prev := s.tel.AttrPush(hh.ID, hh.Cycles, telemetry.AttrTLB)
+			hh.TLB.FlushVMID(vmid)
+			hh.Advance(hh.Cost.TLBFlushAll)
+			s.tel.AttrPop(hh.ID, hh.Cycles, prev)
+		})
 	}
 	return nil
 }
@@ -641,6 +668,8 @@ func (s *SM) cvm(id int) (*CVM, error) {
 // Measurement returns the sealed measurement of a CVM (hypervisor-visible;
 // it is not secret, only integrity-relevant).
 func (s *SM) Measurement(id int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c, err := s.cvm(id)
 	if err != nil {
 		return nil, err
@@ -652,9 +681,17 @@ func (s *SM) Measurement(id int) ([]byte, error) {
 }
 
 // PoolFreeBlocks exposes free-list depth (harness / hypervisor heuristics).
-func (s *SM) PoolFreeBlocks() int { return s.pool.FreeBlocks() }
+func (s *SM) PoolFreeBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.FreeBlocks()
+}
 
 // PoolTotalBlocks exposes the pool's lifetime block count. A healthy SM
 // with no live CVMs satisfies PoolFreeBlocks() == PoolTotalBlocks(); the
 // fault-injection harness uses the difference as its leak detector.
-func (s *SM) PoolTotalBlocks() int { return s.pool.TotalBlocks() }
+func (s *SM) PoolTotalBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.TotalBlocks()
+}

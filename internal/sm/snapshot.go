@@ -49,6 +49,8 @@ func (s *SM) aead() (cipher.AEAD, error) {
 // [destPA, destPA+maxLen) and returns the blob length. The CVM remains
 // suspended (resume or destroy both stay legal afterwards).
 func (s *SM) Snapshot(h *hart.Hart, id int, destPA, maxLen uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c, err := s.cvm(id)
 	if err != nil {
 		return 0, err
@@ -121,6 +123,8 @@ func (s *SM) Snapshot(h *hart.Hart, id int, destPA, maxLen uint64) (uint64, erro
 // rebuilding private memory and vCPU state. The restored CVM carries the
 // original measurement, so existing attestation relationships survive.
 func (s *SM) Restore(h *hart.Hart, srcPA, length uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.pool.contains(srcPA, length) || !s.ram.Contains(srcPA, length) {
 		return 0, ErrNotNormal
 	}
@@ -215,6 +219,8 @@ func (s *SM) Restore(h *hart.Hart, srcPA, length uint64) (int, error) {
 // shared-vCPU pages for the restored vCPUs (the old pages were normal
 // memory the snapshot deliberately excluded).
 func (s *SM) AttachSharedVCPU(id, vcpuID int, sharedPA uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c, err := s.cvm(id)
 	if err != nil {
 		return err

@@ -70,14 +70,24 @@ func (s *SM) restoreHVCtx(h *hart.Hart, c hvCtx) {
 
 // setPoolPMP flips the secure-pool PMP entries between Normal-mode
 // (no access) and CVM-mode (full access) views.
+//
+// The set of entries to flip is read from this hart's own PMP file, not
+// from len(s.pool.regions): a peer's FnRegisterPool commits the region
+// record to the shared pool immediately, but the carve-out reaches this
+// hart's PMP only at its next quantum barrier (Machine.OnHart). Charging
+// by the shared count would make world-switch cost depend on host-thread
+// timing and break the parallel engine's determinism contract.
 func (s *SM) setPoolPMP(h *hart.Hart, open bool) {
 	prev := s.tel.AttrPush(h.ID, h.Cycles, telemetry.AttrPMP)
 	perm := uint8(0)
 	if open {
 		perm = pmp.PermR | pmp.PermW | pmp.PermX
 	}
-	for i := range s.pool.regions {
-		h.PMP.SetCfg(pmpPoolFirst+i, perm|pmp.ANAPOT<<3)
+	for i := pmpPoolFirst; i <= pmpPoolLast; i++ {
+		if (h.PMP.Cfg(i)>>3)&3 == pmp.AOff {
+			continue
+		}
+		h.PMP.SetCfg(i, perm|pmp.ANAPOT<<3)
 		h.Advance(h.Cost.PMPWriteEntry)
 	}
 	s.tel.AttrPop(h.ID, h.Cycles, prev)
@@ -87,15 +97,23 @@ func (s *SM) setPoolPMP(h *hart.Hart, open bool) {
 // CVM mode, the confidential run loop, and the switch back. It returns
 // when the hypervisor's help is required or the guest stops.
 func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
+	// The entry and exit halves of the world switch mutate shared SM
+	// state and so hold s.mu; the confidential run loop itself executes
+	// guest instructions outside it, so harts run their CVMs
+	// concurrently and serialise only on monitor services.
+	s.mu.Lock()
 	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
 	c, err := s.cvm(cvmID)
 	if err != nil {
+		s.mu.Unlock()
 		return ExitInfo{}, wrapErr("run", cvmID, err)
 	}
 	if c.state != stRunnable {
+		s.mu.Unlock()
 		return ExitInfo{}, wrapErr("run", cvmID, ErrBadState)
 	}
 	if vcpuID < 0 || vcpuID >= len(c.vcpus) {
+		s.mu.Unlock()
 		return ExitInfo{}, wrapErr("run", cvmID, ErrNotFound)
 	}
 	v := c.vcpus[vcpuID]
@@ -116,6 +134,7 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 			err = wrapErr("run", c.ID, err)
 			s.quarantine(h, c, err)
 			s.tel.AttrSwitch(h.ID, h.Cycles, telemetry.NoCVM, telemetry.AttrHost)
+			s.mu.Unlock()
 			return ExitInfo{Reason: ExitError}, err
 		}
 	}
@@ -126,7 +145,9 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	s.trace(h.Cycles, EvEntry, c.ID, uint64(vcpuID), "")
 	s.tel.Span(h.ID, "sm", "ws.entry", entryStart, h.Cycles, c.ID, uint64(vcpuID))
 	s.tel.AttrSwitch(h.ID, h.Cycles, c.ID, telemetry.AttrGuest)
+	s.mu.Unlock()
 	info, exitStart := s.runLoop(h, c, v)
+	s.mu.Lock()
 	s.tel.AttrSwitch(h.ID, exitStart, c.ID, telemetry.AttrSMExit)
 	s.exitCVM(h, c, v, ctx, info)
 	h.Advance(h.Cost.TrapReturn)
@@ -141,8 +162,10 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 		err := wrapErr("run", c.ID, c.fatal)
 		c.fatal = nil
 		s.quarantine(h, c, err)
+		s.mu.Unlock()
 		return ExitInfo{Reason: ExitError}, err
 	}
+	s.mu.Unlock()
 	return info, nil
 }
 
@@ -373,13 +396,20 @@ func extend(data uint64, width int, signed bool) uint64 {
 // event began (for §V.B exit-latency accounting).
 func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
 	for {
+		// Parallel engine: rendezvous at the quantum barrier. A running
+		// CVM is never idle, so a false return (global halt) is
+		// impossible here; exit defensively if it ever happens.
+		if !h.CheckYield() {
+			v.sec.PC = h.PC
+			return ExitInfo{Reason: ExitTimer}, h.Cycles
+		}
 		var ev hart.Event
 		var batched bool
 		if s.cfg.StepHook == nil {
 			// Hot path: run fast-path instructions back-to-back; the batch
 			// re-samples the timer and interrupts at every boundary, so it
 			// is step-for-step identical to the loop below.
-			dl, armed := s.machine.CLINT.NextDeadline(h.ID)
+			dl, armed := h.BatchDeadline(s.machine.CLINT.NextDeadline(h.ID))
 			_, ev, batched = h.RunBatch(dl, armed, ^uint64(0))
 		} else {
 			s.cfg.StepHook(h, v.ID)
@@ -413,7 +443,12 @@ func (s *SM) runLoop(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, uint64) {
 				continue // architecturally delegated; guest handles it
 			case isa.ModeM:
 				s.tel.AttrSwitch(h.ID, trapStart, c.ID, attrBucketForCause(t.Cause))
+				// Trap servicing touches shared SM state (allocator,
+				// page tables, stats): serialise with the other harts'
+				// monitor entries.
+				s.mu.Lock()
 				info, done := s.handleCVMTrap(h, c, v, t)
+				s.mu.Unlock()
 				if done {
 					if info.Reason == ExitPoolEmpty {
 						// The stage-3 fault handling that ran in the SM

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"sync"
 )
 
@@ -35,10 +36,13 @@ type Rec struct {
 	Note  string // free-form annotation (error text, cause name)
 }
 
-// Tracer is a bounded ring of trace records. When full it evicts the
-// oldest record; Dropped() reports how many were lost. All methods are
-// mutex-guarded for race-cleanliness; a nil Tracer ignores every call.
-type Tracer struct {
+// traceShard is one (PID, TID) stream's bounded ring. Sharding keeps the
+// parallel engine's hart goroutines from serializing on a single tracer
+// mutex, and — more importantly — keeps eviction deterministic: a global
+// ring's drop set would depend on the cross-hart interleaving, while a
+// per-stream ring drops the same records no matter how the host schedules
+// the goroutines.
+type traceShard struct {
 	mu      sync.Mutex
 	buf     []Rec
 	next    int
@@ -46,64 +50,144 @@ type Tracer struct {
 	dropped uint64
 }
 
-// NewTracer returns a tracer holding up to capacity records.
+func (s *traceShard) record(r Rec) {
+	s.mu.Lock()
+	if s.full {
+		s.dropped++
+	}
+	s.buf[s.next] = r
+	s.next = (s.next + 1) % len(s.buf)
+	if s.next == 0 {
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+func (s *traceShard) snapshot() []Rec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Rec
+	if s.full {
+		out = append(out, s.buf[s.next:]...)
+	}
+	return append(out, s.buf[:s.next]...)
+}
+
+// Tracer is a set of bounded rings of trace records, one per (PID, TID)
+// stream, each holding up to the configured capacity. When a stream's ring
+// fills it evicts that stream's oldest record; Dropped() reports how many
+// were lost in total. All methods are safe for concurrent use from
+// multiple hart goroutines; a nil Tracer ignores every call.
+type Tracer struct {
+	cap    int
+	mu     sync.RWMutex
+	shards map[uint64]*traceShard
+}
+
+// NewTracer returns a tracer holding up to capacity records per stream.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		return nil
 	}
-	return &Tracer{buf: make([]Rec, capacity)}
+	return &Tracer{cap: capacity, shards: make(map[uint64]*traceShard)}
 }
 
-// Record appends one record, evicting the oldest when the ring is full.
+func shardKey(pid, tid int32) uint64 {
+	return uint64(uint32(pid))<<32 | uint64(uint32(tid))
+}
+
+func (t *Tracer) shard(pid, tid int32) *traceShard {
+	key := shardKey(pid, tid)
+	t.mu.RLock()
+	s := t.shards[key]
+	t.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s = t.shards[key]; s == nil {
+		s = &traceShard{buf: make([]Rec, t.cap)}
+		t.shards[key] = s
+	}
+	return s
+}
+
+// Record appends one record, evicting its stream's oldest when that
+// stream's ring is full.
 func (t *Tracer) Record(r Rec) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	if t.full {
-		t.dropped++
-	}
-	t.buf[t.next] = r
-	t.next = (t.next + 1) % len(t.buf)
-	if t.next == 0 {
-		t.full = true
-	}
-	t.mu.Unlock()
+	t.shard(r.PID, r.TID).record(r)
 }
 
-// Snapshot returns the ring contents oldest-first.
+// Snapshot returns the merged ring contents ordered by (Cycle, PID, TID),
+// with each stream's records oldest-first. The order is a pure function of
+// the simulated-cycle timestamps, so identical seeded runs produce
+// identical snapshots regardless of host goroutine scheduling.
 func (t *Tracer) Snapshot() []Rec {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var out []Rec
-	if t.full {
-		out = append(out, t.buf[t.next:]...)
+	t.mu.RLock()
+	keys := make([]uint64, 0, len(t.shards))
+	for k := range t.shards {
+		keys = append(keys, k)
 	}
-	return append(out, t.buf[:t.next]...)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []Rec
+	for _, k := range keys {
+		out = append(out, t.shards[k].snapshot()...)
+	}
+	t.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		return a.TID < b.TID
+	})
+	return out
 }
 
-// Dropped reports how many records were evicted by ring overflow.
+// Dropped reports how many records were evicted by ring overflow, summed
+// across streams.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n uint64
+	for _, s := range t.shards {
+		s.mu.Lock()
+		n += s.dropped
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Len reports how many records the ring currently holds.
+// Len reports how many records the rings currently hold, summed across
+// streams.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.full {
-		return len(t.buf)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, s := range t.shards {
+		s.mu.Lock()
+		if s.full {
+			n += len(s.buf)
+		} else {
+			n += s.next
+		}
+		s.mu.Unlock()
 	}
-	return t.next
+	return n
 }

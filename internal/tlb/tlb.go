@@ -4,6 +4,13 @@
 // hit/miss statistics feed the cycle model, so the cost of the TLB flushes
 // ZION performs on world switches and pool expansion shows up in the
 // benchmark numbers the same way it does on hardware.
+//
+// Concurrency: a TLB is owned by its hart's goroutine and has no internal
+// locking, mirroring the per-hart hardware structure. Under the parallel
+// engine, cross-hart invalidations (the sfence/TLB-shootdown IPIs the SM
+// issues on pool registration, CVM destroy, and quarantine) must be routed
+// through platform.Machine.OnHart so they execute on the owning goroutine
+// at its next quantum barrier, never by direct peer mutation.
 package tlb
 
 import "zion/internal/isa"

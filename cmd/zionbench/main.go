@@ -70,12 +70,28 @@ func main() {
 		bench.SetTelemetry(sink)
 	}
 
+	// validExperiments is the authoritative -e vocabulary, in run order.
+	validExperiments := []string{"e1", "e2", "e3", "t1", "e4", "f3", "f4", "a1", "a2", "a3", "a4", "fi"}
+	valid := map[string]bool{}
+	for _, id := range validExperiments {
+		valid[id] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*sel, ",") {
 		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
 		if e == "micro" {
 			want["e1"], want["e2"], want["e3"] = true, true, true
 			continue
+		}
+		if !valid[e] {
+			fmt.Fprintf(os.Stderr, "zionbench: unknown experiment %q\n", e)
+			fmt.Fprintf(os.Stderr, "valid experiments: %s (plus 'micro' = e1,e2,e3)\n",
+				strings.Join(validExperiments, ", "))
+			fmt.Fprintln(os.Stderr, "usage: zionbench -e e1,t1,fi [flags]; run with -h for all flags")
+			os.Exit(2)
 		}
 		want[e] = true
 	}
@@ -229,7 +245,7 @@ func main() {
 	}
 
 	if *hostbench != "" || *hostgate != "" {
-		section("HOST", "host-side throughput: fast-path engine vs pure interpreter")
+		section("HOST", "host-side throughput: superblock vs per-instruction fast path vs pure interpreter")
 		r, err := bench.RunHost(*hostdiv)
 		if err != nil {
 			fail("host", err)

@@ -78,6 +78,12 @@ func FlushTelemetry() {
 			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/fill_fails", h.ID)).Set(fs.FillFails)
 			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/block_builds", h.ID)).Set(fs.BlockBuilds)
 			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/block_invals", h.ID)).Set(fs.BlockInvals)
+			// Superblock engine counters (PR 5): dispatch effectiveness and
+			// how often the event horizon forced single-step pacing.
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/sb/hits", h.ID)).Set(fs.SBHits)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/sb/builds", h.ID)).Set(fs.SBBuilds)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/sb/invalidations", h.ID)).Set(fs.SBInvals)
+			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/sb/horizon_cutoffs", h.ID)).Set(fs.HorizonCutoffs)
 		}
 	}
 }

@@ -8,28 +8,41 @@ import (
 	"zion/internal/telemetry"
 )
 
-// runBothWays executes run once with the fast-path engine and once with
-// the pure slow path and fails unless the results — every simulated cycle
-// count, score, and percentage in the paper tables — are bit-identical.
-// This is the automated form of the PR's core guarantee: the engine is an
-// accelerator, never a semantic change.
+// runBothWays executes run once per engine — superblock, per-instruction
+// fast path, and pure slow path — and fails unless the results — every
+// simulated cycle count, score, and percentage in the paper tables — are
+// bit-identical across all three. This is the automated form of the PRs'
+// core guarantee: each engine is an accelerator, never a semantic change.
 func runBothWays[T any](t *testing.T, name string, run func() (T, error)) {
 	t.Helper()
-	old := hart.DefaultFastPath
-	defer func() { hart.DefaultFastPath = old }()
+	oldFP, oldSB := hart.DefaultFastPath, hart.DefaultSuperblocks
+	defer func() {
+		hart.DefaultFastPath, hart.DefaultSuperblocks = oldFP, oldSB
+	}()
 
-	hart.DefaultFastPath = true
-	fast, err := run()
-	if err != nil {
-		t.Fatalf("%s (fast): %v", name, err)
+	engines := []struct {
+		name     string
+		fast, sb bool
+	}{
+		{"block", true, true},
+		{"fast", true, false},
+		{"slow", false, false},
 	}
-	hart.DefaultFastPath = false
-	slow, err := run()
-	if err != nil {
-		t.Fatalf("%s (slow): %v", name, err)
-	}
-	if !reflect.DeepEqual(fast, slow) {
-		t.Errorf("%s: fast-path result differs from slow path\nfast: %+v\nslow: %+v", name, fast, slow)
+	var ref T
+	for i, e := range engines {
+		hart.DefaultFastPath, hart.DefaultSuperblocks = e.fast, e.sb
+		got, err := run()
+		if err != nil {
+			t.Fatalf("%s (%s): %v", name, e.name, err)
+		}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("%s: %s engine result differs from %s\n%s: %+v\n%s: %+v",
+				name, engines[0].name, e.name, engines[0].name, ref, e.name, got)
+		}
 	}
 }
 

@@ -14,18 +14,24 @@ import (
 )
 
 // HostRow compares host-side throughput for one guest workload executed
-// with the fast-path engine versus the pure slow path. Simulated cycles
-// are included because they must match exactly — the host benchmark
-// doubles as an end-to-end bit-identity check.
+// with each engine: "block" (superblock + event-horizon batching), "fast"
+// (per-instruction fast path), and the pure slow path. Simulated cycles
+// are included because they must match exactly across all three — the
+// host benchmark doubles as an end-to-end bit-identity check. The Block*
+// fields are absent in files written before the superblock engine existed.
 type HostRow struct {
 	Name         string  `json:"name"`
 	Instructions uint64  `json:"instructions"`
 	Cycles       uint64  `json:"simulated_cycles"`
+	BlockSeconds float64 `json:"block_seconds,omitempty"`
 	FastSeconds  float64 `json:"fast_seconds"`
 	SlowSeconds  float64 `json:"slow_seconds"`
+	BlockMIPS    float64 `json:"block_mips,omitempty"`
 	FastMIPS     float64 `json:"fast_mips"`
 	SlowMIPS     float64 `json:"slow_mips"`
+	// Speedup is fast/slow MIPS; BlockSpeedup is block/slow MIPS.
 	Speedup      float64 `json:"speedup"`
+	BlockSpeedup float64 `json:"block_speedup,omitempty"`
 }
 
 // HostResult is the payload of BENCH_host.json: the perf trajectory the
@@ -37,6 +43,9 @@ type HostResult struct {
 	ScalarReadAllocs  float64 `json:"scalar_read_allocs_per_op"`
 	ScalarWriteAllocs float64 `json:"scalar_write_allocs_per_op"`
 	MinSpeedup        float64 `json:"min_speedup"`
+	// MinBlockSpeedup is the worst block-engine speedup over slow across
+	// the workloads (0 in files predating the superblock engine).
+	MinBlockSpeedup float64 `json:"min_block_speedup,omitempty"`
 	// Parallel is the multi-hart quantum-barrier throughput section
 	// (absent in files written before the parallel engine existed).
 	Parallel *ParallelHostResult `json:"parallel,omitempty"`
@@ -44,10 +53,12 @@ type HostResult struct {
 
 // Format renders a human summary.
 func (r HostResult) Format() []string {
-	out := []string{fmt.Sprintf("%-10s %12s %10s %10s %8s", "workload", "instructions", "fast MIPS", "slow MIPS", "speedup")}
+	out := []string{fmt.Sprintf("%-10s %12s %11s %10s %10s %8s %8s",
+		"workload", "instructions", "block MIPS", "fast MIPS", "slow MIPS", "block", "fast")}
 	for _, row := range r.Rows {
-		out = append(out, fmt.Sprintf("%-10s %12d %10.2f %10.2f %7.2fx",
-			row.Name, row.Instructions, row.FastMIPS, row.SlowMIPS, row.Speedup))
+		out = append(out, fmt.Sprintf("%-10s %12d %11.2f %10.2f %10.2f %7.2fx %7.2fx",
+			row.Name, row.Instructions, row.BlockMIPS, row.FastMIPS, row.SlowMIPS,
+			row.BlockSpeedup, row.Speedup))
 	}
 	out = append(out, fmt.Sprintf("scalar mem path: %.2f allocs/op read, %.2f allocs/op write",
 		r.ScalarReadAllocs, r.ScalarWriteAllocs))
@@ -88,6 +99,10 @@ func CheckHostRegression(baseline, current HostResult) error {
 			return fmt.Errorf("host gate: %s fast-path speedup regressed >20%%: %.2fx vs baseline %.2fx",
 				r.Name, r.Speedup, b.Speedup)
 		}
+		if b.BlockSpeedup > 0 && r.BlockSpeedup < b.BlockSpeedup*0.8 {
+			return fmt.Errorf("host gate: %s superblock speedup regressed >20%%: %.2fx vs baseline %.2fx",
+				r.Name, r.BlockSpeedup, b.BlockSpeedup)
+		}
 	}
 	if p := current.Parallel; p != nil {
 		if !p.Deterministic {
@@ -108,12 +123,22 @@ type hostSample struct {
 	seconds float64
 }
 
-// runHostOnce boots a fresh stack with the engine on or off and drives the
+// Engine names accepted by runHostOnce and the zionbench -hostengine flag.
+const (
+	EngineSlow  = "slow"  // pure interpreter
+	EngineFast  = "fast"  // per-instruction fast path (PR 3)
+	EngineBlock = "block" // superblock dispatch with event-horizon batching
+)
+
+// runHostOnce boots a fresh stack with the selected engine and drives the
 // kernel to completion inside a CVM, timing only the guest run.
-func runHostOnce(k workloads.Kernel, scale int, fast bool) (hostSample, error) {
-	old := hart.DefaultFastPath
-	hart.DefaultFastPath = fast
-	defer func() { hart.DefaultFastPath = old }()
+func runHostOnce(k workloads.Kernel, scale int, engine string) (hostSample, error) {
+	oldFP, oldSB := hart.DefaultFastPath, hart.DefaultSuperblocks
+	hart.DefaultFastPath = engine != EngineSlow
+	hart.DefaultSuperblocks = engine == EngineBlock
+	defer func() {
+		hart.DefaultFastPath, hart.DefaultSuperblocks = oldFP, oldSB
+	}()
 
 	e := NewEnv(EnvConfig{SM: sm.Config{SchedQuantum: rv8TickQuantum()}})
 	img := workloads.Program(k, scale)
@@ -155,9 +180,10 @@ func scalarAllocs() (read, write float64) {
 }
 
 // RunHost measures host instructions/second on the T1 aes and E4 CoreMark
-// CVM drivers with the fast path on versus off. scaleDiv divides workload
-// scales like the other experiments (1 = full paper scale). It errors if
-// any workload's simulated cycle count differs between the two engines —
+// CVM drivers under all three engines: superblock, per-instruction fast
+// path, and pure slow path. scaleDiv divides workload scales like the
+// other experiments (1 = full paper scale). It errors if any workload's
+// simulated cycle or instruction count differs between any two engines —
 // the bit-identity guarantee, enforced where the numbers are produced.
 func RunHost(scaleDiv int) (HostResult, error) {
 	if scaleDiv < 1 {
@@ -186,33 +212,45 @@ func RunHost(scaleDiv int) (HostResult, error) {
 		if scale < 8 {
 			scale = 8
 		}
-		fast, err := runHostOnce(k.Kernel, scale, true)
+		block, err := runHostOnce(k.Kernel, scale, EngineBlock)
+		if err != nil {
+			return res, fmt.Errorf("%s block: %w", k.Name, err)
+		}
+		fast, err := runHostOnce(k.Kernel, scale, EngineFast)
 		if err != nil {
 			return res, fmt.Errorf("%s fast: %w", k.Name, err)
 		}
-		slow, err := runHostOnce(k.Kernel, scale, false)
+		slow, err := runHostOnce(k.Kernel, scale, EngineSlow)
 		if err != nil {
 			return res, fmt.Errorf("%s slow: %w", k.Name, err)
 		}
-		if fast.cycles != slow.cycles || fast.instr != slow.instr {
-			return res, fmt.Errorf("%s: fast/slow divergence: cycles %d vs %d, instret %d vs %d",
-				k.Name, fast.cycles, slow.cycles, fast.instr, slow.instr)
+		for _, s := range []hostSample{block, fast} {
+			if s.cycles != slow.cycles || s.instr != slow.instr {
+				return res, fmt.Errorf("%s: engine divergence from slow path: cycles %d vs %d, instret %d vs %d",
+					k.Name, s.cycles, slow.cycles, s.instr, slow.instr)
+			}
 		}
 		row := HostRow{
 			Name:         k.Name,
 			Instructions: fast.instr,
 			Cycles:       fast.cycles,
+			BlockSeconds: block.seconds,
 			FastSeconds:  fast.seconds,
 			SlowSeconds:  slow.seconds,
+			BlockMIPS:    float64(block.instr) / block.seconds / 1e6,
 			FastMIPS:     float64(fast.instr) / fast.seconds / 1e6,
 			SlowMIPS:     float64(slow.instr) / slow.seconds / 1e6,
 		}
 		if row.SlowMIPS > 0 {
 			row.Speedup = row.FastMIPS / row.SlowMIPS
+			row.BlockSpeedup = row.BlockMIPS / row.SlowMIPS
 		}
 		res.Rows = append(res.Rows, row)
 		if i == 0 || row.Speedup < res.MinSpeedup {
 			res.MinSpeedup = row.Speedup
+		}
+		if i == 0 || row.BlockSpeedup < res.MinBlockSpeedup {
+			res.MinBlockSpeedup = row.BlockSpeedup
 		}
 	}
 	res.ScalarReadAllocs, res.ScalarWriteAllocs = scalarAllocs()

@@ -54,6 +54,47 @@ func TestLockstepPaperWorkloads(t *testing.T) {
 	}
 }
 
+// TestParallelTriEngineBitIdentity closes the engine/scheduling matrix:
+// the same two-hart quantum-barrier run must produce bit-identical
+// per-hart fingerprints under the superblock engine, the per-instruction
+// fast path, and the pure slow path. Together with runBothWays (sequential
+// tri-engine) and TestLockstepPaperWorkloads (seq vs parallel), this pins
+// every cell of the slow/fast/block × sequential/parallel grid.
+func TestParallelTriEngineBitIdentity(t *testing.T) {
+	oldFP, oldSB := hart.DefaultFastPath, hart.DefaultSuperblocks
+	defer func() {
+		hart.DefaultFastPath, hart.DefaultSuperblocks = oldFP, oldSB
+	}()
+	k := lockstepKernels()[0] // aes
+	cfg := platform.EngineConfig{Quantum: 4096}
+	engines := []struct {
+		name     string
+		fast, sb bool
+	}{
+		{"block", true, true},
+		{"fast", true, false},
+		{"slow", false, false},
+	}
+	var ref []HartFingerprint
+	for i, e := range engines {
+		hart.DefaultFastPath, hart.DefaultSuperblocks = e.fast, e.sb
+		fps, _, err := RunWorkloadCopies(k, 32, 2, &cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if i == 0 {
+			ref = fps
+			continue
+		}
+		for h := range ref {
+			if !ref[h].Equal(fps[h]) {
+				t.Errorf("hart %d: %s vs %s divergence:\n  %v\n  %v",
+					h, engines[0].name, e.name, ref[h], fps[h])
+			}
+		}
+	}
+}
+
 // TestConcurrentCVMCreation creates and runs one CVM per hart on two
 // harts simultaneously: the SM's lifecycle path (pool allocation, id
 // assignment, measurement, vCPU creation) races from two goroutines and

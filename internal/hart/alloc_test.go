@@ -1,0 +1,67 @@
+package hart
+
+import (
+	"testing"
+
+	"zion/internal/asm"
+	"zion/internal/isa"
+)
+
+// The superblock dispatch loop is the hottest code in the simulator: once
+// the decoded page and micro-TLB entries are warm, driving RunBatch over
+// straight-line code must not allocate at all. A single allocation per
+// block would dominate the event-horizon win the engine exists for.
+func TestRunBatchSuperblockZeroAllocs(t *testing.T) {
+	h := newHart(t)
+	if !h.SuperblocksEnabled() {
+		t.Skip("superblocks disabled by default in this build")
+	}
+
+	// An infinite loop of straight-line ALU and memory work: long blocks
+	// separated by one JAL boundary, no traps (TrapCount is a map and its
+	// growth would show up as allocations — correctly — so keep it out).
+	p := asm.New(ramBase)
+	p.LIU(20, ramBase+dataOff)
+	p.LI(5, 1)
+	p.Label("top")
+	for i := 0; i < 40; i++ {
+		p.ADD(6, 6, 5)
+		p.XOR(7, 7, 6)
+		p.SD(6, 20, 0)
+		p.LD(8, 20, 0)
+		p.MUL(9, 8, 5)
+	}
+	p.J("top")
+	load(t, h, ramBase, p)
+
+	// Warm up: decode the page, build its superblock metadata, and fill
+	// the fetch/read/write micro-TLB entries.
+	if n, _, _ := h.RunBatch(0, false, 20000); n == 0 {
+		t.Fatal("warm-up batch made no progress")
+	}
+	if st := h.FastPathStats(); st.SBHits == 0 || st.SBBuilds == 0 {
+		t.Fatalf("superblock engine not engaged: %+v", st)
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		if n, _, _ := h.RunBatch(0, false, 4096); n != 4096 {
+			t.Fatalf("batch stalled at %d steps (pc=%#x)", n, h.PC)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("superblock dispatch allocates %.1f allocs/op, want 0", allocs)
+	}
+
+	// The armed-deadline variant exercises the horizon arithmetic on every
+	// block entry; it must be just as allocation-free.
+	deadline := h.Cycles + isa.PageSize // far enough to never cut off
+	allocs = testing.AllocsPerRun(50, func() {
+		deadline += 1 << 20
+		if n, _, _ := h.RunBatch(deadline, true, 4096); n != 4096 {
+			t.Fatalf("armed batch stalled at %d steps (pc=%#x)", n, h.PC)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("armed superblock dispatch allocates %.1f allocs/op, want 0", allocs)
+	}
+}

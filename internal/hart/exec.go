@@ -33,44 +33,29 @@ func (h *Hart) Step() Event {
 }
 
 // RunBatch executes up to max Step-equivalents back-to-back on the fast
-// path, re-sampling the machine timer and pending interrupts at every
-// instruction boundary exactly as the per-step run loops do: the timer
-// comparator (deadline/armed, immutable while guest code runs — MMIO
-// stores to the CLINT never take the fast path) is checked against
-// h.Cycles before each instruction, and a fired timer ends the batch so
-// the caller can refresh MTIP and take the interrupt through its normal
-// per-step path. While the timer has not fired, MTIP is cleared each
-// boundary, mirroring tickTimer's else branch.
+// path. Boundary semantics are identical to the per-step run loops: the
+// timer comparator is checked against h.Cycles, MTIP is cleared while the
+// timer has not fired (mirroring tickTimer's else branch), and pending
+// interrupts are sampled — but the superblock engine performs those
+// checks once per straight-line run instead of once per instruction,
+// under an event-horizon proof (superblock.go) that no check inside the
+// run could have fired. A fired timer ends the batch so the caller can
+// refresh MTIP and take the interrupt through its normal per-step path.
 //
 // Returns the number of Step-equivalents performed and, when ok is true,
 // the terminating event (trap, WFI) which counts as the final step —
 // identical to what the same sequence of per-step calls would produce.
-// ok=false means the batch stopped without an event (timer fired,
-// fast-path miss, or budget exhausted) and the caller should run one
-// ordinary tick+Step iteration before retrying.
+// ok=false means the batch stopped without an event: timer fired,
+// fast-path miss, budget exhausted, or the guest touched a device (a bus
+// access can rearm the hart's own CLINT comparator, making the caller's
+// deadline stale). In every ok=false case the caller should run one
+// ordinary tick+Step iteration — which re-samples the timer — before
+// retrying.
 func (h *Hart) RunBatch(deadline uint64, armed bool, max uint64) (uint64, Event, bool) {
 	if h.fp == nil {
 		return 0, Event{}, false
 	}
-	var n uint64
-	for n < max {
-		if armed && h.Cycles >= deadline {
-			return n, Event{}, false
-		}
-		h.ClearPending(isa.IntMTimer)
-		if cause, ok := h.PendingInterrupt(); ok {
-			return n + 1, Event{Kind: EvTrap, Trap: h.TakeTrap(trapInfo{cause: cause})}, true
-		}
-		ev, ok := h.fp.step(h)
-		if !ok {
-			return n, Event{}, false
-		}
-		n++
-		if ev.Kind != EvNone {
-			return n, ev, true
-		}
-	}
-	return n, Event{}, false
+	return h.fp.runBatch(h, deadline, armed, max)
 }
 
 // execute retires one decoded instruction: the shared back half of Step.

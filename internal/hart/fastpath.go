@@ -18,6 +18,15 @@ import (
 // bit-identical with it on or off (docs/PERF.md explains why).
 var DefaultFastPath = true
 
+// DefaultSuperblocks controls whether the fast path additionally chains
+// decoded instructions into superblocks (superblock.go) and lets RunBatch
+// hoist the per-instruction timer/interrupt re-sampling out of straight-
+// line runs under an event-horizon proof. Off, RunBatch degrades to the
+// per-instruction fast path (PR 3 behaviour); the three engines —
+// slow, per-instruction fast, superblock — are asserted bit-identical on
+// every paper table.
+var DefaultSuperblocks = true
+
 const (
 	mtlbSize = 64 // direct-mapped entries per access type
 	mtlbMask = mtlbSize - 1
@@ -58,6 +67,28 @@ type mtlbEntry struct {
 type decodedPage struct {
 	live  atomic.Bool
 	insts [isa.PageSize / 4]isa.Inst
+
+	// Superblock metadata, built lazily by buildSuperblocks on the owning
+	// hart's goroutine (sbReady is atomic only so InvalidateCodePage can
+	// read it from a peer goroutine for the invalidation counter; the
+	// arrays themselves are owner-only). For each slot i:
+	//
+	//	sbLen[i]   — number of instructions in the straight-line run
+	//	             starting at i, up to and including the next
+	//	             block-terminating boundary (control transfer that
+	//	             always leaves the line, CSR access, privileged op,
+	//	             invalid encoding) or the end of the page.
+	//	sbWorst[i] — worst-case simulated cycles of that run excluding
+	//	             its final instruction: exactly the cycles that can
+	//	             accrue before the last per-instruction boundary
+	//	             check a per-step engine would have performed.
+	//
+	// Conditional branches are NOT boundaries: they stay mid-line and the
+	// dispatch loop detects a taken branch as a side exit (PC left the
+	// straight line), so blocks survive the not-taken common case.
+	sbReady atomic.Bool
+	sbLen   [isa.PageSize / 4]uint16
+	sbWorst [isa.PageSize / 4]uint64
 }
 
 // FastPathStats counts engine effectiveness; exported as fp/* telemetry
@@ -74,6 +105,12 @@ type FastPathStats struct {
 	FillFails   uint64 // fills declined (TLB miss, PMP, MMIO, ...)
 	BlockBuilds uint64 // pages decoded into the block cache
 	BlockInvals uint64 // decoded pages dropped after a write hit them
+
+	// Superblock engine (superblock.go).
+	SBHits         uint64 // multi-instruction superblock entries dispatched
+	SBBuilds       uint64 // pages whose superblock metadata was computed
+	SBInvals       uint64 // superblock-carrying pages invalidated by stores
+	HorizonCutoffs uint64 // block entries degraded to single-step because the worst-case cycle bound crossed the event horizon
 }
 
 // fastPath is one hart's execution accelerator: three direct-mapped
@@ -100,6 +137,10 @@ type fastPath struct {
 	invCount  map[uint64]uint32
 	blacklist map[uint64]bool
 	stats     FastPathStats
+
+	// sb enables the superblock dispatch loop (DefaultSuperblocks at
+	// construction; flipped by SetSuperblocks for tri-engine comparisons).
+	sb bool
 }
 
 const blacklistThreshold = 16
@@ -110,6 +151,7 @@ func newFastPath(h *Hart) *fastPath {
 		pages:     make(map[uint64]*decodedPage),
 		invCount:  make(map[uint64]uint32),
 		blacklist: make(map[uint64]bool),
+		sb:        DefaultSuperblocks,
 	}
 	h.Mem.AddCodeWatcher(e)
 	return e
@@ -141,6 +183,19 @@ func (h *Hart) DisableFastPath() {
 // FastPathEnabled reports whether the engine is attached.
 func (h *Hart) FastPathEnabled() bool { return h.fp != nil }
 
+// SetSuperblocks toggles the superblock dispatch loop on an attached
+// engine (no-op when the fast path is disabled). Turning it off degrades
+// RunBatch to the per-instruction fast path; cached metadata stays valid
+// and is simply ignored.
+func (h *Hart) SetSuperblocks(on bool) {
+	if h.fp != nil {
+		h.fp.sb = on
+	}
+}
+
+// SuperblocksEnabled reports whether the superblock loop is active.
+func (h *Hart) SuperblocksEnabled() bool { return h.fp != nil && h.fp.sb }
+
 // FastPathStats returns the engine counters (zero value when disabled).
 func (h *Hart) FastPathStats() FastPathStats {
 	if h.fp == nil {
@@ -165,6 +220,9 @@ func (e *fastPath) InvalidateCodePage(paPage uint64) {
 	delete(e.pages, paPage)
 	e.mem.UnregisterCodePage(paPage)
 	e.stats.BlockInvals++
+	if dp.sbReady.Load() {
+		e.stats.SBInvals++
+	}
 	if c := e.invCount[paPage] + 1; c >= blacklistThreshold {
 		e.blacklist[paPage] = true
 	} else {

@@ -429,3 +429,346 @@ func TestLockstepFastPathNotVacuous(t *testing.T) {
 		t.Fatalf("fast path never hit: %+v", st)
 	}
 }
+
+// --- Batch lockstep: superblocks vs per-step under async events ----------
+//
+// The fuzzers above compare Step against Step. The superblock engine makes
+// a stronger claim: RunBatch may hoist the timer and interrupt checks over
+// a whole straight-line run, and the trace must still be bit-identical to
+// per-step execution — including WHEN an interrupt is delivered. These
+// drivers run the fast hart through RunBatch exactly as the platform loop
+// does (deadline sample, batch, tick+Step fallback) while the slow hart is
+// advanced one Step at a time behind it, with a CLINT-shaped bus device so
+// guest code can rearm its own mtimecmp and raise self-IPIs mid-run.
+
+// fakeCLINT is a single-hart CLINT on the hart.Bus interface: msip at +0,
+// mtimecmp at +0x4000, mtime at +0xBFF8 reading the hart's own cycle
+// counter (per-hart virtual time, as in platform.CLINT).
+type fakeCLINT struct {
+	h        *Hart
+	mtimecmp uint64
+	armed    bool
+	msip     bool
+}
+
+const (
+	fcBase = uint64(0x0200_0000)
+	fcMSIP = fcBase + 0x0
+	fcCmp  = fcBase + 0x4000
+	fcTime = fcBase + 0xBFF8
+)
+
+func (c *fakeCLINT) Access(_ int, pa uint64, size int, write bool, val uint64) (uint64, bool) {
+	switch pa {
+	case fcMSIP:
+		if write {
+			c.msip = val&1 != 0
+			if c.msip {
+				c.h.SetPending(isa.IntMSoft)
+			} else {
+				c.h.ClearPending(isa.IntMSoft)
+			}
+			return 0, true
+		}
+		if c.msip {
+			return 1, true
+		}
+		return 0, true
+	case fcCmp:
+		if write {
+			c.mtimecmp = val
+			c.armed = true
+			return 0, true
+		}
+		return c.mtimecmp, true
+	case fcTime:
+		return c.h.Cycles, true
+	}
+	return 0, false
+}
+
+// tick mirrors platform.Machine.tickTimer.
+func (c *fakeCLINT) tick() {
+	if c.armed && c.h.Cycles >= c.mtimecmp {
+		c.h.SetPending(isa.IntMTimer)
+	} else {
+		c.h.ClearPending(isa.IntMTimer)
+	}
+}
+
+// emitIRQProlog emits a jump over an M-mode interrupt handler that disarms
+// the timer, clears msip, counts the interrupt in x27, and returns; then
+// points mtvec at it and enables MTIE|MSIE with mstatus.MIE. The handler
+// clobbers x30/x31 only.
+func emitIRQProlog(p *asm.Program) {
+	p.J("irq_main")
+	p.Label("irq_handler")
+	p.LIU(30, fcCmp)
+	p.LIU(31, uint64(1)<<62) // far future: effectively disarmed
+	p.SD(31, 30, 0)
+	p.LIU(30, fcMSIP)
+	p.SW(0, 30, 0)
+	p.ADDI(27, 27, 1)
+	p.MRET()
+	p.Label("irq_main")
+	p.LA(30, "irq_handler")
+	p.CSRRW(0, isa.CSRMtvec, 30)
+	p.LI(30, int64(uint64(1)<<isa.IntMTimer|uint64(1)<<isa.IntMSoft))
+	p.CSRRW(0, isa.CSRMie, 30)
+	p.LI(30, int64(isa.MstatusMIE))
+	p.CSRRS(0, isa.CSRMstatus, 30)
+	p.LI(27, 0)
+}
+
+// batchLockstep drives the fast hart through RunBatch the way the platform
+// loop does, advances the slow hart Step by Step behind it, and compares
+// full architectural state at every batch boundary. maxPerBatch=1 turns it
+// into a per-instruction comparison through the same dispatch path.
+func batchLockstep(t *testing.T, tag string, pi int, fast, slow *Hart, fc, sc *fakeCLINT, wantCause uint64, maxPerBatch uint64) {
+	t.Helper()
+	const maxSteps = 200000
+	csrs := []uint16{isa.CSRMstatus, isa.CSRMie, isa.CSRMip, isa.CSRMepc,
+		isa.CSRMcause, isa.CSRMtval, isa.CSRMtvec}
+	compare := func(steps uint64) {
+		t.Helper()
+		if fast.PC != slow.PC || fast.Mode != slow.Mode ||
+			fast.Cycles != slow.Cycles || fast.Instret != slow.Instret {
+			t.Fatalf("%s program %d step %d: pc %#x/%#x mode %v/%v cycles %d/%d instret %d/%d",
+				tag, pi, steps, fast.PC, slow.PC, fast.Mode, slow.Mode,
+				fast.Cycles, slow.Cycles, fast.Instret, slow.Instret)
+		}
+		if fast.X != slow.X {
+			t.Fatalf("%s program %d step %d: register files diverge", tag, pi, steps)
+		}
+		for _, c := range csrs {
+			if fast.CSR(c) != slow.CSR(c) {
+				t.Fatalf("%s program %d step %d: csr %#x fast=%#x slow=%#x",
+					tag, pi, steps, c, fast.CSR(c), slow.CSR(c))
+			}
+		}
+	}
+	var steps uint64
+	for steps < maxSteps {
+		budget := uint64(maxSteps) - steps
+		if maxPerBatch > 0 && budget > maxPerBatch {
+			budget = maxPerBatch
+		}
+		dl, armed := fc.mtimecmp, fc.armed
+		n, ev, haveEv := fast.RunBatch(dl, armed, budget)
+		if !haveEv && n == 0 {
+			// The platform fallback: refresh MTIP, take one slow step.
+			fc.tick()
+			ev = fast.Step()
+			n, haveEv = 1, true
+		}
+		var es Event
+		for j := uint64(0); j < n; j++ {
+			sc.tick()
+			es = slow.Step()
+			if es.Kind != EvNone && (!haveEv || j != n-1) {
+				t.Fatalf("%s program %d: slow path raised %v after %d of %d catch-up steps — fast path hoisted a check it should not have",
+					tag, pi, es.Kind, j+1, n)
+			}
+		}
+		steps += n
+		compare(steps)
+		if !haveEv {
+			continue
+		}
+		if ev.Kind != es.Kind {
+			t.Fatalf("%s program %d step %d: event kind fast=%v slow=%v", tag, pi, steps, ev.Kind, es.Kind)
+		}
+		if ev.Kind == EvNone {
+			// Fallback Step with the interrupt masked (e.g. inside the
+			// handler): an ordinary retirement on both paths.
+			continue
+		}
+		if ev.Kind != EvTrap {
+			t.Fatalf("%s program %d step %d: unexpected event %v", tag, pi, steps, ev.Kind)
+		}
+		if ev.Trap.Cause != es.Trap.Cause {
+			t.Fatalf("%s program %d step %d: trap cause fast=%s slow=%s",
+				tag, pi, steps, isa.CauseName(ev.Trap.Cause), isa.CauseName(es.Trap.Cause))
+		}
+		if ev.Trap.Cause == wantCause {
+			// Terminal: accounting and data-region identity, as lockstep().
+			if fast.TLB.Stats() != slow.TLB.Stats() {
+				t.Fatalf("%s program %d: TLB stats fast=%+v slow=%+v", tag, pi, fast.TLB.Stats(), slow.TLB.Stats())
+			}
+			if fast.PMP.Stats() != slow.PMP.Stats() {
+				t.Fatalf("%s program %d: PMP stats fast=%+v slow=%+v", tag, pi, fast.PMP.Stats(), slow.PMP.Stats())
+			}
+			if fast.WalkStats != slow.WalkStats {
+				t.Fatalf("%s program %d: walk stats fast=%+v slow=%+v", tag, pi, fast.WalkStats, slow.WalkStats)
+			}
+			if !reflect.DeepEqual(fast.TrapCount, slow.TrapCount) {
+				t.Fatalf("%s program %d: trap counts fast=%v slow=%v", tag, pi, fast.TrapCount, slow.TrapCount)
+			}
+			fb, err1 := fast.Mem.Read(ramBase+dataOff, 2*isa.PageSize)
+			sb, err2 := slow.Mem.Read(ramBase+dataOff, 2*isa.PageSize)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s program %d: data readback: %v / %v", tag, pi, err1, err2)
+			}
+			if !reflect.DeepEqual(fb, sb) {
+				t.Fatalf("%s program %d: data memory diverges", tag, pi)
+			}
+			return
+		}
+		if ev.Trap.Cause&isa.CauseInterruptBit == 0 {
+			t.Fatalf("%s program %d: unexpected exception %s at pc=%#x",
+				tag, pi, isa.CauseName(ev.Trap.Cause), ev.Trap.PC)
+		}
+	}
+	t.Fatalf("%s program %d: no terminating ecall after %d steps (pc=%#x)", tag, pi, maxSteps, fast.PC)
+}
+
+// newBatchPair returns fast/slow harts wired to independent fakeCLINTs.
+func newBatchPair(t *testing.T) (*Hart, *Hart, *fakeCLINT, *fakeCLINT) {
+	t.Helper()
+	fast, slow := newLockstepPair(t)
+	fc, sc := &fakeCLINT{h: fast}, &fakeCLINT{h: slow}
+	fast.Bus, slow.Bus = fc, sc
+	return fast, slow, fc, sc
+}
+
+// genBatchProgram emits the shared interrupt-heavy fuzz body: random ALU
+// and memory traffic interleaved with near-future mtimecmp reprograms
+// (often landing just inside a superblock's horizon), self-IPIs, and
+// stores into the instruction stream.
+func genBatchProgram(t *testing.T, rng *rand.Rand) *asm.Program {
+	p := asm.New(ramBase)
+	emitIRQProlog(p)
+	slots := 0
+	genLockstepBody(t, rng, p, 80, func(i int) bool {
+		switch {
+		case i%7 == 3: // mtimecmp = mtime + small delta: fires mid-run soon
+			p.LIU(28, fcTime)
+			p.LD(29, 28, 0)
+			p.ADDI(29, 29, int64(rng.Intn(400)))
+			p.LIU(28, fcCmp)
+			p.SD(29, 28, 0)
+		case i%13 == 8: // self-IPI through the bus
+			p.LIU(28, fcMSIP)
+			p.LI(29, 1)
+			p.SW(29, 28, 0)
+		case i%19 == 12 && slots < 4: // store into the instruction stream
+			w := instrWord(t, func(q *asm.Program) { q.ADDI(5, 5, 1) })
+			if slots%2 == 1 {
+				w = instrWord(t, func(q *asm.Program) { q.XOR(6, 6, 6) })
+			}
+			emitSMCStore(p, w, "bslot"+string(rune('0'+slots)))
+			slots++
+		default:
+			return false
+		}
+		return true
+	})
+	for s := 0; s < slots; s++ {
+		p.Label("bslot" + string(rune('0'+s)))
+		p.NOP()
+	}
+	p.ECALL()
+	return p
+}
+
+// TestLockstepFuzzBatchAsync is the headline superblock fuzzer: timer
+// rearms just inside the horizon, IPIs at horizon edges, and SMC stores
+// into the currently executing block, batch against per-step.
+func TestLockstepFuzzBatchAsync(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xB10C_F00D))
+	var irqs, cutoffs, hits uint64
+	for pi := 0; pi < 25; pi++ {
+		p := genBatchProgram(t, rng)
+		fast, slow, fc, sc := newBatchPair(t)
+		load(t, fast, ramBase, p)
+		load(t, slow, ramBase, p)
+		batchLockstep(t, "batch", pi, fast, slow, fc, sc, isa.ExcEcallM, 0)
+		irqs += fast.Reg(27)
+		st := fast.FastPathStats()
+		cutoffs += st.HorizonCutoffs
+		hits += st.SBHits
+	}
+	// The configuration must actually exercise the machinery it claims to.
+	if irqs == 0 {
+		t.Fatal("no interrupts were ever delivered")
+	}
+	if hits == 0 {
+		t.Fatal("no superblock was ever dispatched")
+	}
+	if cutoffs == 0 {
+		t.Fatal("no horizon cutoff was ever taken")
+	}
+}
+
+// TestLockstepFuzzBatchPerInstruction replays the same program class with a
+// one-instruction batch budget: full architectural state is compared after
+// every single instruction, through the same superblock dispatch path.
+func TestLockstepFuzzBatchPerInstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0E4A_11CE))
+	for pi := 0; pi < 10; pi++ {
+		p := genBatchProgram(t, rng)
+		fast, slow, fc, sc := newBatchPair(t)
+		load(t, fast, ramBase, p)
+		load(t, slow, ramBase, p)
+		batchLockstep(t, "perinst", pi, fast, slow, fc, sc, isa.ExcEcallM, 1)
+	}
+}
+
+// TestBatchTimerAtHorizonEdge sweeps an absolute deadline across a long
+// straight-line block so that some runs land the timer exactly inside the
+// block's worst-case window (forcing the horizon cutoff) and others at its
+// edges. Every placement must deliver the interrupt at the same boundary
+// as per-step execution.
+func TestBatchTimerAtHorizonEdge(t *testing.T) {
+	var cutoffs, irqs uint64
+	for dl := uint64(1); dl < 800; dl += 7 {
+		p := asm.New(ramBase)
+		emitIRQProlog(p)
+		for i := 0; i < 60; i++ {
+			p.ADDI(5, 5, 1)
+		}
+		p.ECALL()
+		fast, slow, fc, sc := newBatchPair(t)
+		load(t, fast, ramBase, p)
+		load(t, slow, ramBase, p)
+		fc.mtimecmp, fc.armed = dl, true
+		sc.mtimecmp, sc.armed = dl, true
+		batchLockstep(t, "edge", int(dl), fast, slow, fc, sc, isa.ExcEcallM, 0)
+		irqs += fast.Reg(27)
+		cutoffs += fast.FastPathStats().HorizonCutoffs
+	}
+	if irqs == 0 {
+		t.Fatal("sweep never delivered a timer interrupt")
+	}
+	if cutoffs == 0 {
+		t.Fatal("sweep never landed a deadline inside a block's horizon")
+	}
+}
+
+// TestBatchSMCInsideExecutingSuperblock is the directed self-modifying-code
+// case: a straight-line block overwrites one of its own later instructions
+// while the block is executing. The store must kill the decoded block
+// mid-dispatch so the new encoding (x5 += 2, not the original += 1) runs.
+func TestBatchSMCInsideExecutingSuperblock(t *testing.T) {
+	addi2 := instrWord(t, func(q *asm.Program) { q.ADDI(5, 5, 2) })
+	p := asm.New(ramBase)
+	p.LI(5, 0)
+	emitSMCStore(p, addi2, "victim")
+	for i := 0; i < 8; i++ {
+		p.NOP()
+	}
+	p.Label("victim")
+	p.ADDI(5, 5, 1) // overwritten before it is reached
+	p.ECALL()
+
+	fast, slow, fc, sc := newBatchPair(t)
+	load(t, fast, ramBase, p)
+	load(t, slow, ramBase, p)
+	batchLockstep(t, "smc", 0, fast, slow, fc, sc, isa.ExcEcallM, 0)
+	if got := fast.Reg(5); got != 2 {
+		t.Fatalf("x5 = %d, want 2 (stale decoded block executed)", got)
+	}
+	if st := fast.FastPathStats(); st.SBInvals == 0 {
+		t.Fatalf("no superblock invalidation recorded: %+v", st)
+	}
+}

@@ -85,6 +85,17 @@ type Hart struct {
 	// resolve (satp/vsatp/hgatp/mstatus, including the sstatus view).
 	fp     *fastPath
 	mmuGen uint64
+	// asyncGen is the device-event epoch: bumped whenever an instruction
+	// reaches the bus (CLINT, UART, virtio windows). A bus access is the
+	// only way interpreted code can change asynchronous-event state from
+	// inside a straight-line run — reprogram its own mtimecmp, raise a
+	// self-IPI via msip — so the superblock dispatch loop re-checks it
+	// after every instruction and RunBatch hands control back to the
+	// caller when it moved, forcing a fresh timer/deadline sample. All
+	// other mip mutations happen at instruction boundaries the block
+	// builder already treats as block-terminating (CSR writes, traps) or
+	// are deferred to quantum barriers by the parallel engine.
+	asyncGen uint64
 
 	// LR/SC reservation.
 	resValid bool

@@ -197,6 +197,9 @@ func (h *Hart) MemAccess(va uint64, size int, write bool, val uint64, rawInst ui
 		return v, nil
 	}
 	if h.Bus != nil {
+		// Device territory: the access may rearm the hart's own timer or
+		// raise a self-IPI, invalidating any event-horizon proof in flight.
+		h.asyncGen++
 		if out, ok := h.Bus.Access(h.ID, pa, size, write, val); ok {
 			return out, nil
 		}

@@ -99,8 +99,10 @@ func (k *Hypervisor) RunNormalVCPU(h *hart.Hart, vm *VM, vcpuID int) (NormalExit
 			k.saveVCPU(h, v, h.PC)
 			return NormalExit{Reason: sm.ExitTimer}, nil
 		}
-		// Hot path: batch fast-path instructions; the batch re-samples the
-		// timer and interrupts per boundary, matching the loop body below.
+		// Hot path: superblock batching, matching the loop body below.
+		// A false return also covers the guest touching a device (possibly
+		// its own timer): the deadline sampled here is then stale, and the
+		// next iteration re-samples it.
 		dl, armed := h.BatchDeadline(k.M.CLINT.NextDeadline(h.ID))
 		_, ev, batched := h.RunBatch(dl, armed, ^uint64(0))
 		if !batched {

@@ -157,8 +157,12 @@ func (m *Machine) RunHart(i int, maxSteps uint64) (uint64, error) {
 		if !h.CheckYield() {
 			return steps, nil
 		}
-		// Hot path: batch fast-path instructions; the batch re-samples the
-		// timer and interrupts per boundary, matching the loop body below.
+		// Hot path: superblock batching. Between boundaries the engine
+		// hoists the timer and interrupt checks under its event-horizon
+		// proof; a false return means the deadline was reached, the fast
+		// path could not proceed, or the guest touched a device (its own
+		// CLINT included) — in every case the deadline sampled here is
+		// stale, and the loop re-samples it before continuing.
 		dl, armed := h.BatchDeadline(m.CLINT.NextDeadline(h.ID))
 		n, ev, batched := h.RunBatch(dl, armed, maxSteps-steps)
 		steps += n

@@ -5,8 +5,9 @@
 #   make race   - full test suite under the race detector
 #   make lint   - golangci-lint if installed, else 'go vet' with a notice
 #   make check  - tier-2: lint + race detector on the whole module + a smoke
-#                 fault-injection campaign (fixed seed, 100 faults) + a
-#                 short host-throughput run (also verifies bit-identity)
+#                 fault-injection campaign (fixed seed, 100 faults) + the
+#                 compartment-compromise campaign + a short host-throughput
+#                 run (also verifies bit-identity)
 #   make bench  - regenerate the paper's evaluation tables
 #   make bench-host       - measure host MIPS fast vs slow plus the multi-hart
 #                           parallel engine, write BENCH_host.json
@@ -18,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: build test check race lint smoke bench bench-host bench-host-short bench-gate
+.PHONY: build test check race lint smoke smoke-compromise bench bench-host bench-host-short bench-gate
 
 build:
 	$(GO) build ./...
@@ -45,12 +46,21 @@ check: build
 	$(MAKE) race
 	$(GO) test ./...
 	$(MAKE) smoke
+	$(MAKE) smoke-compromise
 	$(MAKE) bench-host-short
 
 # smoke runs one fixed-seed fault campaign through the zionbench driver:
 # quick proof that the robustness path works end to end outside go test.
 smoke:
 	$(GO) run ./cmd/zionbench -e fi -fiseeds 1 -fifaults 100
+
+# smoke-compromise runs the seeded compartment-compromise campaign: each
+# SM compartment corrupted in turn, asserting the blast-radius contract
+# (quarantine + post-mortem, bystanders bit-identical, survivors audit
+# clean). FIC_SCENARIOS narrows the matrix (CI runs one job per scenario);
+# the JSON report doubles as the post-mortem artifact on failure.
+smoke-compromise:
+	$(GO) run ./cmd/zionbench -e fic -ficseed 1 $(if $(FIC_SCENARIOS),-ficscenarios $(FIC_SCENARIOS)) -ficreport fic_report.json
 
 bench:
 	$(GO) run ./cmd/zionbench

@@ -14,6 +14,7 @@
 //	a3  ablation: hierarchical allocator stage distribution
 //	a4  ablation: shared-subtable entry revalidation cost
 //	fi  robustness: seeded fault-injection campaign sweep
+//	fic robustness: compartment-compromise campaign (blast radius)
 package main
 
 import (
@@ -31,11 +32,14 @@ import (
 )
 
 func main() {
-	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi", "experiments to run ('micro' = e1,e2,e3)")
+	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi,fic", "experiments to run ('micro' = e1,e2,e3)")
 	scaleDiv := flag.Int("scalediv", 1, "divide workload scales (faster, less precise)")
 	requests := flag.Int("requests", 200, "redis requests per operation")
 	fiSeeds := flag.Int("fiseeds", 5, "fault-injection campaigns (one seed each)")
 	fiFaults := flag.Int("fifaults", 500, "faults per fault-injection campaign")
+	ficSeed := flag.Int64("ficseed", 1, "compartment-compromise campaign seed")
+	ficScenarios := flag.String("ficscenarios", "", "comma-separated compromise scenarios (default: the full matrix)")
+	ficReport := flag.String("ficreport", "", "write the compromise-campaign report (post-mortems included) as JSON to FILE")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto)")
 	timelineOut := flag.String("timeline", "", "write a plain-text cycle timeline file ('-' = stdout)")
 	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry after the run")
@@ -71,7 +75,7 @@ func main() {
 	}
 
 	// validExperiments is the authoritative -e vocabulary, in run order.
-	validExperiments := []string{"e1", "e2", "e3", "t1", "e4", "f3", "f4", "a1", "a2", "a3", "a4", "fi"}
+	validExperiments := []string{"e1", "e2", "e3", "t1", "e4", "f3", "f4", "a1", "a2", "a3", "a4", "fi", "fic"}
 	valid := map[string]bool{}
 	for _, id := range validExperiments {
 		valid[id] = true
@@ -243,6 +247,45 @@ func main() {
 			fail("fi", fmt.Errorf("%d campaigns not survived", *fiSeeds-survived))
 		}
 	}
+	if want["fic"] {
+		section("FIC", "robustness: compartment-compromise campaign (blast-radius contract)")
+		cfg := faultinject.CompromiseConfig{Seed: *ficSeed, Telemetry: sink.Scope()}
+		if *ficScenarios != "" {
+			for _, name := range strings.Split(*ficScenarios, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				sc, ok := faultinject.ScenarioByName(name)
+				if !ok {
+					var names []string
+					for _, s := range faultinject.CompromiseScenarios() {
+						names = append(names, s.Name)
+					}
+					fail("fic", fmt.Errorf("unknown scenario %q (valid: %s)",
+						name, strings.Join(names, ", ")))
+				}
+				cfg.Scenarios = append(cfg.Scenarios, sc)
+			}
+		}
+		rep, err := faultinject.RunCompromise(cfg)
+		if err != nil {
+			fail("fic", err)
+		}
+		fmt.Println(rep)
+		if *ficReport != "" {
+			// The report file is the CI post-mortem artifact: every scenario
+			// verdict plus the quarantined compartment's post-mortem record,
+			// flattened to plain strings so it marshals losslessly.
+			if err := writeCompromiseReport(*ficReport, rep); err != nil {
+				fail("fic", err)
+			}
+			fmt.Printf("wrote compromise report to %s\n", *ficReport)
+		}
+		if !rep.Survived() {
+			fail("fic", fmt.Errorf("compromise campaign not survived"))
+		}
+	}
 
 	if *hostbench != "" || *hostgate != "" {
 		section("HOST", "host-side throughput: superblock vs per-instruction fast path vs pure interpreter")
@@ -336,4 +379,78 @@ func main() {
 			fail("memprofile", err)
 		}
 	}
+}
+
+// ficPostMortem is the JSON view of a quarantined compartment's
+// post-mortem record: errors and typed enums flattened to strings so the
+// CI artifact is lossless and greppable.
+type ficPostMortem struct {
+	Compartment string
+	Cause       string
+	Op          string
+	Cycle       uint64
+	Hart        int
+	Epoch       uint64
+	Salvage     string `json:",omitempty"`
+}
+
+// ficResult is the JSON view of one compromise-scenario verdict.
+type ficResult struct {
+	Scenario         string
+	Class            string
+	Target           string
+	OK               bool
+	Detail           string `json:",omitempty"`
+	Quarantined      bool
+	BitIdentical     bool
+	GateDenied       uint64
+	LeakedBlocks     int
+	SurvivorFindings []string       `json:",omitempty"`
+	PostMortem       *ficPostMortem `json:",omitempty"`
+}
+
+// writeCompromiseReport serializes a compromise campaign as JSON — the
+// post-mortem artifact CI uploads when a blast-radius assertion fails.
+func writeCompromiseReport(path string, rep *faultinject.CompromiseReport) error {
+	type ficReportJSON struct {
+		Seed     int64
+		Survived bool
+		Results  []ficResult
+	}
+	out := ficReportJSON{Seed: rep.Seed, Survived: rep.Survived()}
+	for _, res := range rep.Results {
+		r := ficResult{
+			Scenario:     res.Scenario,
+			Class:        res.Class.String(),
+			Target:       res.Target.String(),
+			OK:           res.OK,
+			Detail:       res.Detail,
+			Quarantined:  res.Quarantined,
+			BitIdentical: res.BitIdentical,
+			GateDenied:   res.GateDenied,
+			LeakedBlocks: res.LeakedBlocks,
+		}
+		for _, f := range res.SurvivorFindings {
+			r.SurvivorFindings = append(r.SurvivorFindings, f.String())
+		}
+		if pm := res.PostMortem; pm != nil {
+			r.PostMortem = &ficPostMortem{
+				Compartment: pm.Compartment.String(),
+				Op:          pm.Op,
+				Cycle:       pm.Cycle,
+				Hart:        pm.Hart,
+				Epoch:       pm.Epoch,
+				Salvage:     pm.Salvage,
+			}
+			if pm.Cause != nil {
+				r.PostMortem.Cause = pm.Cause.Error()
+			}
+		}
+		out.Results = append(out.Results, r)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"zion/internal/asm"
 	"zion/internal/sm"
@@ -49,11 +50,52 @@ type CampaignConfig struct {
 	Bystanders int
 	// Quantum is the scheduler timeslice in cycles (default 20000).
 	Quantum uint64
-	// Classes restricts the swept fault classes (default: all).
+	// Classes restricts the swept fault classes (default: every per-CVM
+	// class; compartment-compromise classes must be asked for explicitly
+	// or driven through RunCompromise, because one injection quarantines
+	// an SM compartment for the rest of the campaign).
 	Classes []Class
+	// FaultTimeout is the wall-clock deadline for one injected fault. A
+	// fault that wedges the simulation (hung compartment, livelocked
+	// injection) fails the campaign with a diagnostic naming the fault
+	// instead of hanging the caller. Zero means the 30 s default;
+	// negative disables the deadline.
+	FaultTimeout time.Duration
 	// Telemetry, when set, receives campaign outcome counters
 	// (fi/class_*, fi/outcome_*, quarantines, leaked blocks, ...).
 	Telemetry *telemetry.Scope
+}
+
+// defaultFaultTimeout bounds one injected fault's wall-clock time.
+const defaultFaultTimeout = 30 * time.Second
+
+// runWithDeadline runs fn under a wall-clock deadline, failing with a
+// diagnostic instead of wedging the campaign when the injected fault
+// hangs. The stranded goroutine cannot be cancelled (the simulator has no
+// preemption points), but the campaign fails cleanly and the process can
+// report which fault wedged. d <= 0 disables the deadline.
+func runWithDeadline[T any](d time.Duration, what string, fn func() (T, error)) (T, error) {
+	if d <= 0 {
+		return fn()
+	}
+	type res struct {
+		out T
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, err := fn()
+		ch <- res{out, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-timer.C:
+		var zero T
+		return zero, fmt.Errorf("faultinject: %s exceeded the %v fault deadline (injection wedged)", what, d)
+	}
 }
 
 // Report summarizes a completed campaign.
@@ -130,10 +172,20 @@ func Run(cfg CampaignConfig) (*Report, error) {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = 20_000
 	}
+	if cfg.FaultTimeout == 0 {
+		cfg.FaultTimeout = defaultFaultTimeout
+	}
 	classes := cfg.Classes
 	if len(classes) == 0 {
-		for c := Class(0); c < numClasses; c++ {
+		for c := Class(0); c < numSweepClasses; c++ {
 			classes = append(classes, c)
+		}
+	}
+	for _, c := range classes {
+		if c >= numSweepClasses && c < numClasses {
+			// One injection quarantines an SM compartment for the rest of
+			// the monitor's life, so these classes cannot be swept.
+			return nil, fmt.Errorf("faultinject: class %v compromises a monitor compartment (one-shot); drive it with RunCompromise", c)
 		}
 	}
 	in, err := NewInjector(cfg.Seed, cfg.Quantum)
@@ -165,7 +217,8 @@ func Run(cfg CampaignConfig) (*Report, error) {
 
 	for i := 0; i < cfg.Faults; i++ {
 		class := classes[in.rng.Intn(len(classes))]
-		out, err := in.Inject(class)
+		out, err := runWithDeadline(cfg.FaultTimeout, fmt.Sprintf("fault %d (%v)", i, class),
+			func() (Outcome, error) { return in.Inject(class) })
 		if err != nil {
 			return nil, fmt.Errorf("faultinject: fault %d (%v): %w", i, class, err)
 		}

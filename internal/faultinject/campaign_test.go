@@ -74,10 +74,12 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
-// TestSingleClassCampaigns runs a small campaign per class so a
-// regression in one injector is attributed directly.
+// TestSingleClassCampaigns runs a small campaign per sweepable class so
+// a regression in one injector is attributed directly. The
+// compartment-compromise classes are one-shot per monitor and covered by
+// the RunCompromise tests instead.
 func TestSingleClassCampaigns(t *testing.T) {
-	for c := Class(0); c < numClasses; c++ {
+	for c := Class(0); c < numSweepClasses; c++ {
 		c := c
 		t.Run(c.String(), func(t *testing.T) {
 			rep, err := Run(CampaignConfig{Seed: 7, Faults: 30, Classes: []Class{c}})

@@ -1,0 +1,468 @@
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"zion/internal/sm"
+	"zion/internal/telemetry"
+)
+
+// Compartment-compromise campaigns prove the Secure Monitor's blast-radius
+// contract: corrupting one compartment's state quarantines THAT compartment
+// with a post-mortem record, sibling compartments keep serving, CVMs that do
+// not depend on the lost compartment complete bit-identically to a
+// fault-free run, and the cross-layer invariant auditor stays clean on every
+// surviving compartment. Each scenario boots a fresh monitor (a compartment
+// quarantine is permanent for the monitor's life), runs a fault-free
+// reference first, then replays the identical schedule with the compromise
+// injected and compares the bystanders' execution traces bit for bit.
+
+// CompromiseScenario names one compartment-compromise experiment.
+type CompromiseScenario struct {
+	Name  string
+	Class Class
+	// Target is the compartment the fault lands in (sm.CompHost for the
+	// gate-fuzz negative control, which must quarantine nothing).
+	Target sm.Compartment
+	// ExpectRuns reports whether bystanders still complete under the
+	// compromise. Only losing the world switch stalls them — by design,
+	// every mid-run CVM depends on it; the blast radius is then "runs
+	// refused, teardown drains", not corruption.
+	ExpectRuns bool
+}
+
+// CompromiseScenarios is the standard campaign matrix: each compartment
+// compromised in turn, plus the gate-fuzz negative control.
+func CompromiseScenarios() []CompromiseScenario {
+	return []CompromiseScenario{
+		{Name: "alloc-corrupt", Class: ClassAllocCorrupt, Target: sm.CompAlloc, ExpectRuns: true},
+		{Name: "attest-smash", Class: ClassAttestSmash, Target: sm.CompAttest, ExpectRuns: true},
+		{Name: "lifecycle-hang", Class: ClassCompHang, Target: sm.CompLifecycle, ExpectRuns: true},
+		{Name: "switch-hang", Class: ClassCompHang, Target: sm.CompSwitch, ExpectRuns: false},
+		{Name: "gate-fuzz", Class: ClassGateFuzz, Target: sm.CompHost, ExpectRuns: true},
+	}
+}
+
+// ScenarioByName finds a scenario in the standard matrix.
+func ScenarioByName(name string) (CompromiseScenario, bool) {
+	for _, sc := range CompromiseScenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return CompromiseScenario{}, false
+}
+
+// CompromiseConfig parameterizes a compartment-compromise campaign.
+type CompromiseConfig struct {
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Bystanders is the number of co-resident CVMs parked mid-run across
+	// the compromise (default 2).
+	Bystanders int
+	// Quantum is the scheduler timeslice in cycles (default 20000).
+	Quantum uint64
+	// Scenarios restricts the matrix (default: CompromiseScenarios()).
+	Scenarios []CompromiseScenario
+	// FaultTimeout bounds one scenario's wall-clock time (default 30 s;
+	// negative disables), so a hung compartment fails the campaign with a
+	// diagnostic instead of wedging it.
+	FaultTimeout time.Duration
+	// Telemetry, when set, receives fic/* outcome counters.
+	Telemetry *telemetry.Scope
+}
+
+// CompromiseResult is one scenario's verdict.
+type CompromiseResult struct {
+	Scenario    string
+	Class       Class
+	Target      sm.Compartment
+	OK          bool
+	Detail      string // first failed assertion ("" when OK)
+	Quarantined bool
+	PostMortem  *sm.CompartmentRecord
+	// BitIdentical reports the bystanders' faulted-run execution traces
+	// (exit reasons, shutdown values, per-round cycle deltas) matched the
+	// fault-free reference exactly. Meaningful only when the scenario
+	// expects runs to complete.
+	BitIdentical bool
+	// GateDenied is how many crossings the target's gate refused after
+	// the quarantine (degraded-mode pressure observed).
+	GateDenied uint64
+	// SurvivorFindings are invariant-audit findings scoped to a SURVIVING
+	// compartment (must be empty; findings scoped to the quarantined
+	// compartment are tolerated until repair).
+	SurvivorFindings []sm.AuditFinding
+	LeakedBlocks     int
+}
+
+// CompromiseReport summarizes a compromise campaign.
+type CompromiseReport struct {
+	Seed    int64
+	Results []CompromiseResult
+}
+
+// Survived reports whether every scenario met its blast-radius contract.
+func (r *CompromiseReport) Survived() bool {
+	if len(r.Results) == 0 {
+		return false
+	}
+	for _, res := range r.Results {
+		if !res.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the campaign as a small table.
+func (r *CompromiseReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compromise campaign seed %d: %d scenarios\n", r.Seed, len(r.Results))
+	for _, res := range r.Results {
+		status := "ok"
+		if !res.OK {
+			status = "FAIL: " + res.Detail
+		}
+		ident := "-"
+		if res.Quarantined {
+			ident = fmt.Sprintf("bit-identical=%v", res.BitIdentical)
+		}
+		fmt.Fprintf(&b, "  %-14s target=%-9v quarantined=%-5v %-20s denied=%-3d survivor-findings=%d leaked=%d  %s\n",
+			res.Scenario, res.Target, res.Quarantined, ident, res.GateDenied,
+			len(res.SurvivorFindings), res.LeakedBlocks, status)
+	}
+	fmt.Fprintf(&b, "  survived=%v", r.Survived())
+	return b.String()
+}
+
+// exitEvent is one observed bystander exit: the reason, the shutdown data
+// (zero otherwise), and the hart cycles the round consumed. Quanta are
+// armed relative to entry, so these deltas are invariant to host-side work
+// between rounds — the faulted run must reproduce them bit for bit.
+type exitEvent struct {
+	reason sm.ExitReason
+	data   uint64
+	cycles uint64
+}
+
+// traceBystander drives one bystander to completion, recording its exit
+// stream. It mirrors drive() but preserves the evidence instead of
+// classifying, and destroys the CVM at shutdown.
+func (in *Injector) traceBystander(id int, want uint64) ([]exitEvent, error) {
+	var trace []exitEvent
+	for round := 0; round < bystanderCap; round++ {
+		start := in.h.Cycles
+		info, err := in.s.RunVCPU(in.h, id, 0)
+		if err != nil {
+			return trace, fmt.Errorf("bystander %d run: %w", id, err)
+		}
+		trace = append(trace, exitEvent{info.Reason, info.Data, in.h.Cycles - start})
+		switch info.Reason {
+		case sm.ExitShutdown:
+			if derr := in.destroy(id); derr != nil {
+				return trace, derr
+			}
+			if info.Data != want {
+				return trace, fmt.Errorf("bystander %d checksum %#x, want %#x", id, info.Data, want)
+			}
+			return trace, nil
+		case sm.ExitTimer:
+		case sm.ExitMMIORead:
+			sh := in.sharedOf[id]
+			if err := in.m.RAM.WriteUint64(sh+sm.ShvData, 0); err != nil {
+				return trace, err
+			}
+		case sm.ExitMMIOWrite:
+		default:
+			return trace, fmt.Errorf("bystander %d unexpected exit %v", id, info.Reason)
+		}
+	}
+	return trace, fmt.Errorf("bystander %d never completed", id)
+}
+
+// tracesEqual compares two per-bystander exit streams bit for bit.
+func tracesEqual(a, b [][]exitEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bystanderWorkload derives bystander i's checksum size. Fixed (not drawn
+// from the campaign rng) so the reference and faulted runs stay aligned.
+func bystanderWorkload(i int) uint64 { return uint64(30_000 + 1_000*i) }
+
+// compromiseRun boots a fresh monitor, parks bystanders mid-run, applies
+// inject between park and drain (nil for the reference run), then drains
+// every bystander and returns their traces.
+func compromiseRun(cfg CompromiseConfig, inject func(*Injector, *CompromiseResult) error,
+	res *CompromiseResult) (*Injector, [][]exitEvent, error) {
+	in, err := NewInjector(cfg.Seed, cfg.Quantum)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]int, cfg.Bystanders)
+	for i := range ids {
+		id, err := in.spawn(checksumProgram(bystanderWorkload(i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		ids[i] = id
+		for q := 0; q < 2; q++ {
+			info, err := in.s.RunVCPU(in.h, id, 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bystander warmup: %w", err)
+			}
+			if info.Reason != sm.ExitTimer {
+				return nil, nil, fmt.Errorf("bystander finished during warmup (%v); raise its workload", info.Reason)
+			}
+		}
+	}
+	if inject != nil {
+		if err := inject(in, res); err != nil {
+			return in, nil, err
+		}
+	}
+	traces := make([][]exitEvent, len(ids))
+	for i, id := range ids {
+		tr, err := in.traceBystander(id, bystanderWorkload(i)*(bystanderWorkload(i)+1)/2)
+		traces[i] = tr
+		if err != nil {
+			return in, traces, err
+		}
+	}
+	return in, traces, nil
+}
+
+// compromiseInject applies one scenario's fault and triggers its
+// detection, asserting the immediate contract (typed refusal, quarantine,
+// post-mortem). The degraded-mode and blast-radius assertions run later,
+// against the drained bystanders.
+func compromiseInject(sc CompromiseScenario) func(*Injector, *CompromiseResult) error {
+	return func(in *Injector, res *CompromiseResult) error {
+		switch sc.Name {
+		case "alloc-corrupt":
+			if _, ok := in.s.CorruptAllocMeta(uint64(in.rng.Int63())); !ok {
+				return fmt.Errorf("no free block to corrupt")
+			}
+			_, cerr := in.s.HVCall(in.h, sm.FnCreateCVM)
+			if err := in.expectCompartmentDown(sm.CompAlloc, cerr); err != nil {
+				return err
+			}
+			if rec, _ := in.s.CompartmentRecordOf(sm.CompAlloc); rec.Salvage == "" {
+				return fmt.Errorf("allocator quarantined without salvaging its free list")
+			}
+		case "attest-smash":
+			in.s.CorruptAttestKey(uint(in.rng.Intn(1024)))
+			_, berr := in.s.BuildReport(0, 1)
+			if err := in.expectCompartmentDown(sm.CompAttest, berr); err != nil {
+				return err
+			}
+			if _, cerr := in.s.HVCall(in.h, sm.FnCreateCVM); cerr == nil {
+				return fmt.Errorf("create accepted with attestation down")
+			}
+		case "lifecycle-hang":
+			target := sm.CompLifecycle
+			in.hangTarget = &target
+			_, cerr := in.s.HVCall(in.h, sm.FnCreateCVM)
+			if err := in.expectCompartmentDown(sm.CompLifecycle, cerr); err != nil {
+				return err
+			}
+		case "switch-hang":
+			target := sm.CompSwitch
+			in.hangTarget = &target
+			_, rerr := in.s.RunVCPU(in.h, 0, 0) // id validated behind the gate
+			if err := in.expectCompartmentDown(sm.CompSwitch, rerr); err != nil {
+				return err
+			}
+		case "gate-fuzz":
+			for i := 0; i < 32; i++ {
+				from := int64(in.rng.Intn(12)) - 4
+				to := int64(in.rng.Intn(12)) - 4
+				err := in.s.GateProbe(in.h, from, to, "fuzz")
+				if err == nil {
+					continue
+				}
+				if _, ok := sm.AsSMError(err); !ok {
+					return fmt.Errorf("untyped gate rejection for (%d,%d): %v", from, to, err)
+				}
+			}
+		default:
+			return fmt.Errorf("unknown scenario %q", sc.Name)
+		}
+		if sc.Target != sm.CompHost {
+			res.Quarantined = in.s.CompartmentDown(sc.Target)
+			res.PostMortem, _ = in.s.CompartmentRecordOf(sc.Target)
+		}
+		return nil
+	}
+}
+
+// survivorFindings filters an audit to findings scoped to compartments
+// OTHER than the quarantined one: those must be empty for the campaign to
+// pass; the lost compartment may carry findings until repair.
+func survivorFindings(findings []sm.AuditFinding, lost sm.Compartment) []sm.AuditFinding {
+	var out []sm.AuditFinding
+	for _, f := range findings {
+		if f.Scope() != lost {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runScenario executes one compromise scenario end to end: fault-free
+// reference, faulted replay, blast-radius assertions.
+func runScenario(cfg CompromiseConfig, sc CompromiseScenario) CompromiseResult {
+	res := CompromiseResult{Scenario: sc.Name, Class: sc.Class, Target: sc.Target}
+	fail := func(format string, args ...any) CompromiseResult {
+		res.OK = false
+		res.Detail = fmt.Sprintf(format, args...)
+		return res
+	}
+
+	_, ref, err := compromiseRun(cfg, nil, &res)
+	if err != nil {
+		return fail("reference run: %v", err)
+	}
+
+	if !sc.ExpectRuns {
+		// Losing the world switch stalls every mid-run CVM by design. The
+		// contract is: runs refused with a typed error, forced teardown
+		// drains every bystander, nothing leaks, survivors audit clean.
+		in, err := NewInjector(cfg.Seed, cfg.Quantum)
+		if err != nil {
+			return fail("faulted run: %v", err)
+		}
+		ids := make([]int, cfg.Bystanders)
+		for i := range ids {
+			id, serr := in.spawn(checksumProgram(bystanderWorkload(i)))
+			if serr != nil {
+				return fail("faulted run spawn: %v", serr)
+			}
+			ids[i] = id
+		}
+		if err := compromiseInject(sc)(in, &res); err != nil {
+			return fail("inject: %v", err)
+		}
+		for _, id := range ids {
+			if _, rerr := in.s.RunVCPU(in.h, id, 0); rerr == nil {
+				return fail("run accepted with the world switch down")
+			} else if e, ok := sm.AsSMError(rerr); !ok || e.Code != sm.CodeCompartment {
+				return fail("untyped run refusal: %v", rerr)
+			}
+			if derr := in.destroy(id); derr != nil {
+				return fail("teardown with switch down: %v", derr)
+			}
+		}
+		_, res.GateDenied = in.s.GateStats(sc.Target)
+		res.LeakedBlocks = in.s.PoolTotalBlocks() - in.s.PoolFreeBlocks()
+		res.SurvivorFindings = survivorFindings(in.s.Audit(), sc.Target)
+		res.BitIdentical = true // vacuous: no runs were expected
+		if res.LeakedBlocks != 0 {
+			return fail("%d secure blocks leaked through forced teardown", res.LeakedBlocks)
+		}
+		if len(res.SurvivorFindings) != 0 {
+			return fail("surviving compartments not audit-clean: %v", res.SurvivorFindings)
+		}
+		res.OK = true
+		return res
+	}
+
+	in, got, err := compromiseRun(cfg, compromiseInject(sc), &res)
+	if err != nil {
+		return fail("faulted run: %v", err)
+	}
+	res.BitIdentical = tracesEqual(ref, got)
+	if sc.Target != sm.CompHost {
+		_, res.GateDenied = in.s.GateStats(sc.Target)
+	}
+	res.LeakedBlocks = in.s.PoolTotalBlocks() - in.s.PoolFreeBlocks()
+	lost := sc.Target
+	if sc.Target == sm.CompHost {
+		lost = sm.Compartment(-2) // negative control: nothing may be lost
+	}
+	res.SurvivorFindings = survivorFindings(in.s.Audit(), lost)
+
+	if sc.Target == sm.CompHost {
+		for c := sm.Compartment(0); c < sm.NumCompartments; c++ {
+			if in.s.CompartmentDown(c) {
+				return fail("negative control quarantined %v", c)
+			}
+		}
+	} else if !res.Quarantined || res.PostMortem == nil {
+		return fail("%v not quarantined with a post-mortem", sc.Target)
+	}
+	if !res.BitIdentical {
+		return fail("bystander traces diverged from the fault-free reference")
+	}
+	if res.LeakedBlocks != 0 {
+		return fail("%d secure blocks leaked", res.LeakedBlocks)
+	}
+	if len(res.SurvivorFindings) != 0 {
+		return fail("surviving compartments not audit-clean: %v", res.SurvivorFindings)
+	}
+	res.OK = true
+	return res
+}
+
+// RunCompromise executes the compartment-compromise campaign: for each
+// scenario it boots a fresh monitor, compromises one compartment, and
+// asserts the blast-radius contract against a fault-free reference run.
+func RunCompromise(cfg CompromiseConfig) (*CompromiseReport, error) {
+	if cfg.Bystanders <= 0 {
+		cfg.Bystanders = 2
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 20_000
+	}
+	if cfg.FaultTimeout == 0 {
+		cfg.FaultTimeout = defaultFaultTimeout
+	}
+	scenarios := cfg.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = CompromiseScenarios()
+	}
+	rep := &CompromiseReport{Seed: cfg.Seed}
+	for _, sc := range scenarios {
+		res, err := runWithDeadline(cfg.FaultTimeout, fmt.Sprintf("scenario %s", sc.Name),
+			func() (CompromiseResult, error) { return runScenario(cfg, sc), nil })
+		if err != nil {
+			// The scenario wedged: record the deadline diagnostic as a
+			// failed result so the campaign report names the culprit.
+			res = CompromiseResult{Scenario: sc.Name, Class: sc.Class,
+				Target: sc.Target, OK: false, Detail: err.Error()}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	rep.publishCompromise(cfg.Telemetry)
+	return rep, nil
+}
+
+// publishCompromise mirrors the report into a telemetry scope. Nil-safe.
+func (r *CompromiseReport) publishCompromise(tel *telemetry.Scope) {
+	if tel == nil {
+		return
+	}
+	for _, res := range r.Results {
+		ok := uint64(0)
+		if res.OK {
+			ok = 1
+		}
+		tel.Gauge("fic/" + res.Scenario + "_ok").Set(ok)
+		tel.Counter("fic/" + res.Scenario + "_gate_denied").Add(res.GateDenied)
+	}
+}

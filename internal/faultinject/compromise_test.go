@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompromiseCampaign is the blast-radius acceptance gate: each
+// compartment compromised in turn must be quarantined with a post-mortem,
+// bystander CVMs must complete bit-identically to a fault-free reference
+// (or, for the world switch, be refused with a typed error and drain
+// through forced teardown), and the invariant auditor must stay clean on
+// every surviving compartment.
+func TestCompromiseCampaign(t *testing.T) {
+	rep, err := RunCompromise(CompromiseConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if len(rep.Results) != len(CompromiseScenarios()) {
+		t.Fatalf("scenarios run = %d, want %d", len(rep.Results), len(CompromiseScenarios()))
+	}
+	for _, res := range rep.Results {
+		if !res.OK {
+			t.Errorf("%s: %s", res.Scenario, res.Detail)
+			continue
+		}
+		if res.Scenario == "gate-fuzz" {
+			if res.Quarantined {
+				t.Errorf("gate-fuzz (negative control) quarantined %v", res.Target)
+			}
+			continue
+		}
+		if !res.Quarantined || res.PostMortem == nil {
+			t.Errorf("%s: %v not quarantined with a post-mortem", res.Scenario, res.Target)
+			continue
+		}
+		if res.PostMortem.Compartment != res.Target {
+			t.Errorf("%s: post-mortem names %v, want %v",
+				res.Scenario, res.PostMortem.Compartment, res.Target)
+		}
+		if res.PostMortem.Cause == nil || res.PostMortem.Op == "" {
+			t.Errorf("%s: post-mortem missing cause/op: %+v", res.Scenario, res.PostMortem)
+		}
+		if res.Scenario == "alloc-corrupt" && res.PostMortem.Salvage == "" {
+			t.Errorf("alloc-corrupt: no salvage recorded in post-mortem")
+		}
+	}
+	if !rep.Survived() {
+		t.Error("compromise campaign not survived")
+	}
+}
+
+// TestCompromiseDeterminism re-runs the campaign under the same seed and
+// requires identical verdicts and gate-denial counts.
+func TestCompromiseDeterminism(t *testing.T) {
+	a, err := RunCompromise(CompromiseConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCompromise(CompromiseConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts diverged: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.OK != rb.OK || ra.BitIdentical != rb.BitIdentical || ra.GateDenied != rb.GateDenied {
+			t.Errorf("%s diverged: %+v vs %+v", ra.Scenario, ra, rb)
+		}
+	}
+}
+
+// TestCampaignRejectsCompromiseClasses: Run must refuse one-shot
+// compartment-compromise classes with a diagnostic pointing at
+// RunCompromise instead of sweeping them into a wedged campaign.
+func TestCampaignRejectsCompromiseClasses(t *testing.T) {
+	for _, c := range []Class{ClassAllocCorrupt, ClassAttestSmash, ClassGateFuzz, ClassCompHang} {
+		_, err := Run(CampaignConfig{Seed: 1, Faults: 5, Classes: []Class{c}})
+		if err == nil {
+			t.Errorf("Run accepted one-shot class %v", c)
+			continue
+		}
+		if !strings.Contains(err.Error(), "RunCompromise") {
+			t.Errorf("Run(%v) diagnostic does not name RunCompromise: %v", c, err)
+		}
+	}
+}
+
+// TestSingleShotCompromiseInjections drives each compromise class once
+// through the plain Inject seam (fresh injector per class), the form
+// zionbench's -ficlass uses.
+func TestSingleShotCompromiseInjections(t *testing.T) {
+	for _, c := range []Class{ClassAllocCorrupt, ClassAttestSmash, ClassGateFuzz, ClassCompHang} {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			in, err := NewInjector(7, 20_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := in.Inject(c)
+			if err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+			switch c {
+			case ClassGateFuzz:
+				if out != OutcomeDenied {
+					t.Errorf("outcome = %v, want denied", out)
+				}
+			default:
+				if out != OutcomeQuarantined {
+					t.Errorf("outcome = %v, want quarantined", out)
+				}
+			}
+		})
+	}
+}

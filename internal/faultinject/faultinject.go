@@ -60,7 +60,39 @@ const (
 	// Check-after-Load validation must detect it and quarantine the CVM.
 	ClassSharedTamper
 
+	// Compartment-compromise classes. These corrupt the monitor's OWN
+	// state rather than a CVM's, so a single injection permanently
+	// quarantines one SM compartment for the injector's lifetime. They
+	// are excluded from Run's random sweep (numSweepClasses) and driven
+	// by RunCompromise, which boots a fresh monitor per scenario.
+
+	// ClassAllocCorrupt flips allocator free-list metadata (a block's free
+	// counter or page bitmap); the next gate crossing into the allocator
+	// compartment must fail its integrity self-check, quarantine the
+	// compartment with a salvage record, and refuse new memory while
+	// give-backs still drain.
+	ClassAllocCorrupt
+	// ClassAttestSmash flips a bit of the platform attestation key; the
+	// next crossing into the attest compartment must fail the key-digest
+	// self-check and quarantine it — creates and reports are refused with
+	// a typed error while existing CVMs keep running and tearing down.
+	ClassAttestSmash
+	// ClassGateFuzz drives raw gate crossings with unvalidated (from, to)
+	// pairs; every illegal crossing must be rejected with a typed
+	// recoverable error and no compartment may be quarantined (negative
+	// control for the gate's argument validation).
+	ClassGateFuzz
+	// ClassCompHang burns a compartment's gate-watchdog cycle budget in
+	// its crossing prologue; the gate must declare the compartment hung
+	// and quarantine it instead of wedging the platform.
+	ClassCompHang
+
 	numClasses
+
+	// numSweepClasses bounds Run's random sweep to the per-CVM fault
+	// classes; compartment-compromise classes are one-shot per monitor
+	// and belong to RunCompromise.
+	numSweepClasses = ClassAllocCorrupt
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +110,14 @@ func (c Class) String() string {
 		return "protocol-violation"
 	case ClassSharedTamper:
 		return "shared-tamper"
+	case ClassAllocCorrupt:
+		return "alloc-corrupt"
+	case ClassAttestSmash:
+		return "attest-smash"
+	case ClassGateFuzz:
+		return "gate-fuzz"
+	case ClassCompHang:
+		return "comp-hang"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
@@ -167,6 +207,11 @@ type Injector struct {
 	// interrupt on each of the next stormSteps instruction steps.
 	stormSteps int
 
+	// hangTarget, when set, makes the GateHook burn the gate-watchdog
+	// budget on the next crossing into that compartment (one-shot): the
+	// compartment-hang fault.
+	hangTarget *sm.Compartment
+
 	// sharedOf maps a live CVM id to its shared-vCPU page; sharedFree
 	// recycles pages of destroyed CVMs, sharedNext bump-allocates.
 	sharedOf   map[int]uint64
@@ -188,6 +233,7 @@ func NewInjector(seed int64, quantum uint64) (*Injector, error) {
 		SchedQuantum:   quantum,
 		AuditLifecycle: true,
 		StepHook:       in.step,
+		GateHook:       in.gateHook,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("faultinject: %w", err)
@@ -214,6 +260,22 @@ func (in *Injector) step(h *hart.Hart, vcpu int) {
 	in.stormSteps--
 	h.SetCSR(isa.CSRMie, h.CSR(isa.CSRMie)|1<<isa.IntMSoft)
 	h.SetPending(isa.IntMSoft)
+}
+
+// hangCycles is what the hang fault burns inside a gate prologue —
+// comfortably past the default watchdog budget, so the gate must declare
+// the compartment hung rather than wait it out.
+const hangCycles = 2_500_000
+
+// gateHook is the SM's GateHook: while a hang is armed for the crossed
+// compartment it burns the watchdog budget in the crossing prologue
+// (one-shot), modeling a compartment that wedges instead of faulting.
+func (in *Injector) gateHook(to sm.Compartment, op string, h *hart.Hart) {
+	if in.hangTarget == nil || *in.hangTarget != to {
+		return
+	}
+	in.hangTarget = nil
+	h.Advance(hangCycles)
 }
 
 // allocShared hands out a shared-vCPU page in normal memory.
@@ -354,8 +416,172 @@ func (in *Injector) Inject(class Class) (Outcome, error) {
 		return in.injectProtocolViolation()
 	case ClassSharedTamper:
 		return in.injectSharedTamper()
+	case ClassAllocCorrupt:
+		return in.injectAllocCorrupt()
+	case ClassAttestSmash:
+		return in.injectAttestSmash()
+	case ClassGateFuzz:
+		return in.injectGateFuzz()
+	case ClassCompHang:
+		return in.injectCompHang()
 	}
 	return 0, fmt.Errorf("faultinject: unknown class %v", class)
+}
+
+// expectCompartmentDown asserts that compartment comp was quarantined
+// with a post-mortem record and that err is the typed compartment
+// refusal. It returns a non-nil diagnostic on any miss.
+func (in *Injector) expectCompartmentDown(comp sm.Compartment, err error) error {
+	if err == nil {
+		return fmt.Errorf("faultinject: %v compromise went undetected (call succeeded)", comp)
+	}
+	if e, ok := sm.AsSMError(err); !ok || e.Code != sm.CodeCompartment {
+		return fmt.Errorf("faultinject: untyped refusal after %v loss: %v", comp, err)
+	}
+	if !in.s.CompartmentDown(comp) {
+		return fmt.Errorf("faultinject: %v refused calls but is not quarantined", comp)
+	}
+	if rec, ok := in.s.CompartmentRecordOf(comp); !ok || rec == nil || rec.Cause == nil {
+		return fmt.Errorf("faultinject: %v quarantined without a post-mortem record", comp)
+	}
+	return nil
+}
+
+// injectAllocCorrupt spawns a register-only victim, flips allocator
+// free-list metadata, and proves the blast radius: the next allocator
+// crossing quarantines the compartment (with a salvage record), new
+// creates are refused with a typed error, and the already-running victim
+// finishes with the right checksum and tears down through the forced
+// give-back path.
+func (in *Injector) injectAllocCorrupt() (Outcome, error) {
+	n := uint64(100 + in.rng.Intn(100))
+	id, err := in.spawn(checksumProgram(n))
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := in.s.CorruptAllocMeta(uint64(in.rng.Int63())); !ok {
+		// No free block left to target: nothing was injected.
+		if derr := in.destroy(id); derr != nil {
+			return 0, derr
+		}
+		return OutcomeMasked, nil
+	}
+	_, cerr := in.s.HVCall(in.h, sm.FnCreateCVM)
+	if err := in.expectCompartmentDown(sm.CompAlloc, cerr); err != nil {
+		return OutcomeMissed, err
+	}
+	rec, _ := in.s.CompartmentRecordOf(sm.CompAlloc)
+	if rec.Salvage == "" {
+		return OutcomeMissed, fmt.Errorf("faultinject: allocator quarantined without salvaging its free list")
+	}
+	out, err := in.drive(id, n*(n+1)/2, victimCap)
+	if err != nil {
+		return 0, err
+	}
+	if out != OutcomeMasked {
+		return OutcomeBreach, fmt.Errorf("faultinject: allocator loss perturbed a running CVM: %v", out)
+	}
+	return OutcomeQuarantined, nil
+}
+
+// injectAttestSmash flips a platform-key bit and proves the degraded-mode
+// contract: the attest compartment quarantines on its next crossing,
+// creates and out-of-band reports are refused with a typed error, and the
+// already-running victim still finishes and tears down.
+func (in *Injector) injectAttestSmash() (Outcome, error) {
+	n := uint64(100 + in.rng.Intn(100))
+	id, err := in.spawn(checksumProgram(n))
+	if err != nil {
+		return 0, err
+	}
+	in.s.CorruptAttestKey(uint(in.rng.Intn(1024)))
+	_, berr := in.s.BuildReport(id, in.rng.Uint64())
+	if err := in.expectCompartmentDown(sm.CompAttest, berr); err != nil {
+		return OutcomeMissed, err
+	}
+	// Degraded mode: a CVM cannot be born without its measurement.
+	if _, cerr := in.s.HVCall(in.h, sm.FnCreateCVM); cerr == nil {
+		return OutcomeBreach, fmt.Errorf("faultinject: create accepted with attestation down")
+	}
+	out, err := in.drive(id, n*(n+1)/2, victimCap)
+	if err != nil {
+		return 0, err
+	}
+	if out != OutcomeMasked {
+		return OutcomeBreach, fmt.Errorf("faultinject: attestation loss perturbed a running CVM: %v", out)
+	}
+	return OutcomeQuarantined, nil
+}
+
+// injectGateFuzz drives raw gate crossings with random (often illegal)
+// compartment pairs. Every rejection must be typed and no compartment may
+// be quarantined: argument fuzzing is the gate's negative control.
+func (in *Injector) injectGateFuzz() (Outcome, error) {
+	for i := 0; i < 16; i++ {
+		from := int64(in.rng.Intn(12)) - 4 // well outside [-1, NumCompartments)
+		to := int64(in.rng.Intn(12)) - 4
+		err := in.s.GateProbe(in.h, from, to, "fuzz")
+		if err == nil {
+			continue // a legal crossing: validation happens behind the gate
+		}
+		if _, ok := sm.AsSMError(err); !ok {
+			return OutcomeBreach, fmt.Errorf("faultinject: untyped gate rejection for (%d,%d): %v", from, to, err)
+		}
+	}
+	for c := sm.Compartment(0); c < sm.NumCompartments; c++ {
+		if in.s.CompartmentDown(c) {
+			return OutcomeBreach, fmt.Errorf("faultinject: gate fuzz quarantined %v", c)
+		}
+	}
+	return OutcomeDenied, nil
+}
+
+// injectCompHang wedges a compartment in its gate prologue (lifecycle or
+// the world switch, the two compartments with distinct degraded modes)
+// and proves the watchdog quarantines it instead of hanging the platform,
+// while the other compartment's services keep working.
+func (in *Injector) injectCompHang() (Outcome, error) {
+	n := uint64(100 + in.rng.Intn(100))
+	id, err := in.spawn(checksumProgram(n))
+	if err != nil {
+		return 0, err
+	}
+	if in.rng.Intn(2) == 0 {
+		// Hang lifecycle: the next create wedges mid-gate and the watchdog
+		// quarantines the compartment. Runs (world switch) and teardown
+		// (forced) keep working.
+		target := sm.CompLifecycle
+		in.hangTarget = &target
+		_, cerr := in.s.HVCall(in.h, sm.FnCreateCVM)
+		if err := in.expectCompartmentDown(sm.CompLifecycle, cerr); err != nil {
+			return OutcomeMissed, err
+		}
+		out, err := in.drive(id, n*(n+1)/2, victimCap)
+		if err != nil {
+			return 0, err
+		}
+		if out != OutcomeMasked {
+			return OutcomeBreach, fmt.Errorf("faultinject: lifecycle hang perturbed a running CVM: %v", out)
+		}
+		return OutcomeQuarantined, nil
+	}
+	// Hang the world switch: the next run wedges mid-gate, the watchdog
+	// quarantines the compartment, and every further run is refused with
+	// a typed error — but lifecycle still works: the victim (which can no
+	// longer execute) tears down cleanly.
+	target := sm.CompSwitch
+	in.hangTarget = &target
+	_, rerr := in.s.RunVCPU(in.h, id, 0)
+	if err := in.expectCompartmentDown(sm.CompSwitch, rerr); err != nil {
+		return OutcomeMissed, err
+	}
+	if _, rerr := in.s.RunVCPU(in.h, id, 0); rerr == nil {
+		return OutcomeBreach, fmt.Errorf("faultinject: run accepted with the world switch down")
+	}
+	if derr := in.destroy(id); derr != nil {
+		return OutcomeBreach, fmt.Errorf("faultinject: teardown failed with the world switch down: %v", derr)
+	}
+	return OutcomeQuarantined, nil
 }
 
 // injectBitFlip spawns a checksum victim, flips one bit in one of its

@@ -55,6 +55,7 @@ type Costs struct {
 	SecHVHopExit   uint64 // long-path baseline: secure-hypervisor exit leg
 	MMIODecode     uint64 // SM-side htinst decode + exit-record build
 	GuestFaultFix  uint64 // guest kernel demand-page bookkeeping
+	GateCross      uint64 // SM compartment call-gate crossing (check + audit)
 
 	// World-switch path pads: fixed software-path lengths of the SM's
 	// entry/exit sequences beyond the individually modeled operations
@@ -106,6 +107,7 @@ func DefaultCosts() *Costs {
 		SecHVHopExit:   2978,
 		MMIODecode:     118,
 		GuestFaultFix:  300,
+		GateCross:      52,
 
 		CVMEntryPad: 3059,
 		CVMExitPad:  1400,

@@ -16,6 +16,12 @@ import (
 type Scheduler struct {
 	k     *Hypervisor
 	queue []*schedEntry
+
+	// DegradedRefusals counts confidential slices the SM refused with a
+	// typed compartment-quarantine error (sm.CodeCompartment): the monitor
+	// is running degraded and the scheduler retired the entry — the fleet
+	// keeps running on the surviving compartments.
+	DegradedRefusals uint64
 }
 
 type schedEntry struct {
@@ -73,6 +79,10 @@ func (s *Scheduler) RunAll(h *hart.Hart) ([]VMResult, error) {
 					// running. Only platform-fatal failures abort the fleet.
 					if smerr, ok := sm.AsSMError(err); ok && smerr.Severity == sm.SevFatalPlatform {
 						return nil, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
+					}
+					if smerr, ok := sm.AsSMError(err); ok && smerr.Code == sm.CodeCompartment {
+						s.DegradedRefusals++
+						s.k.Tel.Counter("hv/degraded_refusals").Inc()
 					}
 					e.done, e.err = true, fmt.Errorf("hv: %s/%d: %w", e.vm.Name, e.vcpu, err)
 					remaining--

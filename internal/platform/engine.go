@@ -260,6 +260,21 @@ func (m *Machine) OnHart(src, dst int, fn func()) {
 	fn()
 }
 
+// Epoch returns the parallel engine's current quantum epoch, or 0 under
+// the sequential scheduler. Fault post-mortems record it so a quarantine
+// can be tied to the barrier generation in which the fault originated —
+// not the (possibly later) epoch in which a peer hart observed it.
+func (m *Machine) Epoch() uint64 {
+	e := m.engine
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	gen := e.gen
+	e.mu.Unlock()
+	return gen
+}
+
 // RunParallel runs every hart on its own goroutine under the quantum
 // barrier: runners[i] drives hart i (typically a closure over RunHart or
 // a hypervisor run loop). It returns when every runner has returned or

@@ -72,7 +72,7 @@ func (s *SM) attestationReport(c *CVM, nonce uint64) []byte {
 	body = append(body, tmp[:]...)
 	binary.LittleEndian.PutUint64(tmp[:], nonce)
 	body = append(body, tmp[:]...)
-	mac := hmac.New(sha256.New, s.key)
+	mac := hmac.New(sha256.New, s.att.key)
 	mac.Write(body)
 	return append(body, mac.Sum(nil)...)
 }
@@ -84,7 +84,7 @@ func (s *SM) VerifyReport(report []byte) (measurement []byte, cvmID, nonce uint6
 		return nil, 0, 0, false
 	}
 	body, tag := report[:48], report[48:]
-	mac := hmac.New(sha256.New, s.key)
+	mac := hmac.New(sha256.New, s.att.key)
 	mac.Write(body)
 	if !hmac.Equal(tag, mac.Sum(nil)) {
 		return nil, 0, 0, false
@@ -125,12 +125,18 @@ func (d *drbg) next() uint64 {
 // PlatformKey exposes the platform attestation key for verifier
 // provisioning (in a deployment this exchange happens at manufacturing;
 // the simulator hands it to the relying party directly).
-func (s *SM) PlatformKey() []byte { return append([]byte(nil), s.key...) }
+func (s *SM) PlatformKey() []byte { return append([]byte(nil), s.att.key...) }
 
 // BuildReport produces the same signed report the guest obtains through
 // the SBI Attest call, for flows where the relying party challenges
 // out-of-band (e.g. immediately after a restore).
 func (s *SM) BuildReport(id int, nonce uint64) ([]byte, error) {
+	// Out-of-band reports cross straight from the host into the
+	// attestation compartment (no hart context: the relying party is off
+	// the simulated machine, so no cycles are charged).
+	if gerr := s.gateEnter(nil, CompHost, CompAttest, "build-report", false); gerr != nil {
+		return nil, wrapErr("build-report", id, gerr)
+	}
 	c, err := s.cvm(id)
 	if err != nil {
 		return nil, err

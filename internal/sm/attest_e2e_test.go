@@ -40,7 +40,7 @@ func TestEndToEndAttestation(t *testing.T) {
 
 	// Ferry the report out through guest memory (the hypervisor's role in
 	// a deployment is moving these bytes over the network).
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	w := &ptw.Walker{Mem: f.m.RAM}
 	res, err := w.Walk(c.hgatpRoot, uint64(reportGPA), ptw.AccessRead, ptw.Opts{Stage2: true})
 	if err != nil {

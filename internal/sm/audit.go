@@ -49,6 +49,9 @@ const (
 	AuditIOPMPWindow
 	// AuditPoolLeak: with no live CVMs, free blocks != total blocks.
 	AuditPoolLeak
+	// AuditCompartmentPMP: a monitor compartment's gate PMP unit no longer
+	// matches its boundary plan (entry 0 NAPOT R/W over its own window).
+	AuditCompartmentPMP
 )
 
 // String implements fmt.Stringer.
@@ -72,15 +75,33 @@ func (k AuditKind) String() string {
 		return "iopmp-window"
 	case AuditPoolLeak:
 		return "pool-leak"
+	case AuditCompartmentPMP:
+		return "compartment-pmp"
 	}
 	return fmt.Sprintf("audit(%d)", int(k))
 }
 
 // AuditFinding is one cross-layer invariant violation.
 type AuditFinding struct {
-	Kind   AuditKind
-	CVMID  int // 0 when not scoped to a CVM
-	Detail string
+	Kind        AuditKind
+	CVMID       int // 0 when not scoped to a CVM
+	Detail      string
+	Compartment Compartment // set for AuditCompartmentPMP findings only
+}
+
+// Scope names the monitor compartment whose owned state an audit finding
+// implicates, so compromise campaigns can assert the auditor is clean on
+// every *surviving* compartment while the quarantined one may (by design)
+// still carry findings until repair.
+func (f AuditFinding) Scope() Compartment {
+	switch f.Kind {
+	case AuditCompartmentPMP:
+		return f.Compartment
+	case AuditPMPPlan, AuditBlockAccounting, AuditIOPMPWindow, AuditPoolLeak:
+		return CompAlloc
+	}
+	// Ownership sets and page-table trees are CVM lifecycle state.
+	return CompLifecycle
 }
 
 // String renders the finding for logs.
@@ -108,6 +129,7 @@ func (s *SM) auditLocked() []AuditFinding {
 	out = append(out, s.auditPageTables()...)
 	out = append(out, s.auditIOPMP()...)
 	out = append(out, s.auditPoolLeak()...)
+	out = append(out, s.auditGatePMP()...)
 	s.Stats.AuditRuns++
 	s.Stats.AuditFindings += uint64(len(out))
 	s.lastAudit = out
@@ -128,7 +150,7 @@ func (s *SM) LastAudit() []AuditFinding {
 func (s *SM) auditPMP() []AuditFinding {
 	var out []AuditFinding
 	for _, h := range s.machine.Harts {
-		for i, r := range s.pool.regions {
+		for i, r := range s.alloc.pool.regions {
 			idx := pmpPoolFirst + i
 			if idx > pmpPoolLast {
 				break
@@ -166,9 +188,9 @@ func (s *SM) auditOwnership() []AuditFinding {
 	var out []AuditFinding
 	ownerOf := make(map[uint64]int)
 	for _, id := range s.cvmIDs() {
-		c := s.cvms[id]
+		c := s.life.cvms[id]
 		for _, pa := range sortedKeys(c.owned) {
-			if !s.pool.contains(pa, isa.PageSize) {
+			if !s.alloc.pool.contains(pa, isa.PageSize) {
 				out = append(out, AuditFinding{Kind: AuditOwnershipEscape, CVMID: id,
 					Detail: fmt.Sprintf("owned frame %#x outside secure regions", pa)})
 			}
@@ -218,7 +240,7 @@ func (s *SM) auditOwnership() []AuditFinding {
 func (s *SM) auditPageTables() []AuditFinding {
 	var out []AuditFinding
 	for _, id := range s.cvmIDs() {
-		c := s.cvms[id]
+		c := s.life.cvms[id]
 		b := &ptw.Builder{Mem: s.ram}
 		for _, gpa := range sortedKeys(c.mappings) {
 			pte, level, err := b.Lookup(c.hgatpRoot, gpa, true)
@@ -278,7 +300,7 @@ func (s *SM) auditTableTree(c *CVM) []AuditFinding {
 	for len(queue) > 0 {
 		f := queue[0]
 		queue = queue[1:]
-		if !s.pool.contains(f.pa, isa.PageSize) {
+		if !s.alloc.pool.contains(f.pa, isa.PageSize) {
 			out = append(out, AuditFinding{Kind: AuditTableEscape, CVMID: c.ID,
 				Detail: fmt.Sprintf("level-%d table frame %#x in normal memory", f.level, f.pa)})
 			continue // do not chase pointers through normal memory
@@ -307,7 +329,7 @@ func (s *SM) auditTableTree(c *CVM) []AuditFinding {
 // validateTableLevelQuiet is validateTableLevel without cycle charging
 // (the auditor is a diagnostic facility, not an architectural path).
 func (s *SM) validateTableLevelQuiet(tablePA uint64, level int) error {
-	if s.pool.contains(tablePA, isa.PageSize) {
+	if s.alloc.pool.contains(tablePA, isa.PageSize) {
 		return fmt.Errorf("shared subtable frame %#x in secure memory", tablePA)
 	}
 	for i := uint64(0); i < 512; i++ {
@@ -340,7 +362,7 @@ func (s *SM) validateTableLevelQuiet(tablePA uint64, level int) error {
 func (s *SM) auditIOPMP() []AuditFinding {
 	var out []AuditFinding
 	for _, w := range s.machine.IOPMP.Windows() {
-		for _, r := range s.pool.regions {
+		for _, r := range s.alloc.pool.regions {
 			if w.Entry.Base < r.end && w.Entry.Base+w.Entry.Size > r.base {
 				out = append(out, AuditFinding{Kind: AuditIOPMPWindow, Detail: fmt.Sprintf(
 					"domain %d window [%#x,+%#x) intersects secure region [%#x,%#x)",
@@ -356,16 +378,52 @@ func (s *SM) auditIOPMP() []AuditFinding {
 func (s *SM) auditPoolLeak() []AuditFinding {
 	held := 0
 	for _, id := range s.cvmIDs() {
-		c := s.cvms[id]
+		c := s.life.cvms[id]
 		for _, cache := range append([]*pageCache{&c.tableCache}, vcpuCaches(c)...) {
 			held += len(cache.blocks())
 		}
 	}
-	if s.pool.nfree+held != s.pool.ntotal {
+	if s.alloc.pool.nfree+held != s.alloc.pool.ntotal {
 		return []AuditFinding{{Kind: AuditPoolLeak, Detail: fmt.Sprintf(
-			"free %d + held %d != total %d blocks", s.pool.nfree, held, s.pool.ntotal)}}
+			"free %d + held %d != total %d blocks", s.alloc.pool.nfree, held, s.alloc.pool.ntotal)}}
 	}
 	return nil
+}
+
+// auditGatePMP verifies every compartment's gate unit against the
+// boundary plan: entry 0 NAPOT R/W over the compartment's own window,
+// every other entry off, and the unit must admit its owner. A corrupted
+// unit is reported against the compartment it isolates (RepairGatePMP
+// restores the plan; the finding clears on the next audit).
+func (s *SM) auditGatePMP() []AuditFinding {
+	var out []AuditFinding
+	for c := Compartment(0); c < NumCompartments; c++ {
+		u := &s.comp[c].gate
+		want, err := pmp.EncodeNAPOT(CompRegion(c), compRegionSize)
+		if err != nil {
+			continue // regions are NAPOT-encodable by construction
+		}
+		wantCfg := uint8(pmp.PermR | pmp.PermW | pmp.ANAPOT<<3)
+		switch {
+		case u.Addr(0) != want:
+			out = append(out, AuditFinding{Kind: AuditCompartmentPMP, Compartment: c,
+				Detail: fmt.Sprintf("%s gate entry 0 addr %#x, want %#x", c, u.Addr(0), want)})
+		case u.Cfg(0) != wantCfg:
+			out = append(out, AuditFinding{Kind: AuditCompartmentPMP, Compartment: c,
+				Detail: fmt.Sprintf("%s gate entry 0 cfg %#x, want %#x", c, u.Cfg(0), wantCfg)})
+		case !u.Check(CompRegion(c), 8, pmp.AccessWrite, false):
+			out = append(out, AuditFinding{Kind: AuditCompartmentPMP, Compartment: c,
+				Detail: fmt.Sprintf("%s gate denies its own window %#x", c, CompRegion(c))})
+		}
+		for i := 1; i < pmp.NumEntries; i++ {
+			if u.Cfg(i) != 0 || u.Addr(i) != 0 {
+				out = append(out, AuditFinding{Kind: AuditCompartmentPMP, Compartment: c,
+					Detail: fmt.Sprintf("%s gate entry %d not off (cfg %#x addr %#x)",
+						c, i, u.Cfg(i), u.Addr(i))})
+			}
+		}
+	}
+	return out
 }
 
 // RepairPMP re-programs the SM's PMP plan — base entries plus the
@@ -380,7 +438,7 @@ func (s *SM) RepairPMP() int {
 		if err := s.programBasePMP(h); err == nil {
 			fixed += 2
 		}
-		for i, r := range s.pool.regions {
+		for i, r := range s.alloc.pool.regions {
 			idx := pmpPoolFirst + i
 			if idx > pmpPoolLast {
 				break
@@ -418,8 +476,8 @@ func (s *SM) MappedFrames(id int) ([]uint64, error) {
 
 // cvmIDs returns live CVM ids in ascending order (deterministic audits).
 func (s *SM) cvmIDs() []int {
-	ids := make([]int, 0, len(s.cvms))
-	for id := range s.cvms {
+	ids := make([]int, 0, len(s.life.cvms))
+	for id := range s.life.cvms {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

@@ -24,7 +24,7 @@ func TestIllegalInstructionKillsRun(t *testing.T) {
 		t.Fatalf("reason = %v, want error", info.Reason)
 	}
 	// Pre-fault state survived in the secure vCPU.
-	if f.s.cvms[f.id].vcpus[0].sec.X[asm.S2] != 0x1111 {
+	if f.s.life.cvms[f.id].vcpus[0].sec.X[asm.S2] != 0x1111 {
 		t.Error("vCPU state lost on error exit")
 	}
 	// The CVM can still be destroyed cleanly.
@@ -64,7 +64,7 @@ func TestUnknownSBIExtension(t *testing.T) {
 	if info := f.run(); info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	if got := f.s.cvms[f.id].vcpus[0].sec.X[asm.S2]; got != ^uint64(1) {
+	if got := f.s.life.cvms[f.id].vcpus[0].sec.X[asm.S2]; got != ^uint64(1) {
 		t.Errorf("a0 = %#x, want SBI_ERR_NOT_SUPPORTED", got)
 	}
 }

@@ -35,6 +35,7 @@ const (
 	CodePlatform            // PMP/IOPMP/platform programming failed
 	CodeMemory              // an SM-internal physical memory access escaped RAM
 	CodeInternal            // invariant violation inside the SM
+	CodeCompartment         // call refused: target SM compartment is quarantined
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +69,8 @@ func (c ErrCode) String() string {
 		return "memory"
 	case CodeInternal:
 		return "internal"
+	case CodeCompartment:
+		return "compartment"
 	}
 	return fmt.Sprintf("code(%d)", int(c))
 }
@@ -157,6 +160,8 @@ func classify(err error) (ErrCode, Severity) {
 		return CodeConcurrency, SevRecoverable
 	case errors.Is(err, ErrPoolEmpty):
 		return CodePoolEmpty, SevRecoverable
+	case errors.Is(err, ErrCompartment):
+		return CodeCompartment, SevRecoverable
 	}
 	return CodeInternal, SevFatalCVM
 }
@@ -213,4 +218,19 @@ func opName(fn FuncID) string {
 		return "resume"
 	}
 	return fmt.Sprintf("fn(%d)", uint64(fn))
+}
+
+// opCompartment maps an ABI function to the compartment that owns it:
+// pool and DMA windows belong to the allocator; everything else on the
+// ecall path is CVM lifecycle. FnRun's owner is the world switch, but it
+// is rejected in dispatch (hypervisors use RunVCPU); unknown functions
+// route to lifecycle, where dispatch rejects them with ErrBadArgs.
+func opCompartment(fn FuncID) Compartment {
+	switch fn {
+	case FnRegisterPool, FnGrantDMA:
+		return CompAlloc
+	case FnRun:
+		return CompSwitch
+	}
+	return CompLifecycle
 }

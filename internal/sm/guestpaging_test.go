@@ -83,7 +83,7 @@ func TestGuestEnablesOwnPaging(t *testing.T) {
 	if info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	v := c.vcpus[0]
 	if v.sec.X[asm.S2] != 0xFEED {
 		t.Errorf("read through guest VA = %#x, want 0xFEED", v.sec.X[asm.S2])
@@ -128,7 +128,7 @@ func TestGuestPagingFaultsDelegated(t *testing.T) {
 	if info := f.run(); info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if got := c.vcpus[0].sec.X[asm.S3]; got != isa.ExcLoadPageFault {
 		t.Errorf("guest saw cause %d, want load-page-fault", got)
 	}

@@ -238,7 +238,7 @@ func TestPublishEscapeQuarantinesCVM(t *testing.T) {
 	// Simulate the internal corruption fault: the vCPU's shared page
 	// binding now points at the last bytes of RAM.
 	ramEnd := uint64(platform.RAMBase) + ramSize
-	f.s.cvms[id].vcpus[0].sharedPA = ramEnd - 8
+	f.s.life.cvms[id].vcpus[0].sharedPA = ramEnd - 8
 	info, err := f.s.RunVCPU(f.h, id, 0)
 	if info.Reason != ExitError {
 		t.Fatalf("reason = %v, want ExitError", info.Reason)
@@ -376,7 +376,7 @@ func TestAuditDetectsCrossLayerCorruption(t *testing.T) {
 	}
 
 	// Layer 2: stage-2 page-table corruption (leaf PPN bit flip).
-	c := f.s.cvms[id]
+	c := f.s.life.cvms[id]
 	var anyGPA uint64
 	for gpa := range c.mappings {
 		anyGPA = gpa

@@ -71,7 +71,7 @@ func TestGuestRelinquishPage(t *testing.T) {
 	if info := f.run(); info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if c.vcpus[0].sec.X[asm.S2] != 0 {
 		t.Fatal("relinquish SBI call failed")
 	}
@@ -109,7 +109,7 @@ func TestRelinquishValidation(t *testing.T) {
 	if info := f.run(); info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	v := f.s.cvms[f.id].vcpus[0]
+	v := f.s.life.cvms[f.id].vcpus[0]
 	if v.sec.X[asm.S2] != 1 || v.sec.X[asm.S3] != 1 || v.sec.X[asm.S4] != 1 {
 		t.Errorf("validation results: %d %d %d, want 1 1 1",
 			v.sec.X[asm.S2], v.sec.X[asm.S3], v.sec.X[asm.S4])

@@ -98,7 +98,7 @@ func TestTwoHartsRunSeparateCVMs(t *testing.T) {
 		t.Errorf("results %d/%d, want 111/222", resA, resB)
 	}
 	// Both CVMs' frames stay disjoint.
-	ca, cb := s.cvms[idA], s.cvms[idB]
+	ca, cb := s.life.cvms[idA], s.life.cvms[idB]
 	for pa := range ca.owned {
 		if cb.owned[pa] {
 			t.Fatalf("frame %#x shared between CVMs on different harts", pa)

@@ -16,13 +16,48 @@ import (
 // the monitor's own failures.
 
 // QuarantineRecord is the preserved post-mortem of a quarantined CVM.
+// Hart, Compartment, Epoch, and Cycle name the fault's *origin*: under
+// the parallel quantum-barrier engine the hart that observes a recorded
+// fatal fault (and performs the quarantine) is routinely not the hart
+// whose world switch hit it, so attribution is captured where the fault
+// is detected and carried to the quarantine site.
 type QuarantineRecord struct {
 	CVMID       int
 	Cause       error
-	Cycle       uint64
+	Cycle       uint64       // cycle at fault origin on the originating hart
+	Hart        int          // originating hart (-1 when no hart context)
+	Compartment Compartment  // SM compartment the fault originated in
+	Epoch       uint64       // parallel-engine epoch at origin (0 sequential)
 	Measurement []byte       // sealed launch measurement (nil if never sealed)
 	VCPUs       []secureVCPU // final protected register state, for diagnosis
 	PagesFreed  int          // secure frames scrubbed and returned to the pool
+}
+
+// faultOrigin pins a fatal fault to the hart, engine epoch, cycle, and
+// monitor compartment where it originated — recorded at the fault site,
+// not at the (possibly later, possibly cross-hart) quarantine site.
+type faultOrigin struct {
+	hart  int
+	epoch uint64
+	cycle uint64
+	comp  Compartment
+}
+
+// originHere captures the fault origin at the current execution point.
+func (s *SM) originHere(h *hart.Hart, comp Compartment) faultOrigin {
+	o := faultOrigin{hart: -1, epoch: s.machine.Epoch(), comp: comp}
+	if h != nil {
+		o.hart = h.ID
+		o.cycle = h.Cycles
+	}
+	return o
+}
+
+// fatalFault is a fatal per-CVM fault recorded mid-run together with its
+// origin; RunVCPU quarantines the CVM once the world switch unwinds.
+type fatalFault struct {
+	err    error
+	origin faultOrigin
 }
 
 // quarantine moves a live CVM into the quarantine set: frames scrubbed
@@ -30,14 +65,20 @@ type QuarantineRecord struct {
 // idempotent per CVM (the record of the first fault wins) and never
 // fails: scrub errors are recorded in the cause chain rather than
 // propagated, because quarantine IS the error path.
-func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error) {
-	if _, done := s.quarantined[c.ID]; done {
+func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error, origin faultOrigin) {
+	if _, done := s.life.quarantined[c.ID]; done {
 		return
 	}
 	rec := &QuarantineRecord{
-		CVMID: c.ID,
-		Cause: cause,
-		Cycle: h.Cycles,
+		CVMID:       c.ID,
+		Cause:       cause,
+		Cycle:       origin.cycle,
+		Hart:        origin.hart,
+		Compartment: origin.comp,
+		Epoch:       origin.epoch,
+	}
+	if rec.Cycle == 0 && h != nil {
+		rec.Cycle = h.Cycles
 	}
 	if c.measurer != nil && c.measurer.sealed {
 		rec.Measurement = append([]byte(nil), c.measurer.value()...)
@@ -55,13 +96,13 @@ func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error) {
 		}
 		h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy / 2)
 	}
-	s.pool.releaseAll(&c.tableCache)
+	s.alloc.pool.releaseAll(&c.tableCache)
 	for _, v := range c.vcpus {
-		s.pool.releaseAll(&v.memCache)
+		s.alloc.pool.releaseAll(&v.memCache)
 	}
 	c.state = stQuarantined
-	delete(s.cvms, c.ID)
-	s.quarantined[c.ID] = rec
+	delete(s.life.cvms, c.ID)
+	s.life.quarantined[c.ID] = rec
 	s.Stats.Quarantines++
 	note := "quarantine"
 	if cause != nil {
@@ -89,14 +130,14 @@ func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error) {
 func (s *SM) Quarantine(h *hart.Hart, id int, cause error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	c, ok := s.cvms[id]
+	c, ok := s.life.cvms[id]
 	if !ok {
-		if _, done := s.quarantined[id]; done {
+		if _, done := s.life.quarantined[id]; done {
 			return nil // already quarantined: idempotent
 		}
 		return wrapErr("quarantine", id, ErrNotFound)
 	}
-	s.quarantine(h, c, cause)
+	s.quarantine(h, c, cause, s.originHere(h, CompLifecycle))
 	return nil
 }
 
@@ -104,7 +145,7 @@ func (s *SM) Quarantine(h *hart.Hart, id int, cause error) error {
 func (s *SM) Quarantined(id int) (*QuarantineRecord, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.quarantined[id]
+	rec, ok := s.life.quarantined[id]
 	return rec, ok
 }
 
@@ -112,16 +153,16 @@ func (s *SM) Quarantined(id int) (*QuarantineRecord, bool) {
 func (s *SM) QuarantineCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.quarantined)
+	return len(s.life.quarantined)
 }
 
 // releaseQuarantine drops the diagnostic record (FnDestroy on a
 // quarantined id: the hypervisor finished its post-mortem). The frames
 // were already scrubbed and released at quarantine time.
 func (s *SM) releaseQuarantine(id int) bool {
-	if _, ok := s.quarantined[id]; !ok {
+	if _, ok := s.life.quarantined[id]; !ok {
 		return false
 	}
-	delete(s.quarantined, id)
+	delete(s.life.quarantined, id)
 	return true
 }

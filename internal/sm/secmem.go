@@ -177,6 +177,97 @@ func (p *securePool) giveBack(b *block) {
 // FreeBlocks returns the number of blocks on the free list.
 func (p *securePool) FreeBlocks() int { return p.nfree }
 
+// verify is the allocator compartment's gate-crossing integrity
+// self-check: the free-list ring must close with intact back links,
+// every free-list block must be wholly free with counter and bitmap in
+// agreement, and the free counter must match the ring length. It is
+// read-only and cheap relative to any allocation it guards.
+func (p *securePool) verify() error {
+	if p.head == nil {
+		if p.nfree != 0 {
+			return fmt.Errorf("sm: empty free list but free counter %d", p.nfree)
+		}
+		return nil
+	}
+	count := 0
+	cur := p.head
+	for {
+		free := 0
+		for _, u := range cur.used {
+			if !u {
+				free++
+			}
+		}
+		if free != cur.free {
+			return fmt.Errorf("sm: block %#x free counter %d, bitmap says %d",
+				cur.base, cur.free, free)
+		}
+		if cur.free != BlockPages {
+			return fmt.Errorf("sm: free-list block %#x not wholly free (%d/%d)",
+				cur.base, cur.free, BlockPages)
+		}
+		if cur.next == nil || cur.next.prev != cur {
+			return fmt.Errorf("sm: free-list ring broken at block %#x", cur.base)
+		}
+		count++
+		cur = cur.next
+		if cur == p.head {
+			break
+		}
+		if count > p.ntotal {
+			return fmt.Errorf("sm: free-list ring does not close (walked %d > total %d)",
+				count, p.ntotal)
+		}
+	}
+	if count != p.nfree {
+		return fmt.Errorf("sm: free counter %d, ring holds %d blocks", p.nfree, count)
+	}
+	return nil
+}
+
+// salvage repairs the free list to a consistent state after metadata
+// corruption (the allocator compartment's quarantine-time state rescue):
+// a block on the free list is authoritatively wholly free, so counters
+// and bitmaps are reset from that ground truth, back links are rebuilt
+// from forward links, and the free counter is recomputed from the ring.
+// It returns a description of what was repaired so the post-mortem can
+// carry it.
+func (p *securePool) salvage() string {
+	if p.head == nil {
+		if p.nfree != 0 {
+			old := p.nfree
+			p.nfree = 0
+			return fmt.Sprintf("reset free counter %d -> 0 (empty list)", old)
+		}
+		return ""
+	}
+	blocksFixed, linksFixed, count := 0, 0, 0
+	cur := p.head
+	for {
+		if cur.free != BlockPages || cur.used != [BlockPages]bool{} {
+			cur.used = [BlockPages]bool{}
+			cur.free = BlockPages
+			blocksFixed++
+		}
+		if cur.next.prev != cur {
+			cur.next.prev = cur
+			linksFixed++
+		}
+		count++
+		cur = cur.next
+		if cur == p.head || count > p.ntotal {
+			break
+		}
+	}
+	counterFixed := p.nfree != count
+	p.nfree = count
+	if blocksFixed == 0 && linksFixed == 0 && !counterFixed {
+		return ""
+	}
+	return fmt.Sprintf("salvaged free list: %d blocks reset, %d back links rebuilt, counter -> %d",
+		blocksFixed, linksFixed, count)
+}
+
 // pageCache is a per-vCPU (or per-arena) fast allocation cache: the block
 // currently assigned plus previously assigned blocks that still hold live
 // pages (needed for reclamation).

@@ -126,7 +126,7 @@ func TestInterCVMFrameDisjointness(t *testing.T) {
 	if info := f.run(); info.Reason != ExitShutdown {
 		t.Fatalf("B: %v", info.Reason)
 	}
-	a, b := f.s.cvms[idA], f.s.cvms[idB]
+	a, b := f.s.life.cvms[idA], f.s.life.cvms[idB]
 	for pa := range a.owned {
 		if b.owned[pa] {
 			t.Fatalf("frame %#x owned by both CVMs", pa)
@@ -154,8 +154,8 @@ func TestInterCVMFrameDisjointness(t *testing.T) {
 func TestPageTablesLiveInSecureMemory(t *testing.T) {
 	f := newFixture(t, Config{})
 	f.buildCVM(shutdownProgram(func(p *asm.Program) { p.NOP() }))
-	c := f.s.cvms[f.id]
-	if !f.s.pool.contains(c.hgatpRoot, ptw.RootSize(true)) {
+	c := f.s.life.cvms[f.id]
+	if !f.s.alloc.pool.contains(c.hgatpRoot, ptw.RootSize(true)) {
 		t.Fatalf("stage-2 root %#x is not in the secure pool", c.hgatpRoot)
 	}
 	// An S-mode PMP check against the root fails in Normal mode.
@@ -238,7 +238,7 @@ func TestEntryRevalidationCatchesRemap(t *testing.T) {
 	if info.Reason != ExitTimer {
 		t.Fatalf("first run: %v", info.Reason)
 	}
-	if f.s.cvms[f.id].sharedSubtable != sub {
+	if f.s.life.cvms[f.id].sharedSubtable != sub {
 		t.Fatal("shared window lost after benign entry")
 	}
 	// Hostile remap between runs: point the leaf at the pool.
@@ -248,7 +248,7 @@ func TestEntryRevalidationCatchesRemap(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.run() // next entry revalidates
-	if f.s.cvms[f.id].sharedSubtable != 0 {
+	if f.s.life.cvms[f.id].sharedSubtable != 0 {
 		t.Error("hostile remap survived entry revalidation")
 	}
 	if f.s.Stats.SharedChecks < 2 {
@@ -262,7 +262,7 @@ func TestEntryRevalidationCatchesRemap(t *testing.T) {
 func TestCopyToGuestOwnership(t *testing.T) {
 	f := newFixture(t, Config{})
 	f.buildCVM(shutdownProgram(func(p *asm.Program) { p.NOP() }))
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	// Forge a stage-2 leaf pointing at normal memory (as a compromised
 	// path might) and confirm copyToGuest rejects it.
 	b := f.s.tableBuilder(c)

@@ -22,7 +22,7 @@ func (s *SM) registerShared(h *hart.Hart, id int, subtablePA uint64) error {
 	if subtablePA%isa.PageSize != 0 || !s.ram.Contains(subtablePA, isa.PageSize) {
 		return ErrBadArgs
 	}
-	if s.pool.contains(subtablePA, isa.PageSize) {
+	if s.alloc.pool.contains(subtablePA, isa.PageSize) {
 		// The subtable itself must be hypervisor-writable, i.e. normal
 		// memory; a secure-memory subtable would deadlock the design.
 		return ErrNotNormal
@@ -83,7 +83,7 @@ func (s *SM) validateSharedSubtable(h *hart.Hart, tablePA uint64) error {
 }
 
 func (s *SM) validateTableLevel(h *hart.Hart, tablePA uint64, level int) error {
-	if s.pool.contains(tablePA, isa.PageSize) {
+	if s.alloc.pool.contains(tablePA, isa.PageSize) {
 		return fmt.Errorf("%w: shared subtable frame %#x in secure memory", ErrNotNormal, tablePA)
 	}
 	for i := uint64(0); i < 512; i++ {
@@ -117,7 +117,7 @@ func (s *SM) validateTableLevel(h *hart.Hart, tablePA uint64, level int) error {
 // leafTouchesSecure reports whether [pa, pa+span) intersects any secure
 // region.
 func (s *SM) leafTouchesSecure(pa, span uint64) bool {
-	for _, r := range s.pool.regions {
+	for _, r := range s.alloc.pool.regions {
 		if pa < r.end && pa+span > r.base {
 			return true
 		}

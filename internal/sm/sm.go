@@ -13,6 +13,7 @@
 package sm
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
@@ -80,6 +81,9 @@ var (
 	ErrTampered    = errors.New("sm: shared vCPU failed Check-after-Load validation")
 	ErrConcurrency = errors.New("sm: concurrent CVM limit reached")
 	ErrQuarantined = errors.New("sm: CVM quarantined after a fatal fault")
+	// ErrCompartment reports that the SM compartment owning the requested
+	// service is quarantined; the call is refused, siblings keep serving.
+	ErrCompartment = errors.New("sm: monitor compartment quarantined")
 )
 
 // cvmState tracks the lifecycle.
@@ -117,9 +121,11 @@ type CVM struct {
 	entryPC  uint64
 
 	// fatal records a fatal per-CVM fault detected mid-run (internal
-	// memory escape, page-table corruption). RunVCPU quarantines the CVM
-	// after the world-switch exit half completes.
-	fatal error
+	// memory escape, page-table corruption, compartment loss) together
+	// with its origin (hart, epoch, compartment). RunVCPU quarantines the
+	// CVM after the world-switch exit half completes — possibly on a
+	// different hart than the one that recorded the fault.
+	fatal *fatalFault
 
 	// Split page table (§IV.E): the hypervisor-managed shared subtable
 	// spliced into root slot sharedSlot.
@@ -181,6 +187,18 @@ type Config struct {
 	// fault-injection seam for asynchronous events (spurious interrupts,
 	// trap storms); production configs leave it nil.
 	StepHook func(h *hart.Hart, vcpu int)
+	// GateHook, when set, is invoked inside every audited compartment
+	// gate crossing, under the gate watchdog. It is the fault-injection
+	// seam for compartment-hang campaigns (a hook that burns more than
+	// GateWatchdog cycles gets its compartment quarantined as hung);
+	// production configs leave it nil.
+	GateHook func(to Compartment, op string, h *hart.Hart)
+	// GateWatchdog is the cycle budget a compartment may consume in its
+	// gate prologue before the gate declares it hung (0 = default
+	// 2,000,000 cycles). The budget covers only the crossing prologue,
+	// never the service body, so long legitimate operations (destroy
+	// scrub loops) cannot trip it.
+	GateWatchdog uint64
 }
 
 // ExitInfo is returned to the hypervisor by FnRun.
@@ -207,19 +225,22 @@ type SM struct {
 	mu      sync.Mutex
 	machine *platform.Machine
 	ram     *mem.PhysMemory
-	pool    securePool
-	cvms    map[int]*CVM
-	nextID  int
 	cfg     Config
 
-	// quarantined holds post-mortem records of CVMs removed by the
-	// graceful-degradation policy; lastAudit caches the most recent
-	// invariant-audit findings.
-	quarantined map[int]*QuarantineRecord
-	lastAudit   []AuditFinding
+	// State ownership is split across the privilege-separated
+	// compartments (compartment.go): each group below is owned by
+	// exactly one compartment and reached from the others only through
+	// an audited gate crossing. The world-switch compartment owns no
+	// long-lived state (per-run hvCtx and pending exits only).
+	life  lifecycleState
+	alloc allocState
+	att   attestState
 
-	key []byte // platform attestation key
-	rng *drbg
+	// comp is the per-compartment health, gate-PMP, and crossing record.
+	comp [NumCompartments]compartmentState
+
+	// lastAudit caches the most recent invariant-audit findings.
+	lastAudit []AuditFinding
 
 	// tel is the cross-layer telemetry scope (nil = disabled); evTel
 	// carries the "sm.event" diagnostic instants — the shared scope when
@@ -229,6 +250,28 @@ type SM struct {
 
 	// Stats observable by the harness.
 	Stats Stats
+}
+
+// lifecycleState is the CVM table and quarantine records — owned by
+// CompLifecycle.
+type lifecycleState struct {
+	cvms        map[int]*CVM
+	nextID      int
+	quarantined map[int]*QuarantineRecord
+}
+
+// allocState is the secure memory pool — owned by CompAlloc.
+type allocState struct {
+	pool securePool
+}
+
+// attestState is the platform key material and DRBG — owned by
+// CompAttest. keyDigest is the boot-time digest the gate's integrity
+// self-check verifies the key against on every crossing.
+type attestState struct {
+	key       []byte
+	keyDigest [32]byte
+	rng       *drbg
 }
 
 // Stats counts SM events for the experiment harness.
@@ -254,6 +297,13 @@ type Stats struct {
 	SpuriousTraps uint64
 	AuditRuns     uint64
 	AuditFindings uint64
+
+	// Compartment-gate activity: audited crossings, typed refusals
+	// (illegal crossing or quarantined callee), and compartments taken
+	// out of service by the privilege-separation machinery.
+	GateCalls              uint64
+	GateDenied             uint64
+	CompartmentQuarantines uint64
 }
 
 // New installs a Secure Monitor on the machine. It programs the baseline
@@ -264,14 +314,22 @@ type Stats struct {
 // enter confidential mode.
 func New(m *platform.Machine, cfg Config) (*SM, error) {
 	s := &SM{
-		machine:     m,
-		ram:         m.RAM,
-		cvms:        make(map[int]*CVM),
-		quarantined: make(map[int]*QuarantineRecord),
-		nextID:      1,
-		cfg:         cfg,
-		key:         []byte("zion-platform-sealing-key-v1"),
-		rng:         newDRBG([]byte("zion-platform-entropy-seed")),
+		machine: m,
+		ram:     m.RAM,
+		cfg:     cfg,
+		life: lifecycleState{
+			cvms:        make(map[int]*CVM),
+			quarantined: make(map[int]*QuarantineRecord),
+			nextID:      1,
+		},
+		att: attestState{
+			key: []byte("zion-platform-sealing-key-v1"),
+			rng: newDRBG([]byte("zion-platform-entropy-seed")),
+		},
+	}
+	s.att.keyDigest = sha256.Sum256(s.att.key)
+	for c := Compartment(0); c < NumCompartments; c++ {
+		s.programGatePMP(c)
 	}
 	s.Stats.Entry = telemetry.NewHistogram()
 	s.Stats.Exit = telemetry.NewHistogram()
@@ -361,49 +419,62 @@ func (s *SM) HVCall(h *hart.Hart, fn FuncID, args ...uint64) (uint64, error) {
 	var ret uint64
 	var err error
 	cvmID := 0
-	switch fn {
-	case FnRegisterPool:
-		err = s.registerPool(h, a(0), a(1))
-	case FnCreateCVM:
-		ret, err = s.createCVM(h)
-	case FnLoadPage:
-		cvmID = int(a(0))
-		err = s.loadPage(h, cvmID, a(1), a(2))
-	case FnFinalize:
-		cvmID = int(a(0))
-		err = s.finalize(cvmID, a(1))
-	case FnCreateVCPU:
-		cvmID = int(a(0))
-		ret, err = s.createVCPU(cvmID, a(1))
-	case FnDestroy:
-		cvmID = int(a(0))
-		// Destroy of a quarantined CVM releases its post-mortem record:
-		// the frames were already scrubbed at quarantine time, so this is
-		// the hypervisor acknowledging the diagnosis.
-		if s.releaseQuarantine(cvmID) {
-			err = nil
-		} else {
-			err = s.destroy(h, cvmID)
+	// One audited host→owner gate crossing admits the whole call: a
+	// quarantined owner compartment refuses here with a typed error and
+	// the dispatch body never runs. Destroy is the forced exception —
+	// teardown must drain even through a quarantined compartment.
+	if gerr := s.gateEnter(h, CompHost, opCompartment(fn), opName(fn), fn == FnDestroy); gerr != nil {
+		err = gerr
+		switch fn {
+		case FnRegisterPool, FnCreateCVM, FnGrantDMA:
+		default:
+			cvmID = int(a(0)) // scope the refusal for the caller
 		}
-	case FnRegisterShared:
-		cvmID = int(a(0))
-		err = s.registerShared(h, cvmID, a(1))
-	case FnRevokeShared:
-		cvmID = int(a(0))
-		err = s.revokeShared(h, cvmID)
-	case FnGrantDMA:
-		err = s.grantDMA(h, iopmp.SourceID(a(0)), a(1), a(2))
-	case FnSuspend:
-		cvmID = int(a(0))
-		err = s.suspend(cvmID)
-	case FnResume:
-		cvmID = int(a(0))
-		err = s.resume(cvmID)
-	case FnRun:
-		// Run has a richer result; hypervisors use RunVCPU instead.
-		err = ErrBadArgs
-	default:
-		err = ErrBadArgs
+	} else {
+		switch fn {
+		case FnRegisterPool:
+			err = s.registerPool(h, a(0), a(1))
+		case FnCreateCVM:
+			ret, err = s.createCVM(h)
+		case FnLoadPage:
+			cvmID = int(a(0))
+			err = s.loadPage(h, cvmID, a(1), a(2))
+		case FnFinalize:
+			cvmID = int(a(0))
+			err = s.finalize(h, cvmID, a(1))
+		case FnCreateVCPU:
+			cvmID = int(a(0))
+			ret, err = s.createVCPU(cvmID, a(1))
+		case FnDestroy:
+			cvmID = int(a(0))
+			// Destroy of a quarantined CVM releases its post-mortem record:
+			// the frames were already scrubbed at quarantine time, so this is
+			// the hypervisor acknowledging the diagnosis.
+			if s.releaseQuarantine(cvmID) {
+				err = nil
+			} else {
+				err = s.destroy(h, cvmID)
+			}
+		case FnRegisterShared:
+			cvmID = int(a(0))
+			err = s.registerShared(h, cvmID, a(1))
+		case FnRevokeShared:
+			cvmID = int(a(0))
+			err = s.revokeShared(h, cvmID)
+		case FnGrantDMA:
+			err = s.grantDMA(h, iopmp.SourceID(a(0)), a(1), a(2))
+		case FnSuspend:
+			cvmID = int(a(0))
+			err = s.suspend(cvmID)
+		case FnResume:
+			cvmID = int(a(0))
+			err = s.resume(cvmID)
+		case FnRun:
+			// Run has a richer result; hypervisors use RunVCPU instead.
+			err = ErrBadArgs
+		default:
+			err = ErrBadArgs
+		}
 	}
 	if s.cfg.AuditLifecycle && fn != FnRun {
 		s.auditLocked()
@@ -430,10 +501,10 @@ func (s *SM) registerPool(h *hart.Hart, base, size uint64) error {
 	if !s.ram.Contains(base, size) {
 		return ErrBadArgs
 	}
-	if err := s.pool.register(base, size); err != nil {
+	if err := s.alloc.pool.register(base, size); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadArgs, err)
 	}
-	idx := pmpPoolFirst + len(s.pool.regions) - 1
+	idx := pmpPoolFirst + len(s.alloc.pool.regions) - 1
 	if idx > pmpPoolLast {
 		return fmt.Errorf("%w: out of PMP pool entries", ErrBadArgs)
 	}
@@ -477,7 +548,7 @@ func (s *SM) grantDMA(h *hart.Hart, sid iopmp.SourceID, base, size uint64) error
 	if size == 0 || !s.ram.Contains(base, size) {
 		return ErrBadArgs
 	}
-	for _, r := range s.pool.regions {
+	for _, r := range s.alloc.pool.regions {
 		if base < r.end && base+size > r.base {
 			return fmt.Errorf("%w: DMA window intersects secure pool", ErrOwnership)
 		}
@@ -499,24 +570,39 @@ func (s *SM) grantDMA(h *hart.Hart, sid iopmp.SourceID, base, size uint64) error
 // memory, §IV.C: "the SM configures page tables for confidential VMs
 // within the secure memory pool").
 func (s *SM) createCVM(h *hart.Hart) (uint64, error) {
-	if len(s.cvms) >= MaxCVMs {
+	if len(s.life.cvms) >= MaxCVMs {
 		return 0, ErrConcurrency
 	}
+	// A CVM cannot be born without its measurement: the attest
+	// compartment must be healthy to issue a measurer (degraded-mode
+	// contract — an SM that lost attestation refuses new creates but
+	// keeps running and tearing down existing CVMs).
+	var meas *measurer
+	if err := s.gate(h, CompLifecycle, CompAttest, "new-measurer", func() error {
+		meas = newMeasurer()
+		return nil
+	}); err != nil {
+		return 0, err
+	}
 	c := &CVM{
-		ID:       s.nextID,
+		ID:       s.life.nextID,
 		owned:    make(map[uint64]bool),
 		mappings: make(map[uint64]uint64),
-		measurer: newMeasurer(),
+		measurer: meas,
 	}
-	s.nextID++
+	s.life.nextID++
 	c.vmid = uint16(c.ID & 0x3FFF)
 	b := s.tableBuilder(c)
-	root, err := b.NewRoot(true)
-	if err != nil {
+	var root uint64
+	if err := s.gate(h, CompLifecycle, CompAlloc, "alloc-root", func() error {
+		var err error
+		root, err = b.NewRoot(true)
+		return err
+	}); err != nil {
 		return 0, err
 	}
 	c.hgatpRoot = root
-	s.cvms[c.ID] = c
+	s.life.cvms[c.ID] = c
 	h.Advance(4 * h.Cost.Mem)
 	s.trace(h.Cycles, EvLifecycle, c.ID, 0, "create")
 	return uint64(c.ID), nil
@@ -528,7 +614,7 @@ func (s *SM) tableBuilder(c *CVM) *ptw.Builder {
 	return &ptw.Builder{
 		Mem: s.ram,
 		Alloc: func() (uint64, error) {
-			pa, _, err := s.pool.allocPage(&c.tableCache)
+			pa, _, err := s.alloc.pool.allocPage(&c.tableCache)
 			if err != nil {
 				return 0, err
 			}
@@ -554,20 +640,27 @@ func (s *SM) loadPage(h *hart.Hart, id int, gpa, srcPA uint64) error {
 	if gpa >= SharedBase && gpa < SharedBase+(1<<30) {
 		return fmt.Errorf("%w: cannot load image into the shared window", ErrBadArgs)
 	}
-	if s.pool.contains(srcPA, isa.PageSize) {
+	if s.alloc.pool.contains(srcPA, isa.PageSize) {
 		return ErrNotNormal // image source must come from normal memory
 	}
-	pa, _, err := s.pool.allocPage(&c.tableCache)
-	if err != nil {
-		return err
-	}
-	c.owned[pa] = true
-	if err := s.ram.Copy(pa, srcPA, isa.PageSize); err != nil {
-		return err
-	}
-	b := s.tableBuilder(c)
-	flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
-	if err := b.Map(c.hgatpRoot, gpa, pa, flags, 0, true); err != nil {
+	// One allocator crossing admits the whole allocation transaction
+	// (page grab, image copy, stage-2 map): the table builder's internal
+	// frame allocations ride the same admission.
+	var pa uint64
+	if err := s.gate(h, CompLifecycle, CompAlloc, "load-page", func() error {
+		var err error
+		pa, _, err = s.alloc.pool.allocPage(&c.tableCache)
+		if err != nil {
+			return err
+		}
+		c.owned[pa] = true
+		if err := s.ram.Copy(pa, srcPA, isa.PageSize); err != nil {
+			return err
+		}
+		b := s.tableBuilder(c)
+		flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
+		return b.Map(c.hgatpRoot, gpa, pa, flags, 0, true)
+	}); err != nil {
 		return err
 	}
 	c.mappings[gpa] = pa
@@ -575,13 +668,18 @@ func (s *SM) loadPage(h *hart.Hart, id int, gpa, srcPA uint64) error {
 	if err != nil {
 		return err
 	}
-	c.measurer.extendPage(gpa, data)
+	if err := s.gate(h, CompLifecycle, CompAttest, "extend-measurement", func() error {
+		c.measurer.extendPage(gpa, data)
+		return nil
+	}); err != nil {
+		return err
+	}
 	h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy)
 	return nil
 }
 
 // finalize seals the measurement and marks the CVM runnable.
-func (s *SM) finalize(id int, entryPC uint64) error {
+func (s *SM) finalize(h *hart.Hart, id int, entryPC uint64) error {
 	c, err := s.cvm(id)
 	if err != nil {
 		return err
@@ -589,9 +687,14 @@ func (s *SM) finalize(id int, entryPC uint64) error {
 	if c.state != stBuilding {
 		return ErrBadState
 	}
+	if err := s.gate(h, CompLifecycle, CompAttest, "seal-measurement", func() error {
+		c.measurer.extendEntry(entryPC)
+		c.measurer.seal()
+		return nil
+	}); err != nil {
+		return err
+	}
 	c.entryPC = entryPC
-	c.measurer.extendEntry(entryPC)
-	c.measurer.seal()
 	c.state = stRunnable
 	s.trace(0, EvLifecycle, c.ID, entryPC, "finalize")
 	return nil
@@ -609,7 +712,7 @@ func (s *SM) createVCPU(id int, sharedPA uint64) (uint64, error) {
 	if sharedPA%isa.PageSize != 0 || !s.ram.Contains(sharedPA, isa.PageSize) {
 		return 0, ErrBadArgs
 	}
-	if s.pool.contains(sharedPA, isa.PageSize) {
+	if s.alloc.pool.contains(sharedPA, isa.PageSize) {
 		return 0, ErrNotNormal // shared vCPU must be hypervisor-accessible
 	}
 	v := &VCPU{ID: len(c.vcpus), sharedPA: sharedPA}
@@ -631,12 +734,18 @@ func (s *SM) destroy(h *hart.Hart, id int) error {
 		}
 		h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy / 2)
 	}
-	s.pool.releaseAll(&c.tableCache)
-	for _, v := range c.vcpus {
-		s.pool.releaseAll(&v.memCache)
-	}
+	// Give-backs ride a forced allocator crossing: audited, salvage-aware,
+	// never denied — a quarantined allocator still accepts returned blocks
+	// so teardown and leak accounting survive the compromise.
+	_ = s.gateForce(h, CompLifecycle, CompAlloc, "release-frames", func() error {
+		s.alloc.pool.releaseAll(&c.tableCache)
+		for _, v := range c.vcpus {
+			s.alloc.pool.releaseAll(&v.memCache)
+		}
+		return nil
+	})
 	c.state = stDead
-	delete(s.cvms, id)
+	delete(s.life.cvms, id)
 	s.trace(h.Cycles, EvLifecycle, id, 0, "destroy")
 	// Stage-2 translations for this VMID die with it. The shootdown of
 	// peer harts rides the IPI seam (immediate when sequential, next
@@ -655,9 +764,9 @@ func (s *SM) destroy(h *hart.Hart, id int) error {
 }
 
 func (s *SM) cvm(id int) (*CVM, error) {
-	c, ok := s.cvms[id]
+	c, ok := s.life.cvms[id]
 	if !ok {
-		if _, q := s.quarantined[id]; q {
+		if _, q := s.life.quarantined[id]; q {
 			return nil, ErrQuarantined
 		}
 		return nil, ErrNotFound
@@ -684,7 +793,7 @@ func (s *SM) Measurement(id int) ([]byte, error) {
 func (s *SM) PoolFreeBlocks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pool.FreeBlocks()
+	return s.alloc.pool.FreeBlocks()
 }
 
 // PoolTotalBlocks exposes the pool's lifetime block count. A healthy SM
@@ -693,5 +802,5 @@ func (s *SM) PoolFreeBlocks() int {
 func (s *SM) PoolTotalBlocks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pool.TotalBlocks()
+	return s.alloc.pool.TotalBlocks()
 }

@@ -106,7 +106,7 @@ func TestCVMLifecycleAndCompute(t *testing.T) {
 		t.Fatalf("reason = %v", info.Reason)
 	}
 	// s2 survived in the secure vCPU.
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if c.vcpus[0].sec.X[asm.S2] != 42 {
 		t.Errorf("s2 = %d, want 42", c.vcpus[0].sec.X[asm.S2])
 	}
@@ -208,7 +208,7 @@ func TestMMIOReadRoundTrip(t *testing.T) {
 	if info.Reason != ExitShutdown {
 		t.Fatalf("second run reason = %v", info.Reason)
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if got := c.vcpus[0].sec.X[asm.S3]; got != ^uint64(1) {
 		t.Errorf("s3 = %#x, want sign-extended -2", got)
 	}
@@ -301,7 +301,7 @@ func TestGuestSBIPutcharAndRandom(t *testing.T) {
 	if got := f.m.UART.Output(); got != "hi" {
 		t.Errorf("uart = %q", got)
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if c.vcpus[0].sec.X[asm.S5] == 0 {
 		t.Error("entropy call returned zero")
 	}
@@ -333,7 +333,7 @@ func TestMeasurementAndAttestation(t *testing.T) {
 
 	// The report landed in guest memory; find it via the CVM's own
 	// stage-2 and verify it as the remote verifier would.
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if c.vcpus[0].sec.X[asm.S6] != 80 {
 		t.Fatalf("report length = %d, want 80", c.vcpus[0].sec.X[asm.S6])
 	}
@@ -438,7 +438,7 @@ func TestGuestTimerInjection(t *testing.T) {
 	if info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if c.vcpus[0].sec.X[asm.S7] != 777 {
 		t.Error("guest VS-timer handler did not run")
 	}
@@ -464,7 +464,7 @@ func TestRunPreservesStateAcrossExits(t *testing.T) {
 		}
 		break
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	if c.vcpus[0].sec.X[asm.S8] != 50000 {
 		t.Errorf("s8 = %d, want 50000 (state lost across preemptions)", c.vcpus[0].sec.X[asm.S8])
 	}
@@ -480,7 +480,7 @@ func TestDestroyScrubsAndReleases(t *testing.T) {
 	if info := f.run(); info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	c := f.s.cvms[f.id]
+	c := f.s.life.cvms[f.id]
 	// Find the secret's physical frame before destroying.
 	b := f.s.tableBuilder(c)
 	pte, _, err := b.Lookup(c.hgatpRoot, PrivateBase+0x10_0000, true)

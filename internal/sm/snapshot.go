@@ -6,6 +6,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"zion/internal/hart"
@@ -32,7 +33,7 @@ const vcpuRecordLen = 32*8 + 8 + 1 + 8*8
 
 // sealKey derives the AEAD key from the platform key.
 func (s *SM) sealKey() []byte {
-	mac := hmac.New(sha256.New, s.key)
+	mac := hmac.New(sha256.New, s.att.key)
 	mac.Write([]byte("zion-snapshot-sealing-v1"))
 	return mac.Sum(nil)
 }
@@ -51,6 +52,9 @@ func (s *SM) aead() (cipher.AEAD, error) {
 func (s *SM) Snapshot(h *hart.Hart, id int, destPA, maxLen uint64) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if gerr := s.gateEnter(h, CompHost, CompLifecycle, "snapshot", false); gerr != nil {
+		return 0, wrapErr("snapshot", id, gerr)
+	}
 	c, err := s.cvm(id)
 	if err != nil {
 		return 0, err
@@ -58,7 +62,7 @@ func (s *SM) Snapshot(h *hart.Hart, id int, destPA, maxLen uint64) (uint64, erro
 	if c.state != stSuspended {
 		return 0, ErrBadState // quiesce first: no vCPU may be mid-run
 	}
-	if s.pool.contains(destPA, maxLen) || !s.ram.Contains(destPA, maxLen) {
+	if s.alloc.pool.contains(destPA, maxLen) || !s.ram.Contains(destPA, maxLen) {
 		return 0, ErrNotNormal
 	}
 
@@ -92,23 +96,33 @@ func (s *SM) Snapshot(h *hart.Hart, id int, destPA, maxLen uint64) (uint64, erro
 		h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy)
 	}
 
-	aead, err := s.aead()
-	if err != nil {
-		return 0, err
-	}
-	// Deterministic per-snapshot nonce: platform DRBG output. GCM nonce
-	// reuse across distinct plaintexts would be fatal; the DRBG is a
-	// counter-mode generator, so outputs never repeat.
-	nonce := make([]byte, aead.NonceSize())
-	for i := 0; i < len(nonce); i++ {
-		if i%8 == 0 {
-			var w [8]byte
-			le.PutUint64(w[:], s.rng.next())
-			copy(nonce[i:], w[:])
+	// Sealing crosses into the attestation compartment: the AEAD key
+	// derives from the platform key and the nonce from the platform DRBG,
+	// both attest-owned. A quarantined attest compartment refuses to seal
+	// (the CVM stays suspended; resume and destroy remain legal).
+	var out []byte
+	if gerr := s.gate(h, CompLifecycle, CompAttest, "seal-snapshot", func() error {
+		aead, aerr := s.aead()
+		if aerr != nil {
+			return aerr
 		}
+		// Deterministic per-snapshot nonce: platform DRBG output. GCM nonce
+		// reuse across distinct plaintexts would be fatal; the DRBG is a
+		// counter-mode generator, so outputs never repeat.
+		nonce := make([]byte, aead.NonceSize())
+		for i := 0; i < len(nonce); i++ {
+			if i%8 == 0 {
+				var w [8]byte
+				le.PutUint64(w[:], s.att.rng.next())
+				copy(nonce[i:], w[:])
+			}
+		}
+		sealed := aead.Seal(nil, nonce, buf, []byte("zion-cvm-snapshot"))
+		out = append(nonce, sealed...)
+		return nil
+	}); gerr != nil {
+		return 0, wrapErr("snapshot", id, gerr)
 	}
-	sealed := aead.Seal(nil, nonce, buf, []byte("zion-cvm-snapshot"))
-	out := append(nonce, sealed...)
 	if uint64(len(out)) > maxLen {
 		return 0, fmt.Errorf("%w: snapshot needs %d bytes, buffer holds %d",
 			ErrBadArgs, len(out), maxLen)
@@ -125,24 +139,37 @@ func (s *SM) Snapshot(h *hart.Hart, id int, destPA, maxLen uint64) (uint64, erro
 func (s *SM) Restore(h *hart.Hart, srcPA, length uint64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.pool.contains(srcPA, length) || !s.ram.Contains(srcPA, length) {
+	if gerr := s.gateEnter(h, CompHost, CompLifecycle, "restore", false); gerr != nil {
+		return 0, wrapErr("restore", 0, gerr)
+	}
+	if s.alloc.pool.contains(srcPA, length) || !s.ram.Contains(srcPA, length) {
 		return 0, ErrNotNormal
 	}
 	blob, err := s.ram.Read(srcPA, length)
 	if err != nil {
 		return 0, err
 	}
-	aead, err := s.aead()
-	if err != nil {
-		return 0, err
-	}
-	if uint64(len(blob)) < uint64(aead.NonceSize()) {
-		return 0, ErrBadArgs
-	}
-	nonce, sealed := blob[:aead.NonceSize()], blob[aead.NonceSize():]
-	buf, err := aead.Open(nil, nonce, sealed, []byte("zion-cvm-snapshot"))
-	if err != nil {
-		return 0, fmt.Errorf("%w: snapshot authentication failed", ErrTampered)
+	// Unsealing needs the platform key: an attestation-compartment loss
+	// refuses restores with a typed error (the blob is still intact in
+	// normal memory and can be restored after reboot).
+	var buf []byte
+	if gerr := s.gate(h, CompLifecycle, CompAttest, "unseal-snapshot", func() error {
+		aead, aerr := s.aead()
+		if aerr != nil {
+			return aerr
+		}
+		if uint64(len(blob)) < uint64(aead.NonceSize()) {
+			return ErrBadArgs
+		}
+		nonce, sealed := blob[:aead.NonceSize()], blob[aead.NonceSize():]
+		var oerr error
+		buf, oerr = aead.Open(nil, nonce, sealed, []byte("zion-cvm-snapshot"))
+		if oerr != nil {
+			return fmt.Errorf("%w: snapshot authentication failed", ErrTampered)
+		}
+		return nil
+	}); gerr != nil {
+		return 0, gerr
 	}
 
 	le := binary.LittleEndian
@@ -166,7 +193,7 @@ func (s *SM) Restore(h *hart.Hart, srcPA, length uint64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	c := s.cvms[int(id64)]
+	c := s.life.cvms[int(id64)]
 	c.entryPC = entryPC
 	c.measurer.sum = meas
 	c.measurer.sealed = true
@@ -194,23 +221,34 @@ func (s *SM) Restore(h *hart.Hart, srcPA, length uint64) (int, error) {
 	off += 4
 	b := s.tableBuilder(c)
 	flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
-	for i := 0; i < npages; i++ {
-		gpa := rd64()
-		pa, _, err := s.pool.allocPage(&c.tableCache)
-		if err != nil {
+	// Rebuilding private memory is one allocator-compartment transaction.
+	if gerr := s.gate(h, CompLifecycle, CompAlloc, "restore-pages", func() error {
+		for i := 0; i < npages; i++ {
+			gpa := rd64()
+			pa, _, aerr := s.alloc.pool.allocPage(&c.tableCache)
+			if aerr != nil {
+				_ = s.destroy(h, c.ID)
+				return aerr
+			}
+			c.owned[pa] = true
+			if werr := s.ram.Write(pa, buf[off:off+isa.PageSize]); werr != nil {
+				return werr
+			}
+			off += isa.PageSize
+			if merr := b.Map(c.hgatpRoot, gpa, pa, flags, 0, true); merr != nil {
+				return merr
+			}
+			c.mappings[gpa] = pa
+			h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy)
+		}
+		return nil
+	}); gerr != nil {
+		if errors.Is(gerr, ErrCompartment) {
+			// The shell exists but cannot be populated: tear it down (the
+			// forced teardown direction drains even a down allocator).
 			_ = s.destroy(h, c.ID)
-			return 0, err
 		}
-		c.owned[pa] = true
-		if err := s.ram.Write(pa, buf[off:off+isa.PageSize]); err != nil {
-			return 0, err
-		}
-		off += isa.PageSize
-		if err := b.Map(c.hgatpRoot, gpa, pa, flags, 0, true); err != nil {
-			return 0, err
-		}
-		c.mappings[gpa] = pa
-		h.Advance(uint64(isa.PageSize/64) * h.Cost.CacheLineCopy)
+		return 0, gerr
 	}
 	return c.ID, nil
 }
@@ -229,7 +267,7 @@ func (s *SM) AttachSharedVCPU(id, vcpuID int, sharedPA uint64) error {
 		return ErrNotFound
 	}
 	if sharedPA%isa.PageSize != 0 || !s.ram.Contains(sharedPA, isa.PageSize) ||
-		s.pool.contains(sharedPA, isa.PageSize) {
+		s.alloc.pool.contains(sharedPA, isa.PageSize) {
 		return ErrNotNormal
 	}
 	c.vcpus[vcpuID].sharedPA = sharedPA

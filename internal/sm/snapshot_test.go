@@ -71,7 +71,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 			t.Fatalf("post-restore: %v", info.Reason)
 		}
 	}
-	v := f.s.cvms[newID].vcpus[0]
+	v := f.s.life.cvms[newID].vcpus[0]
 	if v.sec.X[asm.S2] != 80_000 {
 		t.Errorf("counter = %d, want 80000 (state lost across seal/restore)", v.sec.X[asm.S2])
 	}

@@ -43,7 +43,7 @@ func TestGuestKernelRunsUserProcess(t *testing.T) {
 	if info.Reason != ExitShutdown {
 		t.Fatalf("reason = %v", info.Reason)
 	}
-	v := f.s.cvms[f.id].vcpus[0]
+	v := f.s.life.cvms[f.id].vcpus[0]
 	if v.sec.X[asm.S2] != isa.ExcEcallU {
 		t.Errorf("guest kernel saw cause %d, want ecall-from-U (%d)",
 			v.sec.X[asm.S2], isa.ExcEcallU)
@@ -97,7 +97,7 @@ func TestVUModePreservedAcrossPreemption(t *testing.T) {
 			t.Fatal("never finished")
 		}
 		// Between runs the saved mode must be VU while the user spins.
-		c := f.s.cvms[f.id]
+		c := f.s.life.cvms[f.id]
 		if got := c.vcpus[0].sec.Mode; got != isa.ModeVU {
 			t.Fatalf("saved guest mode = %v, want VU", got)
 		}
@@ -105,7 +105,7 @@ func TestVUModePreservedAcrossPreemption(t *testing.T) {
 	if preempted < 2 {
 		t.Errorf("preemptions = %d, want several", preempted)
 	}
-	v := f.s.cvms[f.id].vcpus[0]
+	v := f.s.life.cvms[f.id].vcpus[0]
 	if v.sec.X[asm.S3] != 60_000 {
 		t.Errorf("user loop count = %d (state corrupted across VU resumes)", v.sec.X[asm.S3])
 	}

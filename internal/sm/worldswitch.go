@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"errors"
 	"fmt"
 
 	"zion/internal/hart"
@@ -72,7 +73,7 @@ func (s *SM) restoreHVCtx(h *hart.Hart, c hvCtx) {
 // (no access) and CVM-mode (full access) views.
 //
 // The set of entries to flip is read from this hart's own PMP file, not
-// from len(s.pool.regions): a peer's FnRegisterPool commits the region
+// from len(s.alloc.pool.regions): a peer's FnRegisterPool commits the region
 // record to the shared pool immediately, but the carve-out reaches this
 // hart's PMP only at its next quantum barrier (Machine.OnHart). Charging
 // by the shared count would make world-switch cost depend on host-thread
@@ -103,6 +104,13 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	// concurrently and serialise only on monitor services.
 	s.mu.Lock()
 	h.Advance(h.Cost.TrapEntry + h.Cost.SMDispatch)
+	// The run enters the world-switch compartment through the audited
+	// gate: a quarantined (hung) switch compartment refuses every run
+	// with a typed error while lifecycle and teardown keep working.
+	if gerr := s.gateEnter(h, CompHost, CompSwitch, "run", false); gerr != nil {
+		s.mu.Unlock()
+		return ExitInfo{}, wrapErr("run", cvmID, gerr)
+	}
 	c, err := s.cvm(cvmID)
 	if err != nil {
 		s.mu.Unlock()
@@ -132,7 +140,7 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 			s.trace(h.Cycles, EvViolation, c.ID, 0, err.Error())
 			s.tel.Counter("sm/tamper_detected").Inc()
 			err = wrapErr("run", c.ID, err)
-			s.quarantine(h, c, err)
+			s.quarantine(h, c, err, s.originHere(h, CompSwitch))
 			s.tel.AttrSwitch(h.ID, h.Cycles, telemetry.NoCVM, telemetry.AttrHost)
 			s.mu.Unlock()
 			return ExitInfo{Reason: ExitError}, err
@@ -157,11 +165,15 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	s.tel.AttrSwitch(h.ID, h.Cycles, telemetry.NoCVM, telemetry.AttrHost)
 	// A fatal fault detected inside the run (internal memory escape,
 	// page-table corruption, shared-page publish failure) quarantines the
-	// CVM now that the Normal-mode context is restored.
+	// CVM now that the Normal-mode context is restored. The post-mortem
+	// carries the origin recorded at the fault site: under the parallel
+	// engine this hart may only be the observer — a sibling vCPU's world
+	// switch on another hart may have recorded the fault.
 	if c.fatal != nil {
-		err := wrapErr("run", c.ID, c.fatal)
+		err := wrapErr("run", c.ID, c.fatal.err)
+		origin := c.fatal.origin
 		c.fatal = nil
-		s.quarantine(h, c, err)
+		s.quarantine(h, c, err, origin)
 		s.mu.Unlock()
 		return ExitInfo{Reason: ExitError}, err
 	}
@@ -308,7 +320,7 @@ func (s *SM) publishExit(h *hart.Hart, c *CVM, v *VCPU, info ExitInfo) {
 			// The shared page escaped RAM: the exit cannot be published, so
 			// the round-trip contract is unfulfillable. Mark the CVM fatal;
 			// RunVCPU quarantines it once the world switch completes.
-			c.fatal = err
+			c.fatal = &fatalFault{err: err, origin: s.originHere(h, CompSwitch)}
 			v.pending = nil
 			return
 		}
@@ -569,7 +581,26 @@ func (s *SM) demandPage(h *hart.Hart, c *CVM, v *VCPU, gpa uint64, t hart.Trap) 
 	faultStart := h.Cycles - h.Cost.TrapEntry - h.Cost.SMDispatch
 	h.Advance(h.Cost.SMFaultBase)
 	pageGPA := gpa &^ uint64(isa.PageSize-1)
-	pa, stage, err := s.pool.allocPage(&v.memCache)
+	// The demand-page allocation crosses into the allocator compartment.
+	// A quarantined allocator cannot grow any CVM: this CVM's working set
+	// can no longer be served, so it is quarantined (fatal per-CVM, typed)
+	// while CVMs that never demand-page keep running untouched.
+	var pa uint64
+	var stage AllocStage
+	err := s.gate(h, CompSwitch, CompAlloc, "demand-page", func() error {
+		var aerr error
+		pa, stage, aerr = s.alloc.pool.allocPage(&v.memCache)
+		return aerr
+	})
+	if errors.Is(err, ErrCompartment) {
+		c.fatal = &fatalFault{
+			err: smErr(CodeCompartment, SevFatalCVM, c.ID, "demand-page",
+				fmt.Errorf("%w: allocator compartment lost mid-run", ErrCompartment)),
+			origin: s.originHere(h, CompAlloc),
+		}
+		v.sec.PC = h.CSR(isa.CSRMepc)
+		return ExitInfo{Reason: ExitError}, true
+	}
 	if err != nil {
 		// Stage 3: ask the hypervisor for more secure memory, then the
 		// guest retries the faulting access. The full stage-3 fault cost
@@ -598,16 +629,22 @@ func (s *SM) demandPage(h *hart.Hart, c *CVM, v *VCPU, gpa uint64, t hart.Trap) 
 	// (bit-flipped page table, frame outside RAM): fatal for this CVM,
 	// quarantined by RunVCPU after the world switch unwinds.
 	if err := s.ram.Zero(pa, isa.PageSize); err != nil {
-		c.fatal = smErr(CodeMemory, SevFatalCVM, c.ID, "demand-page",
-			fmt.Errorf("secure page scrub escaped RAM: %w", err))
+		c.fatal = &fatalFault{
+			err: smErr(CodeMemory, SevFatalCVM, c.ID, "demand-page",
+				fmt.Errorf("secure page scrub escaped RAM: %w", err)),
+			origin: s.originHere(h, CompAlloc),
+		}
 		v.sec.PC = h.CSR(isa.CSRMepc)
 		return ExitInfo{Reason: ExitError}, true
 	}
 	b := s.tableBuilder(c)
 	flags := uint64(isa.PTERead | isa.PTEWrite | isa.PTEExec | isa.PTEUser)
 	if err := b.Map(c.hgatpRoot, pageGPA, pa, flags, 0, true); err != nil {
-		c.fatal = smErr(CodeInternal, SevFatalCVM, c.ID, "demand-page",
-			fmt.Errorf("stage-2 map failed: %w", err))
+		c.fatal = &fatalFault{
+			err: smErr(CodeInternal, SevFatalCVM, c.ID, "demand-page",
+				fmt.Errorf("stage-2 map failed: %w", err)),
+			origin: s.originHere(h, CompSwitch),
+		}
 		v.sec.PC = h.CSR(isa.CSRMepc)
 		return ExitInfo{Reason: ExitError}, true
 	}
@@ -688,12 +725,26 @@ func (s *SM) handleGuestSBI(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, bool) {
 		// a0/a1 ride along: guests report self-measured results this way.
 		return ExitInfo{Reason: ExitShutdown, Data: a0, Data2: a1}, true
 	case EIDZion:
+		// Random, Measure, and Attest cross into the attestation
+		// compartment; when it is quarantined the guest gets an SBI error
+		// and keeps running — attestation loss degrades the service, it
+		// does not kill CVMs (§ degraded-mode matrix, docs/SECURITY.md).
 		switch fid {
 		case ZionFnRandom:
-			resume(s.rng.next(), 0)
+			var r uint64
+			if err := s.gate(h, CompSwitch, CompAttest, "sbi-random", func() error {
+				r = s.att.rng.next()
+				return nil
+			}); err != nil {
+				resume(0, 1)
+			} else {
+				resume(r, 0)
+			}
 			return ExitInfo{}, false
 		case ZionFnMeasure:
-			if err := s.copyToGuest(c, a0, c.measurer.value()); err != nil {
+			if err := s.gate(h, CompSwitch, CompAttest, "sbi-measure", func() error {
+				return s.copyToGuest(c, a0, c.measurer.value())
+			}); err != nil {
 				resume(0, 1)
 			} else {
 				h.Advance(uint64(len(c.measurer.value())/8) * h.Cost.RegCopy)
@@ -701,8 +752,11 @@ func (s *SM) handleGuestSBI(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, bool) {
 			}
 			return ExitInfo{}, false
 		case ZionFnAttest:
-			rep := s.attestationReport(c, a1)
-			if err := s.copyToGuest(c, a0, rep); err != nil {
+			var rep []byte
+			if err := s.gate(h, CompSwitch, CompAttest, "sbi-attest", func() error {
+				rep = s.attestationReport(c, a1)
+				return s.copyToGuest(c, a0, rep)
+			}); err != nil {
 				resume(0, 1)
 			} else {
 				h.Advance(uint64(len(rep)/8) * h.Cost.RegCopy)
@@ -715,7 +769,12 @@ func (s *SM) handleGuestSBI(h *hart.Hart, c *CVM, v *VCPU) (ExitInfo, bool) {
 			resume(0, 0)
 			return ExitInfo{}, false
 		case ZionFnRelinquish:
-			if err := s.relinquishPage(h, c, a0); err != nil {
+			// Give-backs shrink the attack surface and are always accepted:
+			// the crossing into the allocator is forced (audited, never
+			// denied) even when the allocator compartment is quarantined.
+			if err := s.gateForce(h, CompSwitch, CompAlloc, "relinquish", func() error {
+				return s.relinquishPage(h, c, a0)
+			}); err != nil {
 				resume(0, 1)
 			} else {
 				resume(0, 0)
@@ -742,7 +801,7 @@ func (s *SM) copyToGuest(c *CVM, gpa uint64, data []byte) error {
 		if err != nil {
 			// The guest handed us a not-yet-touched buffer: demand-map it
 			// exactly as a stage-2 fault would.
-			pa, _, aerr := s.pool.allocPage(&c.tableCache)
+			pa, _, aerr := s.alloc.pool.allocPage(&c.tableCache)
 			if aerr != nil {
 				return aerr
 			}

@@ -22,6 +22,7 @@ const (
 	AttrTLB                       // TLB flush / maintenance
 	AttrSBI                       // guest SBI emulation in the SM
 	AttrSMOther                   // other M-mode service (timer virtualization…)
+	AttrGate                      // SM compartment call-gate crossings
 
 	NumAttrBuckets = iota
 )
@@ -47,6 +48,8 @@ func (b AttrBucket) String() string {
 		return "sbi"
 	case AttrSMOther:
 		return "sm.other"
+	case AttrGate:
+		return "sm.gate"
 	}
 	return "?"
 }

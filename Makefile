@@ -16,10 +16,12 @@
 #   make bench-gate       - re-measure at 1/8 scale and fail if the simulated
 #                           cycle/instret fingerprint drifts from the committed
 #                           BENCH_host_short.json or a speedup regresses >20%
+#   make smoke-monitor    - run a guest with the live monitor endpoint armed and
+#                           self-scrape /metrics, /healthz and /profile
 
 GO ?= go
 
-.PHONY: build test check race lint smoke smoke-compromise bench bench-host bench-host-short bench-gate
+.PHONY: build test check race lint smoke smoke-compromise smoke-monitor bench bench-host bench-host-short bench-gate
 
 build:
 	$(GO) build ./...
@@ -47,6 +49,7 @@ check: build
 	$(GO) test ./...
 	$(MAKE) smoke
 	$(MAKE) smoke-compromise
+	$(MAKE) smoke-monitor
 	$(MAKE) bench-host-short
 
 # smoke runs one fixed-seed fault campaign through the zionbench driver:
@@ -61,6 +64,13 @@ smoke:
 # the JSON report doubles as the post-mortem artifact on failure.
 smoke-compromise:
 	$(GO) run ./cmd/zionbench -e fic -ficseed 1 $(if $(FIC_SCENARIOS),-ficscenarios $(FIC_SCENARIOS)) -ficreport fic_report.json
+
+# smoke-monitor proves the streaming monitor endpoint end to end without
+# curl: zionvm serves it on a loopback port, runs a guest with the
+# profiler armed, then scrapes its own /metrics, /healthz and /profile
+# and exits non-zero if any body is malformed.
+smoke-monitor:
+	$(GO) run ./cmd/zionvm -workload aes -scale 256 -quantum 30000 -monitorcheck
 
 bench:
 	$(GO) run ./cmd/zionbench

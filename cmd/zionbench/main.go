@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,11 +29,74 @@ import (
 
 	"zion/internal/bench"
 	"zion/internal/faultinject"
+	"zion/internal/monitor"
 	"zion/internal/telemetry"
 )
 
+// experiments is the authoritative -e vocabulary, in run order.
+var experiments = []struct{ ID, Desc string }{
+	{"e1", "§V.B.1 shared-vCPU world-switch optimization"},
+	{"e2", "§V.B.2 short-path vs long-path world switch"},
+	{"e3", "§V.C stage-2 page-fault handling per allocation stage"},
+	{"t1", "Table I RV8 suite, normal VM vs confidential VM"},
+	{"e4", "§V.D CoreMark-like score"},
+	{"f3", "Fig. 3 Redis-like throughput and latency"},
+	{"f4", "Fig. 4 IOZone-like sequential I/O sweep"},
+	{"a1", "ablation: concurrency vs region-based isolation"},
+	{"a2", "ablation: split page table vs synchronized sharing"},
+	{"a3", "ablation: hierarchical allocator stage distribution"},
+	{"a4", "ablation: shared-subtable entry revalidation cost"},
+	{"fi", "robustness: seeded fault-injection campaign sweep"},
+	{"fic", "robustness: compartment-compromise campaign (blast radius)"},
+}
+
+// experimentIDs returns the vocabulary in run order.
+func experimentIDs() []string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// parseExperiments expands a -e selection into the set of experiment ids
+// to run. "micro" is an alias for e1,e2,e3; unknown names error with the
+// full vocabulary so the message doubles as discovery.
+func parseExperiments(sel string) (map[string]bool, error) {
+	valid := map[string]bool{}
+	for _, e := range experiments {
+		valid[e.ID] = true
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(sel, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if e == "micro" {
+			want["e1"], want["e2"], want["e3"] = true, true, true
+			continue
+		}
+		if !valid[e] {
+			return nil, fmt.Errorf("unknown experiment %q\nvalid experiments: %s (plus 'micro' = e1,e2,e3; 'list' prints descriptions)",
+				e, strings.Join(experimentIDs(), ", "))
+		}
+		want[e] = true
+	}
+	return want, nil
+}
+
+// listExperiments prints the vocabulary with one-line descriptions
+// (the -e list mode).
+func listExperiments(w io.Writer) {
+	for _, e := range experiments {
+		fmt.Fprintf(w, "%-5s %s\n", e.ID, e.Desc)
+	}
+	fmt.Fprintln(w, "micro alias for e1,e2,e3")
+}
+
 func main() {
-	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi,fic", "experiments to run ('micro' = e1,e2,e3)")
+	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi,fic", "experiments to run ('micro' = e1,e2,e3; 'list' prints them)")
 	scaleDiv := flag.Int("scalediv", 1, "divide workload scales (faster, less precise)")
 	requests := flag.Int("requests", 200, "redis requests per operation")
 	fiSeeds := flag.Int("fiseeds", 5, "fault-injection campaigns (one seed each)")
@@ -50,7 +114,16 @@ func main() {
 	hostdiv := flag.Int("hostdiv", 1, "divide host-bench workload scales (faster, noisier)")
 	hostharts := flag.Int("hostharts", 4, "harts for the parallel host-throughput section (0 = skip)")
 	hostgate := flag.String("hostgate", "", "gate the fresh host benchmark against baseline JSON FILE; exit nonzero on fingerprint drift or >20% speedup regression")
+	profileOut := flag.String("profile", "", "arm the cycle-domain sampling profiler and write folded stacks to FILE (flamegraph/speedscope input)")
+	profPeriod := flag.Uint64("profperiod", telemetry.DefaultProfilePeriod, "profiler sampling period in simulated cycles")
+	metricsOut := flag.String("metricsout", "", "write the /metrics Prometheus text body to FILE after the run (CI artifact)")
+	monitorAddr := flag.String("monitor", "", "serve the live monitor endpoint on ADDR (e.g. :8080; snapshots after each experiment)")
 	flag.Parse()
+
+	if strings.TrimSpace(*sel) == "list" {
+		listExperiments(os.Stdout)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -67,43 +140,61 @@ func main() {
 	}
 
 	// Simulated-stack observability: one sink shared by every environment
-	// the selected experiments boot.
+	// the selected experiments boot. The profiler and the monitor endpoint
+	// both need a sink; -profile/-monitor arm cycle-domain sampling.
 	var sink *telemetry.Sink
-	if *traceOut != "" || *timelineOut != "" || *metrics {
-		sink = telemetry.New(telemetry.Config{TraceEvents: *traceCap})
+	if *traceOut != "" || *timelineOut != "" || *metrics ||
+		*profileOut != "" || *metricsOut != "" || *monitorAddr != "" {
+		cfg := telemetry.Config{TraceEvents: *traceCap}
+		if *profileOut != "" || *monitorAddr != "" {
+			cfg.ProfilePeriod = *profPeriod
+		}
+		sink = telemetry.New(cfg)
 		bench.SetTelemetry(sink)
 	}
 
-	// validExperiments is the authoritative -e vocabulary, in run order.
-	validExperiments := []string{"e1", "e2", "e3", "t1", "e4", "f3", "f4", "a1", "a2", "a3", "a4", "fi", "fic"}
-	valid := map[string]bool{}
-	for _, id := range validExperiments {
-		valid[id] = true
-	}
-	want := map[string]bool{}
-	for _, e := range strings.Split(*sel, ",") {
-		e = strings.TrimSpace(e)
-		if e == "" {
-			continue
-		}
-		if e == "micro" {
-			want["e1"], want["e2"], want["e3"] = true, true, true
-			continue
-		}
-		if !valid[e] {
-			fmt.Fprintf(os.Stderr, "zionbench: unknown experiment %q\n", e)
-			fmt.Fprintf(os.Stderr, "valid experiments: %s (plus 'micro' = e1,e2,e3)\n",
-				strings.Join(validExperiments, ", "))
-			fmt.Fprintln(os.Stderr, "usage: zionbench -e e1,t1,fi [flags]; run with -h for all flags")
-			os.Exit(2)
-		}
-		want[e] = true
+	want, err := parseExperiments(*sel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zionbench: %v\n", err)
+		fmt.Fprintln(os.Stderr, "usage: zionbench -e e1,t1,fi [flags]; run with -h for all flags")
+		os.Exit(2)
 	}
 	fail := func(id string, err error) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 		os.Exit(1)
 	}
+
+	// The monitor endpoint snapshots between experiments — each boundary is
+	// a consistent point (no experiment mid-flight), so scrapes observe
+	// settled cross-environment state.
+	var mon *monitor.Server
+	if *monitorAddr != "" || *metricsOut != "" {
+		mon = monitor.New(sink, nil) // flight rings are per-machine; see zionvm -monitor
+	}
+	updateMonitor := func(done bool) {
+		if mon == nil {
+			return
+		}
+		var progress []monitor.HartProgress
+		id := 0
+		for _, e := range bench.Envs() {
+			for _, h := range e.M.Harts {
+				progress = append(progress, monitor.HartProgress{Hart: id, Cycles: h.Cycles, Done: done})
+				id++
+			}
+		}
+		mon.Update(progress)
+	}
+	if *monitorAddr != "" {
+		addr, err := mon.Serve(*monitorAddr)
+		if err != nil {
+			fail("monitor", err)
+		}
+		defer mon.Close()
+		fmt.Printf("monitor endpoint on http://%s (/metrics /profile /flight /healthz)\n", addr)
+	}
 	section := func(id, title string) {
+		updateMonitor(false)
 		fmt.Printf("\n=== %s — %s ===\n", id, title)
 	}
 
@@ -333,8 +424,27 @@ func main() {
 	}
 
 	if sink != nil {
-		// Settle attribution so per-CVM cells sum exactly to hart totals.
+		// Settle attribution so per-CVM cells sum exactly to hart totals
+		// (this also flushes each hart's profiler cursor to the same cycle).
 		bench.FlushTelemetry()
+		updateMonitor(true)
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err != nil {
+				fail("profile", err)
+			}
+			sink.ExportFoldedProfile(f)
+			if err := f.Close(); err != nil {
+				fail("profile", err)
+			}
+			fmt.Printf("wrote folded profile to %s (flamegraph.pl / speedscope input)\n", *profileOut)
+		}
+		if *metricsOut != "" {
+			if err := os.WriteFile(*metricsOut, mon.Metrics(), 0o644); err != nil {
+				fail("metricsout", err)
+			}
+			fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -392,6 +502,9 @@ type ficPostMortem struct {
 	Hart        int
 	Epoch       uint64
 	Salvage     string `json:",omitempty"`
+	// Flight is the faulting hart's flight-recorder tail: the last
+	// high-level events (traps, gates, world switches) before quarantine.
+	Flight []string `json:",omitempty"`
 }
 
 // ficResult is the JSON view of one compromise-scenario verdict.
@@ -441,6 +554,7 @@ func writeCompromiseReport(path string, rep *faultinject.CompromiseReport) error
 				Hart:        pm.Hart,
 				Epoch:       pm.Epoch,
 				Salvage:     pm.Salvage,
+				Flight:      pm.Flight,
 			}
 			if pm.Cause != nil {
 				r.PostMortem.Cause = pm.Cause.Error()

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseExperimentsVocabulary: every documented id parses, micro
+// expands, whitespace and empty segments are tolerated.
+func TestParseExperimentsVocabulary(t *testing.T) {
+	want, err := parseExperiments("e1, t1,,fic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "t1", "fic"} {
+		if !want[id] {
+			t.Errorf("%s not selected", id)
+		}
+	}
+	if len(want) != 3 {
+		t.Errorf("selected %v, want exactly 3 ids", want)
+	}
+
+	micro, err := parseExperiments("micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e2", "e3"} {
+		if !micro[id] {
+			t.Errorf("micro alias missing %s", id)
+		}
+	}
+
+	all, err := parseExperiments(strings.Join(experimentIDs(), ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(experiments) {
+		t.Errorf("full vocabulary selected %d ids, want %d", len(all), len(experiments))
+	}
+}
+
+// TestParseExperimentsUnknown: an unknown id errors, and the message
+// carries the full valid vocabulary so the CLI failure is self-directing.
+func TestParseExperimentsUnknown(t *testing.T) {
+	_, err := parseExperiments("e1,bogus")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error does not name the bad id: %s", msg)
+	}
+	for _, id := range experimentIDs() {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list valid id %s: %s", id, msg)
+		}
+	}
+}
+
+// TestListExperiments: -e list prints every id with a description.
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	listExperiments(&buf)
+	out := buf.String()
+	for _, e := range experiments {
+		if !strings.Contains(out, e.ID) || !strings.Contains(out, e.Desc) {
+			t.Errorf("listing missing %s (%s):\n%s", e.ID, e.Desc, out)
+		}
+	}
+	if !strings.Contains(out, "micro") {
+		t.Errorf("listing does not mention the micro alias:\n%s", out)
+	}
+}

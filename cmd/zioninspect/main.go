@@ -2,7 +2,9 @@
 // workload, and dumps the security-relevant machine state: the PMP plan
 // in both worlds, secure-pool occupancy, the CVM's stage-2 layout,
 // TLB statistics and the Secure Monitor's event counters — a debugging
-// view of everything ZION's isolation is built from.
+// view of everything ZION's isolation is built from. It always runs the
+// cross-layer invariant auditor last and exits non-zero on any finding,
+// so it doubles as a scriptable post-run integrity check.
 package main
 
 import (
@@ -12,14 +14,21 @@ import (
 
 	"zion"
 	"zion/internal/pmp"
+	"zion/internal/telemetry"
 	"zion/internal/workloads"
 )
 
 func main() {
 	trace := flag.Int("trace", 16, "SM trace events to capture and print (0 = off)")
+	flight := flag.Bool("flight", false, "dump each hart's flight-recorder ring (recent traps, gates, world switches)")
+	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry after the probe run")
 	flag.Parse()
 
-	sys, err := zion.NewSystem(zion.Config{TraceEvents: *trace})
+	cfg := zion.Config{TraceEvents: *trace}
+	if *metrics {
+		cfg.Telemetry = telemetry.New(telemetry.Config{})
+	}
+	sys, err := zion.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zioninspect:", err)
 		os.Exit(1)
@@ -99,4 +108,29 @@ func main() {
 	for _, ts := range h.TrapMix() {
 		fmt.Printf("    cause %2d %-24s %d\n", ts.Cause, ts.Name, ts.Count)
 	}
+
+	if *flight {
+		fmt.Println("\n=== Flight recorder (oldest first) ===")
+		sys.Machine.Flight.Dump(os.Stdout)
+	}
+	if *metrics {
+		sys.FlushTelemetry()
+		fmt.Println("\n=== Telemetry metrics ===")
+		cfg.Telemetry.Registry.Dump(os.Stdout)
+	}
+
+	// The auditor re-derives the isolation invariants (PMP plan, pool
+	// ownership, stage-2 mappings) from live state; any finding means the
+	// layers disagree, so scripts must see a failure, not just text.
+	fmt.Println("\n=== Cross-layer invariant audit ===")
+	findings := sys.Monitor.Audit()
+	if len(findings) == 0 {
+		fmt.Println("  clean: all cross-layer invariants hold")
+		return
+	}
+	for _, f := range findings {
+		fmt.Printf("  FINDING: %s\n", f)
+	}
+	fmt.Fprintf(os.Stderr, "zioninspect: %d invariant finding(s)\n", len(findings))
+	os.Exit(1)
 }

@@ -11,10 +11,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 
 	"zion"
+	"zion/internal/monitor"
+	"zion/internal/telemetry"
 	"zion/internal/workloads"
 )
 
@@ -24,6 +29,8 @@ func main() {
 	normal := flag.Bool("normal", false, "run as a normal VM instead of a confidential VM")
 	scale := flag.Int("scale", 0, "workload scale (0 = kernel default)")
 	quantum := flag.Uint64("quantum", 220_000, "scheduler timeslice in cycles (0 = none)")
+	monitorAddr := flag.String("monitor", "", "serve the live monitor endpoint on ADDR (e.g. :8080; snapshots at scheduler quanta)")
+	monitorCheck := flag.Bool("monitorcheck", false, "after the run, scrape the endpoint's /metrics and /healthz over loopback and fail on malformed output (CI smoke)")
 	flag.Parse()
 
 	kernels := map[string]workloads.Kernel{}
@@ -54,10 +61,46 @@ func main() {
 		*scale = k.DefaultScale
 	}
 
-	sys, err := zion.NewSystem(zion.Config{SchedQuantum: *quantum})
+	cfg := zion.Config{SchedQuantum: *quantum}
+	if *monitorCheck && *monitorAddr == "" {
+		*monitorAddr = "127.0.0.1:0"
+	}
+	if *monitorAddr != "" {
+		// The endpoint serves /metrics and /profile from the telemetry sink;
+		// arm both so a scrape sees real data.
+		cfg.Telemetry = telemetry.New(telemetry.Config{
+			ProfilePeriod: telemetry.DefaultProfilePeriod,
+		})
+	}
+	sys, err := zion.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zionvm:", err)
 		os.Exit(1)
+	}
+
+	var mon *monitor.Server
+	var monUpdate func(done bool)
+	var monURL string
+	if *monitorAddr != "" {
+		mon = monitor.New(cfg.Telemetry, sys.Machine.Flight)
+		monUpdate = func(done bool) {
+			var progress []monitor.HartProgress
+			for _, h := range sys.Machine.Harts {
+				progress = append(progress, monitor.HartProgress{Hart: h.ID, Cycles: h.Cycles, Done: done})
+			}
+			mon.Update(progress)
+		}
+		// Scheduler-quantum boundaries are the sequential engine's
+		// consistent-snapshot points (docs/OBSERVABILITY.md).
+		sys.OnQuantum = func() { monUpdate(false) }
+		addr, err := mon.Serve(*monitorAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zionvm: monitor:", err)
+			os.Exit(1)
+		}
+		defer mon.Close()
+		monURL = "http://" + addr
+		fmt.Printf("monitor endpoint on %s (/metrics /profile /flight /healthz)\n", monURL)
 	}
 	img := workloads.Program(k, *scale)
 
@@ -88,10 +131,67 @@ func main() {
 	fmt.Printf("wall time  : %d cycles\n", res.Cycles)
 	fmt.Printf("exits      : %v\n", vm.Exits())
 
+	if mon != nil {
+		// Final snapshot: attribution and profiler cursors settled, every
+		// hart reported done so the watchdog cannot flag the quiesced run.
+		sys.FlushTelemetry()
+		monUpdate(true)
+	}
+	if *monitorCheck {
+		if err := selfScrape(monURL); err != nil {
+			fmt.Fprintln(os.Stderr, "zionvm: monitorcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println("monitorcheck: /metrics and /healthz well-formed")
+	}
+
 	want := k.Mirror(*scale)
 	fmt.Printf("checksum ok: %v (guest %#x, mirror %#x)\n",
 		res.GuestData2 == want, res.GuestData2, want)
 	if res.GuestData2 != want {
 		os.Exit(1)
 	}
+}
+
+// selfScrape fetches the endpoint's own /metrics and /healthz over
+// loopback and validates they are well-formed — the curl-free smoke test
+// behind `make smoke-monitor`.
+func selfScrape(base string) error {
+	get := func(path string) (int, string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		return resp.StatusCode, string(body), nil
+	}
+	code, body, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/metrics returned %d", code)
+	}
+	if !strings.Contains(body, "zion_monitor_updates") || !strings.Contains(body, "zion_hart_cycles") {
+		return fmt.Errorf("/metrics body malformed:\n%s", body)
+	}
+	code, body, err = get("/healthz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		return fmt.Errorf("/healthz unhealthy after a completed run: %d %q", code, body)
+	}
+	code, body, err = get("/profile")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || len(body) == 0 {
+		return fmt.Errorf("/profile empty or failed: %d", code)
+	}
+	return nil
 }

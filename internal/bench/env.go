@@ -48,6 +48,12 @@ func SetTelemetry(sink *telemetry.Sink) {
 	telEnvs = nil
 }
 
+// Envs returns the environments wired to the shared sink since the last
+// SetTelemetry call. Monitor endpoints build per-hart progress reports
+// from them; the slice only ever grows within one arming, so hart indices
+// derived from it stay stable across updates.
+func Envs() []*Env { return telEnvs }
+
 // FlushTelemetry settles attribution at each wired hart's final cycle
 // count — making per-CVM cells sum exactly to hart totals — and publishes
 // end-of-run MMU/PMP gauges. Call once, after the experiments and before
@@ -131,6 +137,7 @@ func NewEnv(cfg EnvConfig) *Env {
 		k.SetTelemetry(sc)
 		for _, hh := range m.Harts {
 			hh.Tel = sc
+			hh.Prof = sc.Profiler(hh.ID) // nil unless the sink armed profiling
 		}
 	}
 	if err := k.RegisterSecurePool(h, cfg.PoolSize); err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"zion/internal/telemetry"
+	"zion/internal/workloads"
 )
 
 // runE1Traced runs a small E1 under a fresh sink and returns the exported
@@ -129,7 +130,10 @@ func TestTraceContainsWorldSwitchSpans(t *testing.T) {
 
 // TestTelemetryOffBitIdentical: arming telemetry must not perturb the
 // simulation — cycle-domain results with the sink on and off are
-// bit-identical, proving record sites never advance simulated time.
+// bit-identical, proving record sites never advance simulated time. The
+// armed cases cover the whole observability plane: tracing only, tracing
+// with the sampling profiler at zero period (armed but never due), and
+// profiler actively sampling at the default period.
 func TestTelemetryOffBitIdentical(t *testing.T) {
 	SetTelemetry(nil)
 	off, err := RunE1(20)
@@ -139,6 +143,118 @@ func TestTelemetryOffBitIdentical(t *testing.T) {
 	_, _, on := runE1Traced(t, 20)
 	if off != on {
 		t.Errorf("telemetry changed benchmark results:\noff: %+v\non:  %+v", off, on)
+	}
+	for _, tc := range []struct {
+		name   string
+		period uint64
+	}{
+		{"profiler-armed-zero-sampling", 0},
+		{"profiler-sampling-default-period", telemetry.DefaultProfilePeriod},
+	} {
+		sink := telemetry.New(telemetry.Config{ProfilePeriod: tc.period})
+		SetTelemetry(sink)
+		armed, err := RunE1(20)
+		SetTelemetry(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if off != armed {
+			t.Errorf("%s changed benchmark results:\noff:   %+v\narmed: %+v", tc.name, off, armed)
+		}
+	}
+}
+
+// TestProfilerArmedEngineBitIdentity: the sampling profiler must not
+// perturb any of the three engines — cycle and instret fingerprints with
+// sampling armed are identical to the unarmed run, per engine.
+func TestProfilerArmedEngineBitIdentity(t *testing.T) {
+	var k workloads.Kernel
+	for _, c := range workloads.RV8() {
+		if c.Name == "aes" {
+			k = c
+		}
+	}
+	const scale = 64
+	for _, engine := range []string{EngineSlow, EngineFast, EngineBlock} {
+		SetTelemetry(nil)
+		base, err := runHostOnce(k, scale, engine)
+		if err != nil {
+			t.Fatalf("%s unarmed: %v", engine, err)
+		}
+		// An aggressive period exercises the sample hook on every engine's
+		// hot loop far more often than the default would.
+		sink := telemetry.New(telemetry.Config{ProfilePeriod: 512})
+		SetTelemetry(sink)
+		armed, err := runHostOnce(k, scale, engine)
+		SetTelemetry(nil)
+		if err != nil {
+			t.Fatalf("%s armed: %v", engine, err)
+		}
+		if base.cycles != armed.cycles || base.instr != armed.instr {
+			t.Errorf("%s: profiler perturbed the run: cycles %d->%d instret %d->%d",
+				engine, base.cycles, armed.cycles, base.instr, armed.instr)
+		}
+		if len(sink.ProfileMatrix()) == 0 {
+			t.Errorf("%s: armed run collected no samples", engine)
+		}
+	}
+}
+
+// TestProfileMatrixSumsToAttribution: after FlushTelemetry the profiler's
+// per-hart matrix total must equal the attribution cursor's HartTotal
+// exactly — both tables are flushed to the same cycle, so the identity is
+// exact, not approximate.
+func TestProfileMatrixSumsToAttribution(t *testing.T) {
+	sink := telemetry.New(telemetry.Config{ProfilePeriod: telemetry.DefaultProfilePeriod})
+	SetTelemetry(sink)
+	defer SetTelemetry(nil)
+	if _, err := RunE1(20); err != nil {
+		t.Fatal(err)
+	}
+	FlushTelemetry()
+
+	_, totals := sink.Attr.Rows()
+	type hk struct{ pid, hart int32 }
+	attr := map[hk]uint64{}
+	for _, tot := range totals {
+		attr[hk{tot.PID, tot.Hart}] = tot.Cycles
+	}
+	mat := map[hk]uint64{}
+	for _, c := range sink.ProfileMatrix() {
+		mat[hk{c.PID, c.Hart}] += c.Cycles
+	}
+	if len(mat) == 0 {
+		t.Fatal("no profile matrix cells collected")
+	}
+	for k, m := range mat {
+		if a := attr[k]; a != m {
+			t.Errorf("p%d/h%d: profile matrix sums to %d, attribution total %d", k.pid, k.hart, m, a)
+		}
+	}
+}
+
+// TestFoldedProfileSeededDeterminism: two identical seeded runs export
+// byte-identical folded profiles — sampling is cycle-driven, so the
+// profile is as deterministic as the simulation itself.
+func TestFoldedProfileSeededDeterminism(t *testing.T) {
+	run := func() []byte {
+		sink := telemetry.New(telemetry.Config{ProfilePeriod: telemetry.DefaultProfilePeriod})
+		SetTelemetry(sink)
+		defer SetTelemetry(nil)
+		if _, err := RunE1(20); err != nil {
+			t.Fatal(err)
+		}
+		FlushTelemetry()
+		var buf bytes.Buffer
+		sink.ExportFoldedProfile(&buf)
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("empty folded profile")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-configuration runs exported different folded profiles (%d vs %d bytes)", len(a), len(b))
 	}
 }
 

@@ -42,6 +42,9 @@ func TestCompromiseCampaign(t *testing.T) {
 		if res.PostMortem.Cause == nil || res.PostMortem.Op == "" {
 			t.Errorf("%s: post-mortem missing cause/op: %+v", res.Scenario, res.PostMortem)
 		}
+		if len(res.PostMortem.Flight) == 0 {
+			t.Errorf("%s: post-mortem carries no flight-recorder tail", res.Scenario)
+		}
 		if res.Scenario == "alloc-corrupt" && res.PostMortem.Salvage == "" {
 			t.Errorf("alloc-corrupt: no salvage recorded in post-mortem")
 		}

@@ -28,6 +28,7 @@ import (
 	"zion/internal/platform"
 	"zion/internal/pmp"
 	"zion/internal/sm"
+	"zion/internal/telemetry"
 )
 
 // Class is a category of injected fault.
@@ -403,6 +404,10 @@ func (in *Injector) drive(id int, want uint64, maxRounds int) (Outcome, error) {
 
 // Inject performs one fault of the given class and reports its outcome.
 func (in *Injector) Inject(class Class) (Outcome, error) {
+	// Black-box the injection before it fires, so a quarantine post-mortem
+	// taken downstream shows the fault that caused it in its flight tail.
+	in.m.Flight.Ring(in.h.ID).Record(in.h.Cycles, telemetry.FlightFault,
+		telemetry.NoCVM, uint64(class), 0, class.String())
 	switch class {
 	case ClassBitFlip:
 		return in.injectBitFlip()

@@ -2,6 +2,7 @@ package hart
 
 import (
 	"zion/internal/isa"
+	"zion/internal/telemetry"
 )
 
 // Step executes one instruction at PC in the hart's current mode and
@@ -28,6 +29,9 @@ func (h *Hart) Step() Event {
 	raw, aerr := h.Fetch()
 	if aerr != nil {
 		return Event{Kind: EvTrap, Trap: h.TakeTrap(*aerr)}
+	}
+	if h.Prof != nil && h.Cycles >= h.Prof.Next {
+		h.Prof.Sample(h.PC, h.Mode.String(), telemetry.ProfTierSlow, h.Cycles)
 	}
 	return h.execute(isa.Decode(raw))
 }

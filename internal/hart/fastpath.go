@@ -9,6 +9,7 @@ import (
 	"zion/internal/mem"
 	"zion/internal/pmp"
 	"zion/internal/ptw"
+	"zion/internal/telemetry"
 )
 
 // DefaultFastPath controls whether New wires a fast-path engine into each
@@ -371,6 +372,9 @@ func (e *fastPath) step(h *Hart) (Event, bool) {
 	}
 	e.stats.FetchHits++
 	e.hitAccounting(h, ent)
+	if h.Prof != nil && h.Cycles >= h.Prof.Next {
+		h.Prof.Sample(pc, h.Mode.String(), telemetry.ProfTierFast, h.Cycles)
+	}
 	return h.execute(dp.insts[(pc&(isa.PageSize-1))>>2]), true
 }
 

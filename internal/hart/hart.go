@@ -110,6 +110,17 @@ type Hart struct {
 	// trap. Nil costs one branch per trap.
 	Tel *telemetry.Scope
 
+	// Prof, when non-nil, is this hart's cycle-domain sampling profiler:
+	// each engine loop compares h.Cycles against Prof.Next and samples
+	// (next PC, privilege mode, engine tier) when due. Nil — profiling
+	// off — costs one branch per dispatch.
+	Prof *telemetry.HartProfiler
+
+	// Flight, when non-nil, is this hart's always-on black-box ring.
+	// Recording is rare (traps, world switches — never per instruction)
+	// and touches no simulated state, so it cannot perturb bit-identity.
+	Flight *telemetry.FlightRing
+
 	// Parallel-engine hooks (internal/platform engine). When the quantum
 	// barrier is active, Yield is non-nil and QuantumDeadline is the cycle
 	// count at which this hart must rendezvous with its peers before
@@ -296,6 +307,8 @@ func (h *Hart) TakeTrap(ti trapInfo) Trap {
 		h.Tel.Instant(h.ID, "hart", "trap", h.Cycles, telemetry.NoCVM,
 			ti.cause, isa.CauseName(ti.cause))
 	}
+	h.Flight.Record(h.Cycles, telemetry.FlightTrap, telemetry.NoCVM,
+		ti.cause, h.PC, isa.CauseName(ti.cause))
 
 	t := Trap{Cause: ti.cause, Tval: ti.tval, Tval2: ti.tval2, Tinst: ti.tinst,
 		Target: target, From: from, PC: h.PC}

@@ -3,6 +3,7 @@ package hart
 import (
 	"zion/internal/isa"
 	"zion/internal/ptw"
+	"zion/internal/telemetry"
 )
 
 // Superblock engine: straight-line runs of decoded instructions dispatched
@@ -214,6 +215,13 @@ func (e *fastPath) runBatch(h *Hart, deadline uint64, armed bool, max uint64) (u
 			}
 			h.PMP.NoteCheck()
 			want += 4
+			if h.Prof != nil && h.Cycles >= h.Prof.Next {
+				tier := telemetry.ProfTierFast
+				if e.sb {
+					tier = telemetry.ProfTierBlock
+				}
+				h.Prof.Sample(pc+4*i, h.Mode.String(), tier, h.Cycles)
+			}
 			ev := h.execute(dp.insts[idx+i])
 			if ev.Kind != EvNone {
 				e.stats.FetchHits += i + 1

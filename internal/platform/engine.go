@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"zion/internal/hart"
+	"zion/internal/telemetry"
 )
 
 // DefaultQuantum is the barrier period in simulated cycles. 100k cycles
@@ -54,6 +55,15 @@ type EngineConfig struct {
 	// the reference interleaving the free-running mode is validated
 	// against: both must produce identical results for any workload.
 	Ordered bool
+
+	// OnEpoch, when non-nil, is invoked at each quantum-barrier epoch
+	// transition while every hart is parked at the rendezvous — the one
+	// point where a consistent cross-hart snapshot exists (the monitor
+	// endpoint's scrape consistency relies on it). It runs under the
+	// engine lock on the last-arriving hart's goroutine: it may read hart
+	// and device state freely but must not call Machine.Epoch or post
+	// cross-hart ops.
+	OnEpoch func(epoch uint64)
 }
 
 // HartRunner drives one hart to completion (e.g. a closure over
@@ -75,6 +85,7 @@ type engine struct {
 	m       *Machine
 	quantum uint64
 	ordered bool
+	onEpoch func(epoch uint64)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -157,6 +168,18 @@ func (e *engine) beginEpochLocked() {
 	e.deadline += e.quantum
 	if e.ordered {
 		e.turn = e.nextTurnLocked(-1)
+	}
+	// Black-box the rendezvous: one event per still-active hart. Epoch
+	// numbers are deterministic for a fixed quantum, so seeded flight
+	// dumps stay byte-identical.
+	for i, d := range e.done {
+		if !d {
+			e.m.Flight.Ring(i).Record(e.m.Harts[i].Cycles, telemetry.FlightBarrier,
+				telemetry.NoCVM, e.gen, 0, "")
+		}
+	}
+	if e.onEpoch != nil {
+		e.onEpoch(e.gen)
 	}
 	e.cond.Broadcast()
 }
@@ -291,7 +314,7 @@ func (m *Machine) RunParallel(cfg EngineConfig, runners []HartRunner) error {
 		q = DefaultQuantum
 	}
 	e := &engine{
-		m: m, quantum: q, ordered: cfg.Ordered,
+		m: m, quantum: q, ordered: cfg.Ordered, onEpoch: cfg.OnEpoch,
 		nActive: n, turn: -1,
 		idle: make([]bool, n), done: make([]bool, n),
 		inbox: make([][]xop, n), seq: make([]uint64, n),

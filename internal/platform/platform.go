@@ -12,6 +12,7 @@ import (
 	"zion/internal/iopmp"
 	"zion/internal/isa"
 	"zion/internal/mem"
+	"zion/internal/telemetry"
 )
 
 // Physical memory map of the simulated SoC (matches common RISC-V virt
@@ -63,6 +64,13 @@ type Machine struct {
 	HSHandler TrapHandler // hypervisor (HS-mode)
 	VSHandler TrapHandler // guest kernel's Go half (VS-mode)
 
+	// Flight is the machine's always-on black-box recorder: one bounded
+	// ring of recent high-level events per hart (traps, world switches,
+	// gate crossings, quantum barriers, fault injections). Created at
+	// boot; each hart holds its own ring handle. Recording never touches
+	// simulated state, so it cannot perturb bit-identity.
+	Flight *telemetry.FlightRecorder
+
 	// engine is non-nil while RunParallel drives the harts on their own
 	// goroutines under the quantum barrier (engine.go). It is published
 	// before the hart goroutines start and cleared after they join, so
@@ -80,8 +88,10 @@ func New(nharts int, ramSize uint64) *Machine {
 	m.UART = &UART{}
 	m.AddDevice(m.CLINT)
 	m.AddDevice(m.UART)
+	m.Flight = telemetry.NewFlightRecorder(nharts, 0)
 	for i := 0; i < nharts; i++ {
 		h := hart.New(i, m.RAM, (*busAdapter)(m))
+		h.Flight = m.Flight.Ring(i)
 		m.Harts = append(m.Harts, h)
 	}
 	// Reflect msip doorbell writes into the target hart's mip CSR. The

@@ -92,6 +92,10 @@ type CompartmentRecord struct {
 	Hart        int    // detecting hart (-1 when no hart context)
 	Epoch       uint64 // parallel-engine epoch at detection (0 sequential)
 	Salvage     string // state salvage performed ("" = none needed)
+	// Flight is the detecting hart's flight-recorder tail at quarantine
+	// time (rendered, oldest first): the traps, world switches, and gate
+	// crossings that led to the fault. Carried into RunCompromise reports.
+	Flight []string
 }
 
 // compartmentState is the SM's per-compartment health and gate record.
@@ -175,6 +179,11 @@ func (s *SM) gateEnter(h *hart.Hart, from, to Compartment, op string, force bool
 		prev := s.tel.AttrPush(h.ID, h.Cycles, telemetry.AttrGate)
 		h.Advance(h.Cost.GateCross)
 		s.tel.AttrPop(h.ID, h.Cycles, prev)
+		// Black-box the crossing (A/B are the signed compartment ids;
+		// CompHost = -1 wraps). op is a static string, so recording stays
+		// allocation-free.
+		h.Flight.Record(h.Cycles, telemetry.FlightGate, telemetry.NoCVM,
+			uint64(int64(from)), uint64(int64(to)), op)
 	}
 	if to < 0 || to >= NumCompartments {
 		s.Stats.GateDenied++
@@ -305,6 +314,20 @@ func (s *SM) quarantineCompartment(h *hart.Hart, c Compartment, op string, cause
 		rec.Cycle = h.Cycles
 		rec.Hart = h.ID
 	}
+	fnote := fmt.Sprintf("compartment-quarantine %s", c)
+	if cause != nil {
+		fnote += ": " + cause.Error()
+	}
+	// Hartless quarantines (detected off the execution path, e.g. failed
+	// attestation verification) still get a tail: the boot hart's ring
+	// holds the gate crossings that led here.
+	fhart := rec.Hart
+	if fhart < 0 {
+		fhart = 0
+	}
+	s.machine.Flight.Ring(fhart).Record(rec.Cycle, telemetry.FlightQuarantine,
+		telemetry.NoCVM, uint64(c), 0, fnote)
+	rec.Flight = s.machine.Flight.RenderTail(fhart, flightTailLen)
 	if c == CompAlloc {
 		// The allocator's free list is authoritative shared state: repair
 		// it to a consistent view (free-list blocks are wholly free by
@@ -315,11 +338,7 @@ func (s *SM) quarantineCompartment(h *hart.Hart, c Compartment, op string, cause
 	cs.down = true
 	cs.record = rec
 	s.Stats.CompartmentQuarantines++
-	note := fmt.Sprintf("compartment-quarantine %s", c)
-	if cause != nil {
-		note += ": " + cause.Error()
-	}
-	s.trace(rec.Cycle, EvViolation, 0, uint64(c), note)
+	s.trace(rec.Cycle, EvViolation, 0, uint64(c), fnote)
 	s.tel.Counter("sm/compartment_quarantines").Inc()
 	return rec
 }

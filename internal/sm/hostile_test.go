@@ -2,6 +2,7 @@ package sm
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"zion/internal/asm"
@@ -247,8 +248,17 @@ func TestPublishEscapeQuarantinesCVM(t *testing.T) {
 		t.Fatal("no error from publish escape")
 	}
 	wantCode(t, err, CodeMemory)
-	if _, ok := f.s.Quarantined(id); !ok {
+	rec, ok := f.s.Quarantined(id)
+	if !ok {
 		t.Fatal("CVM not quarantined")
+	}
+	// The post-mortem embeds the faulting hart's flight-recorder tail,
+	// ending with the quarantine event itself.
+	if len(rec.Flight) == 0 {
+		t.Error("quarantine record carries no flight-recorder tail")
+	} else if !strings.Contains(rec.Flight[len(rec.Flight)-1], "quarantine") {
+		t.Errorf("flight tail does not end at the quarantine event:\n%s",
+			strings.Join(rec.Flight, "\n"))
 	}
 	if f.s.PoolFreeBlocks() != fullPool {
 		t.Errorf("pool = %d blocks, want %d", f.s.PoolFreeBlocks(), fullPool)

@@ -15,6 +15,11 @@ import (
 // Co-resident CVMs are unaffected; Dorami calls this compartmentalizing
 // the monitor's own failures.
 
+// flightTailLen is how many flight-recorder events a quarantine or
+// compartment post-mortem embeds: enough to cover several world switches
+// and the gate crossings around them without bloating JSON reports.
+const flightTailLen = 16
+
 // QuarantineRecord is the preserved post-mortem of a quarantined CVM.
 // Hart, Compartment, Epoch, and Cycle name the fault's *origin*: under
 // the parallel quantum-barrier engine the hart that observes a recorded
@@ -31,6 +36,11 @@ type QuarantineRecord struct {
 	Measurement []byte       // sealed launch measurement (nil if never sealed)
 	VCPUs       []secureVCPU // final protected register state, for diagnosis
 	PagesFreed  int          // secure frames scrubbed and returned to the pool
+	// Flight is the originating hart's flight-recorder tail at quarantine
+	// time (rendered, oldest first): the last high-level events — traps,
+	// world switches, gate crossings, barriers, fault injections — that
+	// led to the fault.
+	Flight []string
 }
 
 // faultOrigin pins a fatal fault to the hart, engine epoch, cycle, and
@@ -80,6 +90,23 @@ func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error, origin faultOrigin) {
 	if rec.Cycle == 0 && h != nil {
 		rec.Cycle = h.Cycles
 	}
+	// Black-box the decision, then snapshot the originating hart's recent
+	// history into the post-mortem (fall back to the observing hart when
+	// the origin carried no hart context).
+	fhart := origin.hart
+	if fhart < 0 && h != nil {
+		fhart = h.ID
+	}
+	if fhart < 0 {
+		fhart = 0 // no hart context at all: use the boot hart's ring
+	}
+	note := "quarantine"
+	if cause != nil {
+		note = "quarantine: " + cause.Error()
+	}
+	s.machine.Flight.Ring(fhart).Record(rec.Cycle, telemetry.FlightQuarantine,
+		c.ID, uint64(origin.comp), 0, note)
+	rec.Flight = s.machine.Flight.RenderTail(fhart, flightTailLen)
 	if c.measurer != nil && c.measurer.sealed {
 		rec.Measurement = append([]byte(nil), c.measurer.value()...)
 	}
@@ -104,10 +131,6 @@ func (s *SM) quarantine(h *hart.Hart, c *CVM, cause error, origin faultOrigin) {
 	delete(s.life.cvms, c.ID)
 	s.life.quarantined[c.ID] = rec
 	s.Stats.Quarantines++
-	note := "quarantine"
-	if cause != nil {
-		note = "quarantine: " + cause.Error()
-	}
 	s.trace(h.Cycles, EvViolation, c.ID, 0, note)
 	s.tel.Counter("sm/quarantines").Inc()
 	// The dead VMID's cached translations are flushed on every hart via

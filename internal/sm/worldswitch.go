@@ -153,6 +153,7 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	s.trace(h.Cycles, EvEntry, c.ID, uint64(vcpuID), "")
 	s.tel.Span(h.ID, "sm", "ws.entry", entryStart, h.Cycles, c.ID, uint64(vcpuID))
 	s.tel.AttrSwitch(h.ID, h.Cycles, c.ID, telemetry.AttrGuest)
+	h.Flight.Record(h.Cycles, telemetry.FlightWorldEnter, c.ID, uint64(vcpuID), 0, "")
 	s.mu.Unlock()
 	info, exitStart := s.runLoop(h, c, v)
 	s.mu.Lock()
@@ -163,6 +164,8 @@ func (s *SM) RunVCPU(h *hart.Hart, cvmID, vcpuID int) (ExitInfo, error) {
 	s.trace(h.Cycles, EvExit, c.ID, uint64(info.Reason), info.Reason.String())
 	s.tel.Span(h.ID, "sm", "ws.exit", exitStart, h.Cycles, c.ID, uint64(info.Reason))
 	s.tel.AttrSwitch(h.ID, h.Cycles, telemetry.NoCVM, telemetry.AttrHost)
+	h.Flight.Record(h.Cycles, telemetry.FlightWorldExit, c.ID, uint64(info.Reason), 0,
+		info.Reason.String())
 	// A fatal fault detected inside the run (internal memory escape,
 	// page-table corruption, shared-page publish failure) quarantines the
 	// CVM now that the Normal-mode context is restored. The post-mortem

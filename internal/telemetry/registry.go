@@ -155,6 +155,40 @@ func (r *Registry) Dump(w io.Writer) {
 	}
 }
 
+// Point is one exported metric sample: a counter or gauge value, or a
+// histogram handle for renderers that expand quantiles themselves.
+type Point struct {
+	Kind  string // "counter", "gauge", or "hist"
+	Name  string
+	Value uint64     // counter / gauge value (0 for hists)
+	Hist  *Histogram // set when Kind == "hist"
+}
+
+// Points returns a flat view of every registered metric, counters first,
+// then gauges, then histograms, each block sorted by name — the stable
+// order external renderers (Prometheus text exposition) rely on.
+func (r *Registry) Points() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.hists)
+	r.mu.Unlock()
+	pts := make([]Point, 0, len(cnames)+len(gnames)+len(hnames))
+	for _, n := range cnames {
+		pts = append(pts, Point{Kind: "counter", Name: n, Value: r.Counter(n).Value()})
+	}
+	for _, n := range gnames {
+		pts = append(pts, Point{Kind: "gauge", Name: n, Value: r.Gauge(n).Value()})
+	}
+	for _, n := range hnames {
+		pts = append(pts, Point{Kind: "hist", Name: n, Hist: r.Histogram(n)})
+	}
+	return pts
+}
+
 func sortedKeys[M ~map[string]V, V any](m M) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

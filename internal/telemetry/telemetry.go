@@ -16,13 +16,23 @@
 // the attribution-bucket invariant, and a Perfetto walkthrough.
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Config tunes a Sink.
 type Config struct {
 	// TraceEvents bounds the trace ring (records, not bytes).
 	// 0 selects DefaultTraceEvents.
 	TraceEvents int
+
+	// ProfilePeriod arms the cycle-domain sampling profiler: a sample is
+	// taken every ProfilePeriod simulated cycles on each hart. 0 leaves
+	// profiling off — Scope.Profiler returns nil and the hart hook stays
+	// a single nil-check, so an armed-but-unsampled sink remains
+	// bit-identical to no sink at all.
+	ProfilePeriod uint64
 }
 
 // DefaultTraceEvents is the trace-ring capacity when Config leaves it 0.
@@ -38,6 +48,10 @@ type Sink struct {
 	Attr     *Attribution
 
 	nextPID int32
+
+	profPeriod uint64
+	profMu     sync.Mutex
+	profilers  map[attrHartKey]*HartProfiler
 }
 
 // New builds a sink with all three facilities enabled.
@@ -47,9 +61,11 @@ func New(cfg Config) *Sink {
 		cap = DefaultTraceEvents
 	}
 	return &Sink{
-		Registry: NewRegistry(),
-		Tracer:   NewTracer(cap),
-		Attr:     NewAttribution(),
+		Registry:   NewRegistry(),
+		Tracer:     NewTracer(cap),
+		Attr:       NewAttribution(),
+		profPeriod: cfg.ProfilePeriod,
+		profilers:  make(map[attrHartKey]*HartProfiler),
 	}
 }
 
@@ -170,6 +186,9 @@ func (sc *Scope) AttrSwitch(tid int, now uint64, cvm int, b AttrBucket) {
 		return
 	}
 	sc.sink.Attr.Switch(sc.pid, int32(tid), now, int32(cvm), b)
+	if sc.sink.profPeriod != 0 {
+		sc.sink.profSetCVM(sc.pid, int32(tid), int32(cvm))
+	}
 }
 
 // AttrPush carves out a nested bucket (same CVM), returning the previous
@@ -190,10 +209,18 @@ func (sc *Scope) AttrPop(tid int, now uint64, prev AttrBucket) {
 }
 
 // AttrFlush charges every cycle up to now (each hart's final cycle count)
-// so exported attribution cells sum to the hart total exactly.
+// so exported attribution cells sum to the hart total exactly. The hart's
+// sampling profiler, if armed, is flushed to the same cycle so its matrix
+// total matches the attribution total by construction.
 func (sc *Scope) AttrFlush(tid int, now uint64) {
 	if sc == nil {
 		return
 	}
 	sc.sink.Attr.Flush(sc.pid, int32(tid), now)
+	if sc.sink.profPeriod != 0 {
+		sc.sink.profMu.Lock()
+		p := sc.sink.profilers[attrHartKey{pid: sc.pid, tid: int32(tid)}]
+		sc.sink.profMu.Unlock()
+		p.Flush(now)
+	}
 }

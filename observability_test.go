@@ -1,0 +1,134 @@
+package zion
+
+import (
+	"bytes"
+	"testing"
+
+	"zion/internal/monitor"
+	"zion/internal/telemetry"
+	"zion/internal/workloads"
+)
+
+// observedRun executes one seeded aes run with the full observability
+// plane armed — sampling profiler, flight recorder, monitor endpoint —
+// snapshotting the monitor at a fixed scheduler quantum, and returns
+// every exported body.
+type observedRun struct {
+	folded     []byte // folded-stacks profile after the final flush
+	flight     []byte // hart 0 flight ring dump
+	metricsAtQ []byte // /metrics body snapshotted at the target quantum
+	cycles     uint64
+	checksum   uint64
+}
+
+func runObserved(t *testing.T, targetQuantum int) observedRun {
+	t.Helper()
+	sink := telemetry.New(telemetry.Config{ProfilePeriod: telemetry.DefaultProfilePeriod})
+	sys, err := NewSystem(Config{SchedQuantum: 30_000, Telemetry: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(sink, sys.Machine.Flight)
+	progress := func(done bool) []monitor.HartProgress {
+		var out []monitor.HartProgress
+		for _, h := range sys.Machine.Harts {
+			out = append(out, monitor.HartProgress{Hart: h.ID, Cycles: h.Cycles, Done: done})
+		}
+		return out
+	}
+	var res observedRun
+	quanta := 0
+	sys.OnQuantum = func() {
+		quanta++
+		mon.Update(progress(false))
+		if quanta == targetQuantum {
+			res.metricsAtQ = append([]byte(nil), mon.Metrics()...)
+		}
+	}
+
+	var k workloads.Kernel
+	for _, c := range workloads.RV8() {
+		if c.Name == "aes" {
+			k = c
+		}
+	}
+	vm, err := sys.CreateConfidentialVM("obs", workloads.Program(k, 256), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quanta < targetQuantum {
+		t.Fatalf("run crossed only %d quanta, need %d for the snapshot", quanta, targetQuantum)
+	}
+	sys.FlushTelemetry()
+	mon.Update(progress(true))
+
+	var folded, flight bytes.Buffer
+	sink.ExportFoldedProfile(&folded)
+	sys.Machine.Flight.DumpHart(&flight, 0)
+	res.folded = folded.Bytes()
+	res.flight = flight.Bytes()
+	res.cycles = run.Cycles
+	res.checksum = run.GuestData2
+	return res
+}
+
+// TestObservabilityPlaneSeededDeterminism is the plane-wide acceptance
+// gate: two identical seeded runs must export byte-identical folded
+// profiles, flight dumps, and /metrics bodies captured at the same
+// scheduler quantum. Everything is keyed to the simulated cycle counter,
+// so there is no tolerance — the comparison is bytes.Equal.
+func TestObservabilityPlaneSeededDeterminism(t *testing.T) {
+	a := runObserved(t, 2)
+	b := runObserved(t, 2)
+	if a.cycles != b.cycles || a.checksum != b.checksum {
+		t.Fatalf("runs diverged before comparing exports: cycles %d vs %d", a.cycles, b.cycles)
+	}
+	if len(a.folded) == 0 || len(a.flight) == 0 || len(a.metricsAtQ) == 0 {
+		t.Fatalf("empty export: folded=%d flight=%d metrics=%d bytes",
+			len(a.folded), len(a.flight), len(a.metricsAtQ))
+	}
+	if !bytes.Equal(a.folded, b.folded) {
+		t.Errorf("folded profiles differ (%d vs %d bytes)", len(a.folded), len(b.folded))
+	}
+	if !bytes.Equal(a.flight, b.flight) {
+		t.Errorf("flight dumps differ:\n--- a ---\n%s\n--- b ---\n%s", a.flight, b.flight)
+	}
+	if !bytes.Equal(a.metricsAtQ, b.metricsAtQ) {
+		t.Errorf("/metrics bodies at quantum 2 differ (%d vs %d bytes)",
+			len(a.metricsAtQ), len(b.metricsAtQ))
+	}
+}
+
+// TestObservedRunMatchesUnobserved: the armed plane must not perturb the
+// simulation — wall cycles and the guest checksum are bit-identical to a
+// run with no telemetry at all.
+func TestObservedRunMatchesUnobserved(t *testing.T) {
+	armed := runObserved(t, 1)
+
+	sys, err := NewSystem(Config{SchedQuantum: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k workloads.Kernel
+	for _, c := range workloads.RV8() {
+		if c.Name == "aes" {
+			k = c
+		}
+	}
+	vm, err := sys.CreateConfidentialVM("obs", workloads.Program(k, 256), GuestRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cycles != armed.cycles || run.GuestData2 != armed.checksum {
+		t.Errorf("observability plane perturbed the run: cycles %d vs %d, checksum %#x vs %#x",
+			run.Cycles, armed.cycles, run.GuestData2, armed.checksum)
+	}
+}

@@ -65,6 +65,12 @@ type System struct {
 	Monitor    *sm.SM
 	Hypervisor *hv.Hypervisor
 
+	// OnQuantum, when non-nil, is invoked by Run at every scheduler-
+	// quantum boundary (ExitTimer re-entry) — the sequential engine's
+	// consistent-snapshot point, where the monitor endpoint takes its
+	// Update (docs/OBSERVABILITY.md).
+	OnQuantum func()
+
 	hart *hart.Hart
 	tel  *telemetry.Scope
 }
@@ -137,6 +143,7 @@ func NewSystem(cfg Config) (*System, error) {
 		k.SetTelemetry(sc)
 		for _, hh := range m.Harts {
 			hh.Tel = sc
+			hh.Prof = sc.Profiler(hh.ID) // nil unless Config.ProfilePeriod armed the sink
 		}
 	}
 	s := &System{Machine: m, Monitor: monitor, Hypervisor: k, hart: h, tel: sc}
@@ -200,6 +207,9 @@ func (s *System) Run(v *VM) (RunResult, error) {
 				return RunResult{Cycles: s.hart.Cycles - start,
 					GuestData: info.Data, GuestData2: info.Data2}, nil
 			case sm.ExitTimer:
+				if s.OnQuantum != nil {
+					s.OnQuantum()
+				}
 				continue
 			default:
 				return RunResult{}, fmt.Errorf("zion: unexpected exit %v", info.Reason)
@@ -214,6 +224,9 @@ func (s *System) Run(v *VM) (RunResult, error) {
 			return RunResult{Cycles: s.hart.Cycles - start,
 				GuestData: exit.Data, GuestData2: exit.Data2}, nil
 		case sm.ExitTimer:
+			if s.OnQuantum != nil {
+				s.OnQuantum()
+			}
 			continue
 		default:
 			return RunResult{}, fmt.Errorf("zion: unexpected exit %v", exit.Reason)

@@ -18,10 +18,12 @@
 #                           BENCH_host_short.json or a speedup regresses >20%
 #   make smoke-monitor    - run a guest with the live monitor endpoint armed and
 #                           self-scrape /metrics, /healthz and /profile
+#   make test-allocs      - pin the zero-allocation contract of the superblock
+#                           and compiled-trace dispatch loops
 
 GO ?= go
 
-.PHONY: build test check race lint smoke smoke-compromise smoke-monitor bench bench-host bench-host-short bench-gate
+.PHONY: build test check race lint smoke smoke-compromise smoke-monitor test-allocs bench bench-host bench-host-short bench-gate
 
 build:
 	$(GO) build ./...
@@ -71,6 +73,13 @@ smoke-compromise:
 # and exits non-zero if any body is malformed.
 smoke-monitor:
 	$(GO) run ./cmd/zionvm -workload aes -scale 256 -quantum 30000 -monitorcheck
+
+# test-allocs is the hot-loop allocation gate: the superblock and
+# compiled-trace dispatch loops must run allocation-free once warm. The
+# suite runs these anyway; the dedicated target gives CI a cheap job whose
+# failure names the regression directly.
+test-allocs:
+	$(GO) test ./internal/hart -run 'TestRunBatchSuperblockZeroAllocs|TestTraceDispatchAllocs' -count=1 -v
 
 bench:
 	$(GO) run ./cmd/zionbench

@@ -379,7 +379,7 @@ func main() {
 	}
 
 	if *hostbench != "" || *hostgate != "" {
-		section("HOST", "host-side throughput: superblock vs per-instruction fast path vs pure interpreter")
+		section("HOST", "host-side throughput: compiled traces vs superblock vs per-instruction fast path vs pure interpreter")
 		r, err := bench.RunHost(*hostdiv)
 		if err != nil {
 			fail("host", err)

@@ -8,29 +8,31 @@ import (
 	"zion/internal/telemetry"
 )
 
-// runBothWays executes run once per engine — superblock, per-instruction
-// fast path, and pure slow path — and fails unless the results — every
-// simulated cycle count, score, and percentage in the paper tables — are
-// bit-identical across all three. This is the automated form of the PRs'
-// core guarantee: each engine is an accelerator, never a semantic change.
+// runBothWays executes run once per engine — compiled trace, superblock,
+// per-instruction fast path, and pure slow path — and fails unless the
+// results — every simulated cycle count, score, and percentage in the
+// paper tables — are bit-identical across all four. This is the automated
+// form of the PRs' core guarantee: each engine is an accelerator, never a
+// semantic change.
 func runBothWays[T any](t *testing.T, name string, run func() (T, error)) {
 	t.Helper()
-	oldFP, oldSB := hart.DefaultFastPath, hart.DefaultSuperblocks
+	oldFP, oldSB, oldTC := hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces
 	defer func() {
-		hart.DefaultFastPath, hart.DefaultSuperblocks = oldFP, oldSB
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = oldFP, oldSB, oldTC
 	}()
 
 	engines := []struct {
-		name     string
-		fast, sb bool
+		name         string
+		fast, sb, tc bool
 	}{
-		{"block", true, true},
-		{"fast", true, false},
-		{"slow", false, false},
+		{"trace", true, true, true},
+		{"block", true, true, false},
+		{"fast", true, false, false},
+		{"slow", false, false, false},
 	}
 	var ref T
 	for i, e := range engines {
-		hart.DefaultFastPath, hart.DefaultSuperblocks = e.fast, e.sb
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = e.fast, e.sb, e.tc
 		got, err := run()
 		if err != nil {
 			t.Fatalf("%s (%s): %v", name, e.name, err)

@@ -15,24 +15,32 @@ import (
 )
 
 // HostRow compares host-side throughput for one guest workload executed
-// with each engine: "block" (superblock + event-horizon batching), "fast"
+// with each engine: "trace" (compiled-trace dispatch on top of
+// superblocks), "block" (superblock + event-horizon batching), "fast"
 // (per-instruction fast path), and the pure slow path. Simulated cycles
-// are included because they must match exactly across all three — the
+// are included because they must match exactly across all four — the
 // host benchmark doubles as an end-to-end bit-identity check. The Block*
-// fields are absent in files written before the superblock engine existed.
+// and Trace* fields are absent in files written before those engines
+// existed.
 type HostRow struct {
 	Name         string  `json:"name"`
 	Instructions uint64  `json:"instructions"`
 	Cycles       uint64  `json:"simulated_cycles"`
+	TraceSeconds float64 `json:"trace_seconds,omitempty"`
 	BlockSeconds float64 `json:"block_seconds,omitempty"`
 	FastSeconds  float64 `json:"fast_seconds"`
 	SlowSeconds  float64 `json:"slow_seconds"`
+	TraceMIPS    float64 `json:"trace_mips,omitempty"`
 	BlockMIPS    float64 `json:"block_mips,omitempty"`
 	FastMIPS     float64 `json:"fast_mips"`
 	SlowMIPS     float64 `json:"slow_mips"`
-	// Speedup is fast/slow MIPS; BlockSpeedup is block/slow MIPS.
-	Speedup      float64 `json:"speedup"`
-	BlockSpeedup float64 `json:"block_speedup,omitempty"`
+	// Speedup is fast/slow MIPS; BlockSpeedup is block/slow MIPS;
+	// TraceSpeedup is trace/slow MIPS. TraceOverBlock is trace/block MIPS —
+	// the tier-over-tier ratio the trace floor gates.
+	Speedup        float64 `json:"speedup"`
+	BlockSpeedup   float64 `json:"block_speedup,omitempty"`
+	TraceSpeedup   float64 `json:"trace_speedup,omitempty"`
+	TraceOverBlock float64 `json:"trace_over_block,omitempty"`
 }
 
 // HostResult is the payload of BENCH_host.json: the perf trajectory the
@@ -45,8 +53,14 @@ type HostResult struct {
 	ScalarWriteAllocs float64 `json:"scalar_write_allocs_per_op"`
 	MinSpeedup        float64 `json:"min_speedup"`
 	// MinBlockSpeedup is the worst block-engine speedup over slow across
-	// the workloads (0 in files predating the superblock engine).
-	MinBlockSpeedup float64 `json:"min_block_speedup,omitempty"`
+	// the workloads (0 in files predating the superblock engine);
+	// MinTraceSpeedup and MinTraceOverBlock are the trace-tier analogues.
+	MinBlockSpeedup   float64 `json:"min_block_speedup,omitempty"`
+	MinTraceSpeedup   float64 `json:"min_trace_speedup,omitempty"`
+	MinTraceOverBlock float64 `json:"min_trace_over_block,omitempty"`
+	// TraceAmort is the trace-compilation amortization record (absent in
+	// files predating the trace tier).
+	TraceAmort *TraceAmortResult `json:"trace_amortization,omitempty"`
 	// Parallel is the multi-hart quantum-barrier throughput section
 	// (absent in files written before the parallel engine existed).
 	Parallel *ParallelHostResult `json:"parallel,omitempty"`
@@ -70,17 +84,49 @@ type ObsOverheadResult struct {
 	BitIdentical bool    `json:"bit_identical"`
 }
 
+// TraceAmortResult records whether trace compilation pays for itself on
+// the measured workloads: the one-time host cost of compiling a page's
+// pre-bound table versus the per-instruction saving of dispatching
+// through it instead of the generic superblock loop. The gate rejects
+// compile-heavy pathology — workloads that compile pages they never
+// amortize.
+type TraceAmortResult struct {
+	// CompiledPages / Demotions / Recompiles across the trace-engine runs.
+	CompiledPages uint64 `json:"compiled_pages"`
+	Demotions     uint64 `json:"demotions"`
+	Recompiles    uint64 `json:"recompiles"`
+	// DispatchEntries and TraceOps: trace entries and instructions retired
+	// by pre-bound handlers across the trace-engine runs.
+	DispatchEntries uint64 `json:"dispatch_entries"`
+	TraceOps        uint64 `json:"trace_ops"`
+	// CompileNsPerPage is the microbenchmarked host cost of compiling one
+	// page table; SavedNsPerOp is the measured per-instruction host-time
+	// saving of the trace engine over the superblock engine.
+	CompileNsPerPage float64 `json:"compile_ns_per_page"`
+	SavedNsPerOp     float64 `json:"saved_ns_per_op"`
+	// BreakEvenOps is CompileNsPerPage/SavedNsPerOp: trace-dispatched
+	// instructions a compiled page must retire to pay for its compile.
+	// OpsPerCompiledPage is what the workloads actually achieved; the gate
+	// requires it to clear BreakEvenOps.
+	BreakEvenOps       float64 `json:"break_even_ops"`
+	OpsPerCompiledPage float64 `json:"ops_per_compiled_page"`
+}
+
 // Format renders a human summary.
 func (r HostResult) Format() []string {
-	out := []string{fmt.Sprintf("%-10s %12s %11s %10s %10s %8s %8s",
-		"workload", "instructions", "block MIPS", "fast MIPS", "slow MIPS", "block", "fast")}
+	out := []string{fmt.Sprintf("%-10s %12s %11s %11s %10s %10s %8s %8s %8s %9s",
+		"workload", "instructions", "trace MIPS", "block MIPS", "fast MIPS", "slow MIPS", "trace", "block", "fast", "trc/blk")}
 	for _, row := range r.Rows {
-		out = append(out, fmt.Sprintf("%-10s %12d %11.2f %10.2f %10.2f %7.2fx %7.2fx",
-			row.Name, row.Instructions, row.BlockMIPS, row.FastMIPS, row.SlowMIPS,
-			row.BlockSpeedup, row.Speedup))
+		out = append(out, fmt.Sprintf("%-10s %12d %11.2f %11.2f %10.2f %10.2f %7.2fx %7.2fx %7.2fx %8.2fx",
+			row.Name, row.Instructions, row.TraceMIPS, row.BlockMIPS, row.FastMIPS, row.SlowMIPS,
+			row.TraceSpeedup, row.BlockSpeedup, row.Speedup, row.TraceOverBlock))
 	}
 	out = append(out, fmt.Sprintf("scalar mem path: %.2f allocs/op read, %.2f allocs/op write",
 		r.ScalarReadAllocs, r.ScalarWriteAllocs))
+	if a := r.TraceAmort; a != nil {
+		out = append(out, fmt.Sprintf("trace amortization: %d pages compiled (%d demoted, %d recompiles), %.0f ns/page compile, %.2f ns/op saved: break-even %.0f ops, achieved %.0f ops/page",
+			a.CompiledPages, a.Demotions, a.Recompiles, a.CompileNsPerPage, a.SavedNsPerOp, a.BreakEvenOps, a.OpsPerCompiledPage))
+	}
 	if p := r.Parallel; p != nil {
 		out = append(out, fmt.Sprintf("parallel: %s x%d harts on %d host cores: %.2f -> %.2f MIPS (%.2fx, deterministic=%v)",
 			p.Workload, p.Harts, p.HostCores, p.SeqMIPS, p.ParMIPS, p.Speedup, p.Deterministic))
@@ -126,6 +172,26 @@ func CheckHostRegression(baseline, current HostResult) error {
 			return fmt.Errorf("host gate: %s superblock speedup regressed >20%%: %.2fx vs baseline %.2fx",
 				r.Name, r.BlockSpeedup, b.BlockSpeedup)
 		}
+		if b.TraceSpeedup > 0 && r.TraceSpeedup < b.TraceSpeedup*0.8 {
+			return fmt.Errorf("host gate: %s trace speedup regressed >20%%: %.2fx vs baseline %.2fx",
+				r.Name, r.TraceSpeedup, b.TraceSpeedup)
+		}
+		// Absolute floor, independent of the baseline: the trace tier must
+		// beat the superblock engine by the minimum ratio on every measured
+		// workload. Ratios are machine-relative (both sides timed on the
+		// same host in the same process), so the floor is portable where
+		// absolute MIPS is not.
+		if r.TraceOverBlock > 0 && r.TraceOverBlock < MinTraceOverBlockFloor {
+			return fmt.Errorf("host gate: %s trace tier only %.2fx over the superblock engine (floor %.2fx)",
+				r.Name, r.TraceOverBlock, MinTraceOverBlockFloor)
+		}
+	}
+	if a := current.TraceAmort; a != nil && a.BreakEvenOps > 0 &&
+		a.OpsPerCompiledPage < a.BreakEvenOps {
+		// Compile-heavy pathology: pages are being compiled faster than
+		// their dispatch savings can pay for them.
+		return fmt.Errorf("host gate: trace compilation not amortized: %.0f ops/compiled page vs break-even %.0f",
+			a.OpsPerCompiledPage, a.BreakEvenOps)
 	}
 	if p := current.Parallel; p != nil {
 		if !p.Deterministic {
@@ -157,23 +223,31 @@ type hostSample struct {
 	instr   uint64
 	cycles  uint64
 	seconds float64
+	fp      hart.FastPathStats // engine counters at completion (zero for slow)
 }
 
-// Engine names accepted by runHostOnce and the zionbench -hostengine flag.
+// Engine names accepted by runHostOnce.
 const (
 	EngineSlow  = "slow"  // pure interpreter
 	EngineFast  = "fast"  // per-instruction fast path (PR 3)
-	EngineBlock = "block" // superblock dispatch with event-horizon batching
+	EngineBlock = "block" // superblock dispatch with event-horizon batching (PR 5)
+	EngineTrace = "trace" // compiled-trace dispatch on top of superblocks (PR 8)
 )
+
+// MinTraceOverBlockFloor is the CheckHostRegression floor on the trace
+// tier's per-workload speedup over the superblock engine. The measured
+// full-scale ratios (BENCH_host.json) leave clear headroom over it.
+const MinTraceOverBlockFloor = 1.5
 
 // runHostOnce boots a fresh stack with the selected engine and drives the
 // kernel to completion inside a CVM, timing only the guest run.
 func runHostOnce(k workloads.Kernel, scale int, engine string) (hostSample, error) {
-	oldFP, oldSB := hart.DefaultFastPath, hart.DefaultSuperblocks
+	oldFP, oldSB, oldTC := hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces
 	hart.DefaultFastPath = engine != EngineSlow
-	hart.DefaultSuperblocks = engine == EngineBlock
+	hart.DefaultSuperblocks = engine == EngineBlock || engine == EngineTrace
+	hart.DefaultTraces = engine == EngineTrace
 	defer func() {
-		hart.DefaultFastPath, hart.DefaultSuperblocks = oldFP, oldSB
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = oldFP, oldSB, oldTC
 	}()
 
 	e := NewEnv(EnvConfig{SM: sm.Config{SchedQuantum: rv8TickQuantum()}})
@@ -191,6 +265,7 @@ func runHostOnce(k workloads.Kernel, scale int, engine string) (hostSample, erro
 		instr:   e.H.Instret - i0,
 		cycles:  e.H.Cycles,
 		seconds: time.Since(t0).Seconds(),
+		fp:      e.H.FastPathStats(),
 	}, nil
 }
 
@@ -216,8 +291,8 @@ func scalarAllocs() (read, write float64) {
 }
 
 // RunHost measures host instructions/second on the T1 aes and E4 CoreMark
-// CVM drivers under all three engines: superblock, per-instruction fast
-// path, and pure slow path. scaleDiv divides workload scales like the
+// CVM drivers under all four engines: compiled trace, superblock,
+// per-instruction fast path, and pure slow path. scaleDiv divides workload scales like the
 // other experiments (1 = full paper scale). It errors if any workload's
 // simulated cycle or instruction count differs between any two engines —
 // the bit-identity guarantee, enforced where the numbers are produced.
@@ -243,10 +318,17 @@ func RunHost(scaleDiv int) (HostResult, error) {
 	kernels = append(kernels, hostKernel{workloads.Coremark(), 1})
 
 	res := HostResult{MinSpeedup: 0}
+	amort := TraceAmortResult{}
+	var savedSeconds float64
+	var savedOps uint64
 	for i, k := range kernels {
 		scale := k.DefaultScale * k.mult / scaleDiv
 		if scale < 8 {
 			scale = 8
+		}
+		trace, err := runHostOnce(k.Kernel, scale, EngineTrace)
+		if err != nil {
+			return res, fmt.Errorf("%s trace: %w", k.Name, err)
 		}
 		block, err := runHostOnce(k.Kernel, scale, EngineBlock)
 		if err != nil {
@@ -260,7 +342,7 @@ func RunHost(scaleDiv int) (HostResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("%s slow: %w", k.Name, err)
 		}
-		for _, s := range []hostSample{block, fast} {
+		for _, s := range []hostSample{trace, block, fast} {
 			if s.cycles != slow.cycles || s.instr != slow.instr {
 				return res, fmt.Errorf("%s: engine divergence from slow path: cycles %d vs %d, instret %d vs %d",
 					k.Name, s.cycles, slow.cycles, s.instr, slow.instr)
@@ -270,9 +352,11 @@ func RunHost(scaleDiv int) (HostResult, error) {
 			Name:         k.Name,
 			Instructions: fast.instr,
 			Cycles:       fast.cycles,
+			TraceSeconds: trace.seconds,
 			BlockSeconds: block.seconds,
 			FastSeconds:  fast.seconds,
 			SlowSeconds:  slow.seconds,
+			TraceMIPS:    float64(trace.instr) / trace.seconds / 1e6,
 			BlockMIPS:    float64(block.instr) / block.seconds / 1e6,
 			FastMIPS:     float64(fast.instr) / fast.seconds / 1e6,
 			SlowMIPS:     float64(slow.instr) / slow.seconds / 1e6,
@@ -280,6 +364,10 @@ func RunHost(scaleDiv int) (HostResult, error) {
 		if row.SlowMIPS > 0 {
 			row.Speedup = row.FastMIPS / row.SlowMIPS
 			row.BlockSpeedup = row.BlockMIPS / row.SlowMIPS
+			row.TraceSpeedup = row.TraceMIPS / row.SlowMIPS
+		}
+		if row.BlockMIPS > 0 {
+			row.TraceOverBlock = row.TraceMIPS / row.BlockMIPS
 		}
 		res.Rows = append(res.Rows, row)
 		if i == 0 || row.Speedup < res.MinSpeedup {
@@ -288,7 +376,31 @@ func RunHost(scaleDiv int) (HostResult, error) {
 		if i == 0 || row.BlockSpeedup < res.MinBlockSpeedup {
 			res.MinBlockSpeedup = row.BlockSpeedup
 		}
+		if i == 0 || row.TraceSpeedup < res.MinTraceSpeedup {
+			res.MinTraceSpeedup = row.TraceSpeedup
+		}
+		if i == 0 || row.TraceOverBlock < res.MinTraceOverBlock {
+			res.MinTraceOverBlock = row.TraceOverBlock
+		}
+		amort.CompiledPages += trace.fp.TCCompiles
+		amort.Demotions += trace.fp.TCDemotions
+		amort.Recompiles += trace.fp.TCRecompiles
+		amort.DispatchEntries += trace.fp.TCEntries
+		amort.TraceOps += trace.fp.TCOps
+		savedSeconds += block.seconds - trace.seconds
+		savedOps += trace.fp.TCOps
 	}
+	amort.CompileNsPerPage = hart.TraceCompileCost(256)
+	if savedOps > 0 {
+		amort.SavedNsPerOp = savedSeconds * 1e9 / float64(savedOps)
+	}
+	if amort.SavedNsPerOp > 0 {
+		amort.BreakEvenOps = amort.CompileNsPerPage / amort.SavedNsPerOp
+	}
+	if amort.CompiledPages > 0 {
+		amort.OpsPerCompiledPage = float64(amort.TraceOps) / float64(amort.CompiledPages)
+	}
+	res.TraceAmort = &amort
 	res.ScalarReadAllocs, res.ScalarWriteAllocs = scalarAllocs()
 	obs, err := RunObservabilityOverhead(scaleDiv)
 	if err != nil {

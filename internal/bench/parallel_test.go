@@ -54,30 +54,35 @@ func TestLockstepPaperWorkloads(t *testing.T) {
 	}
 }
 
-// TestParallelTriEngineBitIdentity closes the engine/scheduling matrix:
+// engineGrid is the full engine matrix: compiled trace, superblock,
+// per-instruction fast path, pure slow path.
+var engineGrid = []struct {
+	name         string
+	fast, sb, tc bool
+}{
+	{"trace", true, true, true},
+	{"block", true, true, false},
+	{"fast", true, false, false},
+	{"slow", false, false, false},
+}
+
+// TestParallelQuadEngineBitIdentity closes the engine/scheduling matrix:
 // the same two-hart quantum-barrier run must produce bit-identical
-// per-hart fingerprints under the superblock engine, the per-instruction
-// fast path, and the pure slow path. Together with runBothWays (sequential
-// tri-engine) and TestLockstepPaperWorkloads (seq vs parallel), this pins
-// every cell of the slow/fast/block × sequential/parallel grid.
-func TestParallelTriEngineBitIdentity(t *testing.T) {
-	oldFP, oldSB := hart.DefaultFastPath, hart.DefaultSuperblocks
+// per-hart fingerprints under the compiled-trace tier, the superblock
+// engine, the per-instruction fast path, and the pure slow path. Together
+// with runBothWays (sequential quad-engine) and
+// TestQuadEngineLockstepPaperWorkloads (all nine tables), this pins every
+// cell of the slow/fast/block/trace × sequential/parallel grid.
+func TestParallelQuadEngineBitIdentity(t *testing.T) {
+	oldFP, oldSB, oldTC := hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces
 	defer func() {
-		hart.DefaultFastPath, hart.DefaultSuperblocks = oldFP, oldSB
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = oldFP, oldSB, oldTC
 	}()
 	k := lockstepKernels()[0] // aes
 	cfg := platform.EngineConfig{Quantum: 4096}
-	engines := []struct {
-		name     string
-		fast, sb bool
-	}{
-		{"block", true, true},
-		{"fast", true, false},
-		{"slow", false, false},
-	}
 	var ref []HartFingerprint
-	for i, e := range engines {
-		hart.DefaultFastPath, hart.DefaultSuperblocks = e.fast, e.sb
+	for i, e := range engineGrid {
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = e.fast, e.sb, e.tc
 		fps, _, err := RunWorkloadCopies(k, 32, 2, &cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", e.name, err)
@@ -89,9 +94,45 @@ func TestParallelTriEngineBitIdentity(t *testing.T) {
 		for h := range ref {
 			if !ref[h].Equal(fps[h]) {
 				t.Errorf("hart %d: %s vs %s divergence:\n  %v\n  %v",
-					h, engines[0].name, e.name, ref[h], fps[h])
+					h, engineGrid[0].name, e.name, ref[h], fps[h])
 			}
 		}
+	}
+}
+
+// TestQuadEngineLockstepPaperWorkloads proves bit-identity of all four
+// execution tiers on every paper-table workload: the eight rv8 kernels
+// plus CoreMark, each run to completion under each engine, comparing the
+// full per-hart fingerprint (cycles, instret, trap mix, TLB/PMP/PTW
+// counters). This is the trace tier's end-to-end contract on the exact
+// code the evaluation tables are built from.
+func TestQuadEngineLockstepPaperWorkloads(t *testing.T) {
+	oldFP, oldSB, oldTC := hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces
+	defer func() {
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = oldFP, oldSB, oldTC
+	}()
+	for _, k := range lockstepKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			var ref []HartFingerprint
+			for i, e := range engineGrid {
+				hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = e.fast, e.sb, e.tc
+				fps, _, err := RunWorkloadCopies(k, 32, 1, nil)
+				if err != nil {
+					t.Fatalf("%s: %v", e.name, err)
+				}
+				if i == 0 {
+					ref = fps
+					continue
+				}
+				for h := range ref {
+					if !ref[h].Equal(fps[h]) {
+						t.Errorf("hart %d: %s vs %s divergence:\n  %v\n  %v",
+							h, engineGrid[0].name, e.name, ref[h], fps[h])
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -90,6 +90,16 @@ type decodedPage struct {
 	sbReady atomic.Bool
 	sbLen   [isa.PageSize / 4]uint16
 	sbWorst [isa.PageSize / 4]uint64
+
+	// Trace-compilation metadata (trace.go), built lazily by compileTraces
+	// on the owning hart's goroutine the first time the superblock loop
+	// enters the page with the trace tier on. tcOps is published before
+	// tcReady flips (atomic release/acquire), so a peer goroutine reading
+	// it for the invalidation counters always sees a complete table. A
+	// demoted page (invalidation history says compiling would thrash) is
+	// tcReady with a nil table.
+	tcReady atomic.Bool
+	tcOps   *[tracePageSlots]traceOp
 }
 
 // FastPathStats counts engine effectiveness; exported as fp/* telemetry
@@ -112,6 +122,15 @@ type FastPathStats struct {
 	SBBuilds       uint64 // pages whose superblock metadata was computed
 	SBInvals       uint64 // superblock-carrying pages invalidated by stores
 	HorizonCutoffs uint64 // block entries degraded to single-step because the worst-case cycle bound crossed the event horizon
+
+	// Trace-compilation tier (trace.go).
+	TCCompiles   uint64 // pages compiled into pre-bound trace tables
+	TCRecompiles uint64 // compiles of a page that had been invalidated before
+	TCDemotions  uint64 // compile attempts demoted by invalidation history
+	TCEntries    uint64 // trace dispatch entries (one generation snapshot each)
+	TCOps        uint64 // instructions retired by pre-bound handlers
+	TCBailouts   uint64 // dispatches aborted back to the generic loop mid-trace
+	TCInvals     uint64 // compiled trace tables dropped by store invalidation
 }
 
 // fastPath is one hart's execution accelerator: three direct-mapped
@@ -140,8 +159,34 @@ type fastPath struct {
 	stats     FastPathStats
 
 	// sb enables the superblock dispatch loop (DefaultSuperblocks at
-	// construction; flipped by SetSuperblocks for tri-engine comparisons).
+	// construction; flipped by SetSuperblocks for engine comparisons); tc
+	// additionally enables the compiled-trace tier on top of it
+	// (DefaultTraces at construction; flipped by SetTraces).
 	sb bool
+	tc bool
+
+	// Trace-dispatch scratch: the generation snapshot taken once per trace
+	// entry (see trace.go for the soundness argument) plus the PC of the
+	// op being dispatched, for the profiler hook. Owner-goroutine only.
+	tcMode   isa.PrivMode
+	tcTLBGen uint64
+	tcPMPGen uint64
+	tcMMUGen uint64
+	tcBare   bool
+	tcTidx   int
+	tcPC     uint64
+
+	// Optional per-tier dispatch-length histograms (SetDispatchHists):
+	// instructions retired per superblock entry by the generic loop and by
+	// the compiled trace. Nil when the observability plane is dark. The
+	// dispatch loop records into the plain single-writer locals — an armed
+	// observation is a few non-atomic increments — and FlushDispatchHists
+	// drains them into the shared atomic histograms; per-observation CAS
+	// traffic on the hot loop would blow the plane's 3% overhead budget.
+	sbHist *telemetry.Histogram
+	tcHist *telemetry.Histogram
+	sbLen  telemetry.LocalHist
+	tcLen  telemetry.LocalHist
 }
 
 const blacklistThreshold = 16
@@ -153,6 +198,7 @@ func newFastPath(h *Hart) *fastPath {
 		invCount:  make(map[uint64]uint32),
 		blacklist: make(map[uint64]bool),
 		sb:        DefaultSuperblocks,
+		tc:        DefaultTraces,
 	}
 	h.Mem.AddCodeWatcher(e)
 	return e
@@ -223,6 +269,9 @@ func (e *fastPath) InvalidateCodePage(paPage uint64) {
 	e.stats.BlockInvals++
 	if dp.sbReady.Load() {
 		e.stats.SBInvals++
+	}
+	if dp.tcReady.Load() && dp.tcOps != nil {
+		e.stats.TCInvals++
 	}
 	if c := e.invCount[paPage] + 1; c >= blacklistThreshold {
 		e.blacklist[paPage] = true

@@ -676,10 +676,13 @@ func genBatchProgram(t *testing.T, rng *rand.Rand) *asm.Program {
 // into the currently executing block, batch against per-step.
 func TestLockstepFuzzBatchAsync(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xB10C_F00D))
-	var irqs, cutoffs, hits uint64
+	var irqs, cutoffs, hits, tcops, tcbail uint64
 	for pi := 0; pi < 25; pi++ {
 		p := genBatchProgram(t, rng)
 		fast, slow, fc, sc := newBatchPair(t)
+		// Alternate the compiled-trace tier per program so the same fuzz
+		// corpus pins both the trace dispatch and the plain generic loop.
+		fast.SetTraces(pi%2 == 0)
 		load(t, fast, ramBase, p)
 		load(t, slow, ramBase, p)
 		batchLockstep(t, "batch", pi, fast, slow, fc, sc, isa.ExcEcallM, 0)
@@ -687,6 +690,8 @@ func TestLockstepFuzzBatchAsync(t *testing.T) {
 		st := fast.FastPathStats()
 		cutoffs += st.HorizonCutoffs
 		hits += st.SBHits
+		tcops += st.TCOps
+		tcbail += st.TCBailouts
 	}
 	// The configuration must actually exercise the machinery it claims to.
 	if irqs == 0 {
@@ -698,6 +703,12 @@ func TestLockstepFuzzBatchAsync(t *testing.T) {
 	if cutoffs == 0 {
 		t.Fatal("no horizon cutoff was ever taken")
 	}
+	if tcops == 0 {
+		t.Fatal("no instruction was ever retired by a compiled trace")
+	}
+	if tcbail == 0 {
+		t.Fatal("no trace dispatch ever bailed out to the generic loop")
+	}
 }
 
 // TestLockstepFuzzBatchPerInstruction replays the same program class with a
@@ -708,6 +719,10 @@ func TestLockstepFuzzBatchPerInstruction(t *testing.T) {
 	for pi := 0; pi < 10; pi++ {
 		p := genBatchProgram(t, rng)
 		fast, slow, fc, sc := newBatchPair(t)
+		// A one-instruction budget clamps every block below the trace tier's
+		// blen>1 entry condition; alternating the switch anyway pins the
+		// disabled path through this dispatch route as well.
+		fast.SetTraces(pi%2 == 0)
 		load(t, fast, ramBase, p)
 		load(t, slow, ramBase, p)
 		batchLockstep(t, "perinst", pi, fast, slow, fc, sc, isa.ExcEcallM, 1)

@@ -193,7 +193,31 @@ func (e *fastPath) runBatch(h *Hart, deadline uint64, armed bool, max uint64) (u
 		g0 := h.asyncGen
 		want := pc
 		var i uint64
-		for i = 0; i < blen; i++ {
+		traceExit := false
+		if e.tc && e.sb && blen > 1 {
+			// Compiled-trace tier (trace.go): dispatch as much of the run
+			// as possible through pre-bound handlers. The table is built
+			// lazily per decoded page; a nil table means the page was
+			// demoted (invalidation history) and stays on the generic loop.
+			if !dp.tcReady.Load() {
+				e.compileTraces(h, dp, ent.paPage)
+			}
+			if tops := dp.tcOps; tops != nil {
+				i = e.runTrace(h, tops, idx, blen, pc, bare, tidx)
+				want = pc + 4*i
+				if e.tcHist != nil && i > 0 {
+					e.tcLen.Observe(i)
+				}
+				// Handlers never touch the bus, the TLB, or this decoded
+				// page, so g0/tgen/dp.live are still current: the generic
+				// loop below resumes mid-run under the same premises, and
+				// its i!=0 re-checks cover everything that follows. A side
+				// exit (taken branch/jump) ends the run outright.
+				traceExit = h.PC != want
+			}
+		}
+		gstart := i
+		for ; !traceExit && i < blen; i++ {
 			if i != 0 {
 				// Premise re-checks, cheap enough to pay per instruction:
 				// a device access may have changed asynchronous-event
@@ -231,6 +255,9 @@ func (e *fastPath) runBatch(h *Hart, deadline uint64, armed bool, max uint64) (u
 				i++ // side exit: the instruction retired, then left the line
 				break
 			}
+		}
+		if e.sbHist != nil && i > gstart {
+			e.sbLen.Observe(i - gstart)
 		}
 		e.stats.FetchHits += i
 		n += i

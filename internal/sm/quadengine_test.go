@@ -8,31 +8,33 @@ import (
 	"zion/internal/hart"
 )
 
-// engineMatrix enumerates the three execution engines. Every scenario in
+// engineMatrix enumerates the four execution engines. Every scenario in
 // this file runs once per engine and the results must be bit-identical:
-// the superblock and fast-path engines claim exact cycle accounting, and
-// SM fault handling (quarantine post-mortems included) must not observe
-// which engine hit the fault.
+// the trace, superblock, and fast-path engines claim exact cycle
+// accounting, and SM fault handling (quarantine post-mortems included)
+// must not observe which engine hit the fault.
 var engineMatrix = []struct {
 	name string
 	fast bool
 	sb   bool
+	tc   bool
 }{
-	{"block", true, true},
-	{"fast", true, false},
-	{"slow", false, false},
+	{"trace", true, true, true},
+	{"block", true, true, false},
+	{"fast", true, false, false},
+	{"slow", false, false, false},
 }
 
 // perEngine runs fn once per engine with the hart construction globals
 // set accordingly, restoring them afterwards.
 func perEngine(t *testing.T, fn func(t *testing.T)) {
 	t.Helper()
-	oldFP, oldSB := hart.DefaultFastPath, hart.DefaultSuperblocks
+	oldFP, oldSB, oldTC := hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces
 	defer func() {
-		hart.DefaultFastPath, hart.DefaultSuperblocks = oldFP, oldSB
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = oldFP, oldSB, oldTC
 	}()
 	for _, e := range engineMatrix {
-		hart.DefaultFastPath, hart.DefaultSuperblocks = e.fast, e.sb
+		hart.DefaultFastPath, hart.DefaultSuperblocks, hart.DefaultTraces = e.fast, e.sb, e.tc
 		t.Run(e.name, fn)
 	}
 }
@@ -57,14 +59,14 @@ type compSnap struct {
 	upCalls uint64 // switch gate crossings (the legal path stays counted)
 }
 
-// TestTriEngineCompartmentQuarantineLockstep corrupts the attestation key
+// TestQuadEngineCompartmentQuarantineLockstep corrupts the attestation key
 // and lets the guest trip over it mid-run via a ZionFnAttest ECALL: the
 // gate's integrity check quarantines the attest compartment in the middle
 // of a (super)block, the guest receives an SBI error and keeps running to
 // shutdown. Post-mortem attribution (compartment, op, cycle, hart, epoch,
 // cause), the guest-visible outcome, and the final cycle counter must be
-// bit-identical across the slow, fast, and superblock engines.
-func TestTriEngineCompartmentQuarantineLockstep(t *testing.T) {
+// bit-identical across the slow, fast, superblock, and trace engines.
+func TestQuadEngineCompartmentQuarantineLockstep(t *testing.T) {
 	var snaps []compSnap
 	perEngine(t, func(t *testing.T) {
 		f := newFixture(t, Config{})
@@ -154,12 +156,12 @@ type quarSnap struct {
 	pool       int
 }
 
-// TestTriEngineCVMQuarantineLockstep drives the shared-vCPU tamper fault
+// TestQuadEngineCVMQuarantineLockstep drives the shared-vCPU tamper fault
 // (hostile hypervisor garbles the exit sequence number during an MMIO
 // round trip) under each engine: the Check-after-Load detection, the
 // quarantine post-mortem's origin attribution, the scrub count, and the
 // final cycle counter must be bit-identical across engines.
-func TestTriEngineCVMQuarantineLockstep(t *testing.T) {
+func TestQuadEngineCVMQuarantineLockstep(t *testing.T) {
 	var snaps []quarSnap
 	perEngine(t, func(t *testing.T) {
 		f := newFixture(t, Config{})

@@ -95,6 +95,51 @@ func TestQuantileAgainstSortedReference(t *testing.T) {
 	}
 }
 
+// TestLocalHistDrain: a LocalHist drained into a Histogram must be
+// indistinguishable from observing the same values on the Histogram
+// directly — count, sum, min, max, and every quantile — and Drain must
+// reset the local state so a second drain adds nothing.
+func TestLocalHistDrain(t *testing.T) {
+	direct := NewHistogram()
+	shared := NewHistogram()
+	var l LocalHist
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << uint(1+rng.Intn(24))))
+		direct.Observe(v)
+		l.Observe(v)
+		if i == 2500 {
+			l.Drain(shared) // split across two drains: merging must compose
+		}
+	}
+	l.Drain(shared)
+	if shared.Count() != direct.Count() || shared.Sum() != direct.Sum() {
+		t.Fatalf("drained count/sum %d/%d, direct %d/%d",
+			shared.Count(), shared.Sum(), direct.Count(), direct.Sum())
+	}
+	if shared.Min() != direct.Min() || shared.Max() != direct.Max() {
+		t.Fatalf("drained min/max %d/%d, direct %d/%d",
+			shared.Min(), shared.Max(), direct.Min(), direct.Max())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1.0} {
+		if shared.Quantile(q) != direct.Quantile(q) {
+			t.Fatalf("Quantile(%v): drained %d, direct %d", q, shared.Quantile(q), direct.Quantile(q))
+		}
+	}
+	// Drained state is reset: another drain is a no-op.
+	l.Drain(shared)
+	if shared.Count() != direct.Count() {
+		t.Fatalf("second drain changed count to %d", shared.Count())
+	}
+	// A nil target discards but still resets.
+	l.Observe(7)
+	l.Drain(nil)
+	l.Drain(shared)
+	if shared.Count() != direct.Count() {
+		t.Fatalf("nil drain leaked state: count %d", shared.Count())
+	}
+}
+
 func min64(a, b uint64) uint64 {
 	if a < b {
 		return a

@@ -17,6 +17,7 @@ const (
 	ProfTierSlow  ProfTier = iota // interpreter Step()
 	ProfTierFast                  // per-instruction fast path
 	ProfTierBlock                 // superblock batch dispatch
+	ProfTierTrace                 // compiled-trace dispatch (pre-bound handlers)
 )
 
 // String implements fmt.Stringer.
@@ -28,6 +29,8 @@ func (t ProfTier) String() string {
 		return "fast"
 	case ProfTierBlock:
 		return "block"
+	case ProfTierTrace:
+		return "trace"
 	}
 	return "?"
 }

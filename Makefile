@@ -16,14 +16,22 @@
 #   make bench-gate       - re-measure at 1/8 scale and fail if the simulated
 #                           cycle/instret fingerprint drifts from the committed
 #                           BENCH_host_short.json or a speedup regresses >20%
+#   make bench-multicore  - bench-gate plus the multi-hart scaling sweep at
+#                           HOSTHARTS harts (default 4); the committed
+#                           scaling floor binds when this host has >= that
+#                           many cores
+#   make race-engine      - race detector x2 on the parallel engine and the
+#                           bench harness (the multi-core CI race lane)
 #   make smoke-monitor    - run a guest with the live monitor endpoint armed and
 #                           self-scrape /metrics, /healthz and /profile
 #   make test-allocs      - pin the zero-allocation contract of the superblock
 #                           and compiled-trace dispatch loops
 
 GO ?= go
+# HOSTHARTS sizes the parallel host-throughput section (bench-multicore).
+HOSTHARTS ?= 4
 
-.PHONY: build test check race lint smoke smoke-compromise smoke-monitor test-allocs bench bench-host bench-host-short bench-gate
+.PHONY: build test check race race-engine lint smoke smoke-compromise smoke-monitor test-allocs bench bench-host bench-host-short bench-gate bench-multicore
 
 build:
 	$(GO) build ./...
@@ -33,6 +41,14 @@ test: build
 
 race: build
 	$(GO) test -race ./...
+
+# race-engine stresses the parallel engine and the bench harness under the
+# race detector twice over: -count=2 reruns every test in a process whose
+# heap/goroutine layout the first pass already perturbed, which is where
+# barrier/outbox ordering bugs that a single pristine run misses tend to
+# show up.
+race-engine:
+	$(GO) test -race -count=2 ./internal/platform/... ./internal/bench/...
 
 # lint prefers golangci-lint (.golangci.yml enables govet, staticcheck,
 # errcheck, ineffassign) but degrades to plain 'go vet' so 'make check'
@@ -99,3 +115,12 @@ bench-host-short:
 # to BENCH_host_ci.json (uploaded as a CI artifact, never committed).
 bench-gate:
 	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host_ci.json -hostdiv 8 -hostgate BENCH_host_short.json
+
+# bench-multicore is the real-core scaling lane: the same 1/8-scale
+# measurement with the parallel section at HOSTHARTS harts, gated against
+# the committed baseline — whose recorded scaling_floor only binds when
+# this host actually has >= HOSTHARTS cores (a 1-core container records
+# honest numbers and the floor stays dormant). CI runs this on a 4-core
+# runner, where the floor is live.
+bench-multicore:
+	$(GO) run ./cmd/zionbench -e "" -hostbench BENCH_host_ci.json -hostdiv 8 -hostharts $(HOSTHARTS) -hostgate BENCH_host_short.json

@@ -101,6 +101,23 @@ func FlushTelemetry() {
 			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/tc/bailouts", h.ID)).Set(fs.TCBailouts)
 			e.Tel.Gauge(fmt.Sprintf("hart%d/fp/tc/invalidations", h.ID)).Set(fs.TCInvals)
 		}
+		// Parallel-engine bookkeeping of the machine's latest RunParallel:
+		// barrier counts and the adaptive-quantum trajectory. Zero epochs
+		// means the machine never ran parallel — publish nothing.
+		if st := e.M.EngineStats(); st.Epochs > 0 {
+			e.Tel.PublishEngine(telemetry.EngineGauges{
+				Epochs:         st.Epochs,
+				CrossOps:       st.CrossOps,
+				MergedBatches:  st.MergedBatches,
+				QuantumGrows:   st.QuantumGrows,
+				QuantumShrinks: st.QuantumShrinks,
+				FinalQuantum:   st.FinalQuantum,
+				MinQuantum:     st.MinQuantum,
+				MaxQuantum:     st.MaxQuantum,
+				Adaptive:       st.Adaptive,
+				Free:           st.Mode == platform.EngineFree,
+			})
+		}
 	}
 }
 

@@ -37,6 +37,11 @@ func TestLockstepPaperWorkloads(t *testing.T) {
 			for _, cfg := range []platform.EngineConfig{
 				{Quantum: 4096},
 				{Quantum: 4096, Ordered: true},
+				// Adaptive sizing must preserve the same contract: the
+				// resize schedule is simulated-state-deterministic, so a
+				// full-stack guest run stays bit-identical to sequential
+				// even while the quantum moves underneath it.
+				{Quantum: 4096, Adaptive: true, MinQuantum: 512, MaxQuantum: 1 << 16},
 			} {
 				cfg := cfg
 				par, _, err := RunWorkloadCopies(k, scale, harts, &cfg)
@@ -160,6 +165,56 @@ func TestConcurrentCVMCreation(t *testing.T) {
 	for i := range first {
 		if !first[i].Equal(again[i]) {
 			t.Errorf("hart %d not reproducible: %v vs %v", i, first[i], again[i])
+		}
+	}
+}
+
+// TestFreeModeWorkloadEquivalence drives the full guest stack (CVM
+// creation, SM, hypervisor, fast-path execution) under EngineFree and
+// requires the same per-hart fingerprints as EngineBlock: private
+// workload copies exchange no state, so the relaxed delivery order must
+// not change anything architectural end to end.
+func TestFreeModeWorkloadEquivalence(t *testing.T) {
+	k := lockstepKernels()[0] // aes
+	block := platform.EngineConfig{Quantum: 4096}
+	ref, _, err := RunWorkloadCopies(k, 16, 2, &block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := platform.EngineConfig{Quantum: 4096, Mode: platform.EngineFree}
+	got, _, err := RunWorkloadCopies(k, 16, 2, &free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if !ref[i].Equal(got[i]) {
+			t.Errorf("hart %d free/block divergence:\n  block %v\n  free  %v", i, ref[i], got[i])
+		}
+	}
+}
+
+// TestScalingHartCounts pins the sweep points RunParallelHost measures.
+func TestScalingHartCounts(t *testing.T) {
+	for _, tc := range []struct {
+		harts int
+		want  []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+	} {
+		got := scalingHartCounts(tc.harts)
+		if len(got) != len(tc.want) {
+			t.Errorf("scalingHartCounts(%d) = %v, want %v", tc.harts, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("scalingHartCounts(%d) = %v, want %v", tc.harts, got, tc.want)
+				break
+			}
 		}
 	}
 }

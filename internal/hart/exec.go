@@ -59,6 +59,14 @@ func (h *Hart) RunBatch(deadline uint64, armed bool, max uint64) (uint64, Event,
 	if h.fp == nil {
 		return 0, Event{}, false
 	}
+	// Quantum clamp: no batch may run past the barrier deadline, even if
+	// a run loop passed a raw timer deadline without merging it through
+	// BatchDeadline. Adaptive quantum sizing (internal/platform) moves
+	// QuantumDeadline between epochs, so the clamp is re-derived here on
+	// every batch rather than trusted to the caller's sample.
+	if h.Yield != nil && (!armed || h.QuantumDeadline < deadline) {
+		deadline, armed = h.QuantumDeadline, true
+	}
 	return h.fp.runBatch(h, deadline, armed, max)
 }
 

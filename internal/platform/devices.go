@@ -11,14 +11,26 @@ import (
 // macro benchmarks the paper runs and keeps multi-hart runs independent.
 //
 // Timer state is atomic rather than mutex-guarded because TimerPending is
-// polled at every instruction boundary; writers store mtimecmp before
-// setting armed, so a timer observed as armed always has its deadline
-// visible.
+// polled at every batch boundary; writers store mtimecmp before setting
+// armed, so a timer observed as armed always has its deadline visible.
+//
+// State is sharded per hart and padded to cache-line size: hart i's
+// comparator poll is a pure read of its own line, so non-interacting
+// harts under the parallel engine never false-share — with the packed
+// []atomic layout this used to be a measurable fraction of the quantum-
+// barrier engine's multi-core overhead. The writer mutex is sharded the
+// same way: programming hart i's timer never contends with hart j's.
+type clintHart struct {
+	mu       sync.Mutex // serialises writers to this hart's registers only
+	mtimecmp atomic.Uint64
+	armed    atomic.Bool
+	msip     atomic.Uint32
+	_        [40]byte // pad to 64 bytes: one hart per cache line
+}
+
+// CLINT is the sharded core-local interruptor.
 type CLINT struct {
-	mu       sync.Mutex // serialises writers only
-	mtimecmp []atomic.Uint64
-	armed    []atomic.Bool
-	msip     []atomic.Uint32
+	harts []clintHart
 
 	// onMSIP, when non-nil, is called after an msip register changes so
 	// the platform can reflect the bit into the target hart's mip CSR.
@@ -30,11 +42,7 @@ type CLINT struct {
 
 // NewCLINT creates a CLINT for n harts with all timers disarmed.
 func NewCLINT(n int) *CLINT {
-	return &CLINT{
-		mtimecmp: make([]atomic.Uint64, n),
-		armed:    make([]atomic.Bool, n),
-		msip:     make([]atomic.Uint32, n),
-	}
+	return &CLINT{harts: make([]clintHart, n)}
 }
 
 // Range implements MMIODevice.
@@ -51,10 +59,10 @@ const (
 // ok=false for offsets outside any per-hart register. The platform uses
 // this to route cross-hart CLINT writes through the quantum barrier.
 func (c *CLINT) targetHart(off uint64) (int, bool) {
-	if off < msipOff+uint64(4*len(c.msip)) {
+	if off < msipOff+uint64(4*len(c.harts)) {
 		return int(off / 4), true
 	}
-	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.mtimecmp)) {
+	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.harts)) {
 		return int((off - mtimecmpOff) / 8), true
 	}
 	return 0, false
@@ -62,62 +70,70 @@ func (c *CLINT) targetHart(off uint64) (int, bool) {
 
 // Access implements MMIODevice: guests and the hypervisor program
 // mtimecmp through MMIO exactly as on hardware, and raise IPIs by
-// storing to a peer's msip doorbell.
+// storing to a peer's msip doorbell. Only the target hart's shard is
+// locked, and only for writes.
 func (c *CLINT) Access(hartID int, off uint64, size int, write bool, val uint64) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if off < msipOff+uint64(4*len(c.msip)) {
+	if off < msipOff+uint64(4*len(c.harts)) {
 		idx := int(off / 4)
+		hs := &c.harts[idx]
 		if write {
+			hs.mu.Lock()
+			defer hs.mu.Unlock()
 			bit := uint32(val & 1)
-			c.msip[idx].Store(bit)
+			hs.msip.Store(bit)
 			if c.onMSIP != nil {
 				c.onMSIP(idx, bit != 0)
 			}
 			return 0
 		}
-		return uint64(c.msip[idx].Load())
+		return uint64(hs.msip.Load())
 	}
-	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.mtimecmp)) {
-		idx := int((off - mtimecmpOff) / 8)
+	if off >= mtimecmpOff && off < mtimecmpOff+uint64(8*len(c.harts)) {
+		hs := &c.harts[int((off-mtimecmpOff)/8)]
 		if write {
-			c.mtimecmp[idx].Store(val)
-			c.armed[idx].Store(true)
+			hs.mu.Lock()
+			defer hs.mu.Unlock()
+			hs.mtimecmp.Store(val)
+			hs.armed.Store(true)
 			return 0
 		}
-		return c.mtimecmp[idx].Load()
+		return hs.mtimecmp.Load()
 	}
 	return 0
 }
 
 // MSIP reports hart i's software-interrupt doorbell.
-func (c *CLINT) MSIP(i int) bool { return c.msip[i].Load() != 0 }
+func (c *CLINT) MSIP(i int) bool { return c.harts[i].msip.Load() != 0 }
 
 // SetTimer arms hart i's comparator directly (used by the Go-implemented
 // SM/hypervisor, which on hardware would use the SBI TIME extension).
 func (c *CLINT) SetTimer(i int, deadline uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.mtimecmp[i].Store(deadline)
-	c.armed[i].Store(true)
+	hs := &c.harts[i]
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	hs.mtimecmp.Store(deadline)
+	hs.armed.Store(true)
 }
 
 // DisarmTimer cancels hart i's timer.
 func (c *CLINT) DisarmTimer(i int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.armed[i].Store(false)
+	hs := &c.harts[i]
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	hs.armed.Store(false)
 }
 
 // TimerPending reports whether hart i's timer has fired at time now.
 // Lock-free: this sits on the per-instruction hot path.
 func (c *CLINT) TimerPending(i int, now uint64) bool {
-	return c.armed[i].Load() && now >= c.mtimecmp[i].Load()
+	hs := &c.harts[i]
+	return hs.armed.Load() && now >= hs.mtimecmp.Load()
 }
 
 // NextDeadline returns hart i's armed deadline.
 func (c *CLINT) NextDeadline(i int) (uint64, bool) {
-	return c.mtimecmp[i].Load(), c.armed[i].Load()
+	hs := &c.harts[i]
+	return hs.mtimecmp.Load(), hs.armed.Load()
 }
 
 // UART is a write-only console device: bytes stored for inspection.

@@ -5,10 +5,12 @@
 // barrier. Cross-hart effects — CLINT MSIP/mtimecmp writes, IPI-driven
 // TLB shootdowns, PMP reprogramming by the Secure Monitor, any mutation
 // of a peer hart's architectural state — are never applied mid-quantum:
-// they are posted to the destination hart's inbox and applied on the
-// destination's own goroutine when it is released into the next epoch.
+// they are collected in the posting hart's private outbox and merged
+// into the destinations' inboxes in one batch when the poster reaches
+// the barrier, then applied on the destination's own goroutine when it
+// is released into the next epoch.
 //
-// Determinism model:
+// Determinism model (EngineBlock, the default):
 //
 //   - A hart's own instruction stream, cycle accounting, and trap mix
 //     depend only on its architectural state at each quantum boundary,
@@ -27,7 +29,27 @@
 //
 // The delivery latency of an IPI is therefore bounded by one quantum of
 // simulated time — the modeling analogue of interconnect latency — and
-// is exactly reproducible for a fixed quantum.
+// is exactly reproducible for a fixed quantum schedule.
+//
+// Adaptive quantum sizing: with EngineConfig.Adaptive, the engine
+// resizes the quantum at each epoch boundary from the cross-hart
+// traffic observed *in simulated state* — the count of ops posted
+// during the epoch just ended. A quiet epoch doubles the quantum (fewer
+// rendezvous, less host-side barrier overhead); a chatty epoch (more
+// ops than active harts) halves it (tighter IPI latency). Because the
+// op counts are themselves deterministic — which quantum an op is
+// posted in depends only on simulated state — the resize schedule, and
+// with it every deadline and delivery epoch, is identical across reruns
+// and across free-running/Ordered modes. Seeded runs stay bit-identical.
+//
+// EngineFree is the opt-in fast-unordered mode for throughput runs:
+// cross-hart ops still ride outboxes and apply only on the destination
+// goroutine (memory safety is unchanged), but delivery skips the epoch
+// filter and the (epoch, src, seq) sort — ops land in host arrival
+// order, as early as the next release. Per-source FIFO order is still
+// preserved. The architectural end state of commutative workloads is
+// unchanged; the interleaving, and therefore cycle-exact replay, is
+// not. EngineBlock remains the default and the lockstep reference.
 package platform
 
 import (
@@ -46,15 +68,63 @@ import (
 // latency stays well under a scheduler tick.
 const DefaultQuantum = 100_000
 
+// Adaptive-quantum clamp defaults: the resize rule never shrinks below
+// DefaultMinQuantum (IPI latency floor ~82 µs of simulated time) nor
+// grows beyond DefaultMaxQuantum (~10 ms — one hart can run at most
+// this far ahead of a peer's view of its device registers).
+const (
+	DefaultMinQuantum = 8_192
+	DefaultMaxQuantum = 1 << 20
+)
+
+// EngineMode selects the cross-hart effect delivery discipline.
+type EngineMode int
+
+const (
+	// EngineBlock is the deterministic quantum-barrier mode: ops posted
+	// in epoch G apply at the target's release into G+1, sorted by
+	// (epoch, source, sequence). The default, and the only mode the
+	// bit-identity contract covers.
+	EngineBlock EngineMode = iota
+	// EngineFree is the fast-unordered throughput mode: ops still apply
+	// on the destination's goroutine at a barrier release, but without
+	// the epoch filter or the sorted merge — host arrival order decides.
+	// Same architectural result for commutative workloads, relaxed
+	// interleaving; not covered by the replay guarantee.
+	EngineFree
+)
+
+// String names the mode the way the bench JSON records it.
+func (m EngineMode) String() string {
+	if m == EngineFree {
+		return "free"
+	}
+	return "block"
+}
+
 // EngineConfig configures RunParallel.
 type EngineConfig struct {
 	// Quantum is the barrier period in simulated cycles (0 = DefaultQuantum).
+	// With Adaptive set it is only the starting value.
 	Quantum uint64
+	// Mode selects deterministic (EngineBlock, default) or fast-unordered
+	// (EngineFree) cross-hart delivery.
+	Mode EngineMode
 	// Ordered releases harts one at a time in ascending hart-ID order
 	// within each epoch instead of letting them run concurrently. It is
 	// the reference interleaving the free-running mode is validated
 	// against: both must produce identical results for any workload.
 	Ordered bool
+
+	// Adaptive resizes the quantum at each epoch boundary from the
+	// cross-hart op count of the epoch just ended: zero ops doubles the
+	// quantum (clamped to MaxQuantum), more ops than active harts halves
+	// it (clamped to MinQuantum). The schedule depends only on simulated
+	// state, so seeded runs remain bit-identical (see package comment).
+	Adaptive bool
+	// MinQuantum/MaxQuantum clamp adaptive resizing (0 = the defaults).
+	MinQuantum uint64
+	MaxQuantum uint64
 
 	// OnEpoch, when non-nil, is invoked at each quantum-barrier epoch
 	// transition while every hart is parked at the rendezvous — the one
@@ -66,11 +136,35 @@ type EngineConfig struct {
 	OnEpoch func(epoch uint64)
 }
 
+// EngineStats summarizes one RunParallel invocation: the barrier and
+// adaptive-quantum bookkeeping the bench scaling rows and the
+// "engine/*" telemetry gauges are built from. All counts are in the
+// simulated domain and therefore deterministic for a seeded EngineBlock
+// run.
+type EngineStats struct {
+	Mode     EngineMode
+	Adaptive bool
+	// Epochs is the number of quantum barriers crossed.
+	Epochs uint64
+	// CrossOps is the total number of cross-hart ops delivered;
+	// MergedBatches counts the outbox→inbox merge operations that
+	// carried them (the locked sections per-op posting used to pay).
+	CrossOps      uint64
+	MergedBatches uint64
+	// QuantumGrows/QuantumShrinks count adaptive resizes; Final/Min/Max
+	// record the quantum trajectory (Min/Max as observed, not the clamps).
+	QuantumGrows   uint64
+	QuantumShrinks uint64
+	FinalQuantum   uint64
+	MinQuantum     uint64
+	MaxQuantum     uint64
+}
+
 // HartRunner drives one hart to completion (e.g. a closure over
 // Machine.RunHart or hv.RunCVM).
 type HartRunner func(h *hart.Hart) error
 
-// xop is one deferred cross-hart operation.
+// xop is one deferred cross-hart operation, inbox-resident.
 type xop struct {
 	src   int    // posting hart
 	seq   uint64 // per-source monotonic sequence number
@@ -78,14 +172,30 @@ type xop struct {
 	fn    func() // applied on the destination hart's goroutine
 }
 
+// outOp is one not-yet-merged cross-hart operation in the posting
+// hart's private outbox. No lock protects outboxes: each is touched
+// only by its owning hart's goroutine (posts while executing, merge at
+// its own barrier arrival under the engine lock).
+type outOp struct {
+	dst int
+	fn  func()
+}
+
 // engine is the quantum-barrier scheduler state. All fields below mu are
 // guarded by it; the engine pointer itself is published to Machine
-// before the hart goroutines start and cleared after they join.
+// before the hart goroutines start and cleared after they join. outbox
+// is the exception: outbox[i] is owned by hart i's goroutine.
 type engine struct {
-	m       *Machine
-	quantum uint64
-	ordered bool
-	onEpoch func(epoch uint64)
+	m        *Machine
+	quantum  uint64
+	minQ     uint64
+	maxQ     uint64
+	adaptive bool
+	free     bool
+	ordered  bool
+	onEpoch  func(epoch uint64)
+
+	outbox [][]outOp // per-hart pending posts, owned by the posting goroutine
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -95,10 +205,12 @@ type engine struct {
 	turn     int      // Ordered mode: hart currently released (-1 = none)
 	deadline uint64   // cycle deadline of the current epoch
 	halted   bool     // every active hart idle: global halt
+	epochOps uint64   // ops merged during the current epoch (adaptive input)
 	idle     []bool   // per-hart: cannot make progress without peer help
 	done     []bool   // per-hart: runner returned
-	inbox    [][]xop  // per-hart pending cross-hart ops
+	inbox    [][]xop  // per-hart pending cross-hart ops (epoch-nondecreasing)
 	seq      []uint64 // per-hart op sequence counters
+	stats    EngineStats
 }
 
 // barrier parks hart src until every active hart has arrived and the
@@ -114,6 +226,12 @@ func (e *engine) barrier(src int, idle bool) bool {
 		e.mu.Unlock()
 		return false
 	}
+	// Merge this hart's outbox before the epoch decision: the arrival
+	// that completes the rendezvous must see every op posted this epoch,
+	// both for the all-idle halt verdict and for the adaptive resize
+	// input. One locked merge per quantum replaces one locked append per
+	// op — the batched-bookkeeping half of the barrier cost model.
+	e.mergeLocked(src)
 	e.idle[src] = idle
 	e.arrived++
 	myGen := e.gen
@@ -135,18 +253,47 @@ func (e *engine) barrier(src int, idle bool) bool {
 	h.QuantumDeadline = e.deadline
 	e.mu.Unlock()
 	// Apply outside the engine lock: ops touch the destination hart's
-	// TLB/PMP/CSRs and may post further ops (engine.post only takes the
-	// lock briefly and never waits).
+	// TLB/PMP/CSRs and may post further ops (which land in this hart's
+	// outbox and merge at its next arrival).
 	for _, op := range ops {
 		op.fn()
 	}
 	return true
 }
 
+// mergeLocked moves hart src's outbox into the destination inboxes,
+// assigning per-source sequence numbers in posting order and tagging
+// each op with the current epoch. Called with e.mu held, always on
+// src's own goroutine (barrier arrival or finish), always while e.gen
+// still names the epoch the ops were posted in — gen cannot advance
+// until every active hart has arrived, and src has not yet. Ops to
+// finished harts are dropped: the target's architectural state is
+// frozen, and because a hart's finishing epoch is itself deterministic,
+// the drop/deliver outcome is identical across engine modes.
+func (e *engine) mergeLocked(src int) {
+	out := e.outbox[src]
+	if len(out) == 0 {
+		return
+	}
+	e.stats.MergedBatches++
+	for i, op := range out {
+		if !e.done[op.dst] && !e.halted {
+			e.seq[src]++
+			e.inbox[op.dst] = append(e.inbox[op.dst],
+				xop{src: src, seq: e.seq[src], epoch: e.gen, fn: op.fn})
+			e.epochOps++
+			e.stats.CrossOps++
+		}
+		out[i] = outOp{} // release the closure
+	}
+	e.outbox[src] = out[:0]
+}
+
 // beginEpochLocked transitions the barrier to the next epoch, or
 // declares global halt when every active hart is idle with an empty
 // inbox (the multi-hart generalization of the sequential engine's
-// "idle forever: nothing to wake the hart" exit).
+// "idle forever: nothing to wake the hart" exit). With Adaptive set it
+// first applies the resize rule to the quantum the new epoch will use.
 func (e *engine) beginEpochLocked() {
 	allIdle := true
 	for i, d := range e.done {
@@ -163,15 +310,43 @@ func (e *engine) beginEpochLocked() {
 		e.cond.Broadcast()
 		return
 	}
+	if e.adaptive && e.gen > 0 {
+		// Deterministic resize: input is the simulated-domain op count of
+		// the epoch just ended, never host timing. Quiet epoch → double
+		// (amortize barrier overhead); chattier than one op per active
+		// hart → halve (bound IPI latency).
+		switch {
+		case e.epochOps == 0 && e.quantum < e.maxQ:
+			e.quantum *= 2
+			if e.quantum > e.maxQ {
+				e.quantum = e.maxQ
+			}
+			e.stats.QuantumGrows++
+		case e.epochOps > uint64(e.nActive) && e.quantum > e.minQ:
+			e.quantum /= 2
+			if e.quantum < e.minQ {
+				e.quantum = e.minQ
+			}
+			e.stats.QuantumShrinks++
+		}
+		if e.quantum < e.stats.MinQuantum {
+			e.stats.MinQuantum = e.quantum
+		}
+		if e.quantum > e.stats.MaxQuantum {
+			e.stats.MaxQuantum = e.quantum
+		}
+	}
+	e.epochOps = 0
 	e.gen++
+	e.stats.Epochs = e.gen
 	e.arrived = 0
 	e.deadline += e.quantum
 	if e.ordered {
 		e.turn = e.nextTurnLocked(-1)
 	}
 	// Black-box the rendezvous: one event per still-active hart. Epoch
-	// numbers are deterministic for a fixed quantum, so seeded flight
-	// dumps stay byte-identical.
+	// numbers are deterministic for a fixed quantum schedule, so seeded
+	// flight dumps stay byte-identical.
 	for i, d := range e.done {
 		if !d {
 			e.m.Flight.Ring(i).Record(e.m.Harts[i].Cycles, telemetry.FlightBarrier,
@@ -197,26 +372,41 @@ func (e *engine) nextTurnLocked(prev int) int {
 }
 
 // takeReadyLocked removes and returns the ops visible to hart src in the
-// current epoch: exactly those posted in earlier epochs. Same-epoch ops
+// current epoch.
+//
+// EngineBlock: exactly those posted in earlier epochs. Same-epoch ops
 // stay queued (in Ordered mode a lower-ID hart may post before a
 // higher-ID hart is released into the same epoch; free-running mode
-// could never deliver those early, so neither may Ordered mode). The
-// (epoch, src, seq) sort makes application order independent of the
-// host-level interleaving of posts from different harts.
+// could never deliver those early, so neither may Ordered mode). Merges
+// append with the then-current epoch tag and gen only grows, so each
+// inbox is epoch-nondecreasing: the ready set is a prefix, split off
+// without copying the remainder. The (epoch, src, seq) sort then makes
+// application order independent of the host-level interleaving of
+// merges from different harts.
+//
+// EngineFree: everything pending, in arrival order, no sort — the
+// fast-unordered contract.
 func (e *engine) takeReadyLocked(dst int) []xop {
 	q := e.inbox[dst]
 	if len(q) == 0 {
 		return nil
 	}
-	var ready, rest []xop
-	for _, op := range q {
-		if op.epoch < e.gen {
-			ready = append(ready, op)
-		} else {
-			rest = append(rest, op)
+	if e.free {
+		e.inbox[dst] = nil
+		return q
+	}
+	cut := len(q)
+	for i, op := range q {
+		if op.epoch >= e.gen {
+			cut = i
+			break
 		}
 	}
-	e.inbox[dst] = rest
+	if cut == 0 {
+		return nil
+	}
+	ready := q[:cut]
+	e.inbox[dst] = q[cut:]
 	sort.Slice(ready, func(i, j int) bool {
 		a, b := ready[i], ready[j]
 		if a.epoch != b.epoch {
@@ -230,31 +420,28 @@ func (e *engine) takeReadyLocked(dst int) []xop {
 	return ready
 }
 
-// post queues fn for application on hart dst's goroutine at its next
-// epoch release. Ops to finished harts are dropped: the hart's
-// architectural state is frozen, and because a hart's finishing epoch is
-// itself deterministic, the drop/deliver outcome is identical across
-// engine modes.
+// post queues fn for application on hart dst's goroutine at a later
+// barrier release. Lock-free: the op lands in src's private outbox and
+// is merged into dst's inbox when src next reaches the barrier (or
+// finishes). post must be called on hart src's own goroutine — true for
+// every existing caller: the bus defers a hart's own MMIO stores, and
+// Machine.OnHart names the hart the SM/hypervisor is executing on.
 func (e *engine) post(src, dst int, fn func()) {
-	e.mu.Lock()
-	if e.done[dst] || e.halted {
-		e.mu.Unlock()
-		return
-	}
-	e.seq[src]++
-	e.inbox[dst] = append(e.inbox[dst], xop{src: src, seq: e.seq[src], epoch: e.gen, fn: fn})
-	e.mu.Unlock()
+	e.outbox[src] = append(e.outbox[src], outOp{dst: dst, fn: fn})
 }
 
-// finish retires hart src from the barrier after its runner returns.
-// Pending ops for it are dropped (see post); if it was the last hart the
-// others were waiting for, the next epoch begins without it.
+// finish retires hart src from the barrier after its runner returns,
+// merging any ops it posted in its final partial quantum. Pending ops
+// *for* it are dropped at merge time (see mergeLocked); if it was the
+// last hart the others were waiting for, the next epoch begins without
+// it.
 func (e *engine) finish(src int) {
 	e.mu.Lock()
 	if e.done[src] {
 		e.mu.Unlock()
 		return
 	}
+	e.mergeLocked(src)
 	e.done[src] = true
 	e.inbox[src] = nil
 	e.nActive--
@@ -298,6 +485,12 @@ func (m *Machine) Epoch() uint64 {
 	return gen
 }
 
+// EngineStats returns the barrier/quantum bookkeeping of the most
+// recent completed RunParallel (zero value if none ran). Deterministic
+// for a seeded EngineBlock run; exported as "engine/*" telemetry gauges
+// by the bench harness.
+func (m *Machine) EngineStats() EngineStats { return m.lastEngine }
+
 // RunParallel runs every hart on its own goroutine under the quantum
 // barrier: runners[i] drives hart i (typically a closure over RunHart or
 // a hypervisor run loop). It returns when every runner has returned or
@@ -313,11 +506,31 @@ func (m *Machine) RunParallel(cfg EngineConfig, runners []HartRunner) error {
 	if q == 0 {
 		q = DefaultQuantum
 	}
+	minQ, maxQ := cfg.MinQuantum, cfg.MaxQuantum
+	if minQ == 0 {
+		minQ = DefaultMinQuantum
+	}
+	if maxQ == 0 {
+		maxQ = DefaultMaxQuantum
+	}
+	if minQ > q {
+		minQ = q
+	}
+	if maxQ < q {
+		maxQ = q
+	}
 	e := &engine{
-		m: m, quantum: q, ordered: cfg.Ordered, onEpoch: cfg.OnEpoch,
+		m: m, quantum: q, minQ: minQ, maxQ: maxQ,
+		adaptive: cfg.Adaptive, free: cfg.Mode == EngineFree,
+		ordered: cfg.Ordered, onEpoch: cfg.OnEpoch,
 		nActive: n, turn: -1,
-		idle: make([]bool, n), done: make([]bool, n),
+		outbox: make([][]outOp, n),
+		idle:   make([]bool, n), done: make([]bool, n),
 		inbox: make([][]xop, n), seq: make([]uint64, n),
+	}
+	e.stats = EngineStats{
+		Mode: cfg.Mode, Adaptive: cfg.Adaptive,
+		MinQuantum: q, MaxQuantum: q, FinalQuantum: q,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	// The first epoch deadline lands on the next quantum boundary above
@@ -350,6 +563,8 @@ func (m *Machine) RunParallel(cfg EngineConfig, runners []HartRunner) error {
 		}(i)
 	}
 	wg.Wait()
+	e.stats.FinalQuantum = e.quantum
+	m.lastEngine = e.stats
 	m.engine = nil
 	for _, h := range m.Harts {
 		h.Yield = nil

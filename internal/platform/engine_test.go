@@ -251,6 +251,184 @@ func TestParallelStress(t *testing.T) {
 	}
 }
 
+// phasedProgram alternates doorbell bursts with quiet compute: `rounds`
+// iterations of (ring+clear every peer's msip `burst` times, then count
+// down `quiet` iterations). Interrupts stay masked, so the doorbell bits
+// just toggle and the hart's own cycle accounting is independent of
+// delivery timing — the bursts exist to oscillate the adaptive quantum,
+// not to perturb the fingerprint.
+func phasedProgram(hartID, nh int, rounds, burst, quiet int64) []byte {
+	p := asm.New(uint64(RAMBase) + uint64(hartID)*0x10000)
+	p.LI(asm.T0, rounds)
+	p.Label("outer")
+	p.LI(asm.T1, burst)
+	p.LI(asm.T2, CLINTBase)
+	p.Label("burst")
+	for j := 0; j < nh; j++ {
+		if j == hartID {
+			continue
+		}
+		p.LI(asm.T3, 1)
+		p.SW(asm.T3, asm.T2, int64(4*j))
+		p.SW(asm.Zero, asm.T2, int64(4*j))
+	}
+	p.ADDI(asm.T1, asm.T1, -1)
+	p.BNE(asm.T1, asm.Zero, "burst")
+	p.LI(asm.T4, quiet)
+	p.Label("quiet")
+	p.ADDI(asm.T4, asm.T4, -1)
+	p.BNE(asm.T4, asm.Zero, "quiet")
+	p.ADDI(asm.T0, asm.T0, -1)
+	p.BNE(asm.T0, asm.Zero, "outer")
+	p.ECALL()
+	return p.MustAssemble()
+}
+
+// TestAdaptiveQuantumOscillationBitIdentity forces the adaptive resize
+// rule to oscillate — doorbell bursts make epochs chatty enough to halve
+// the quantum, quiet compute stretches make them silent enough to double
+// it — and requires the run to stay bit-identical to the sequential
+// reference anyway: the resize schedule is a pure function of simulated
+// state, so the whole quantum trajectory (stats included) must reproduce
+// exactly across reruns and across free-running vs Ordered release.
+func TestAdaptiveQuantumOscillationBitIdentity(t *testing.T) {
+	const nh = 4
+	progs := make([][]byte, nh)
+	for i := range progs {
+		progs[i] = phasedProgram(i, nh, 6, 40, 4000)
+	}
+	build := func() *Machine {
+		m := New(nh, 16<<20)
+		loadPerHart(t, m, progs)
+		return m
+	}
+
+	seq := build()
+	for i := 0; i < nh; i++ {
+		if _, err := seq.RunHart(i, 1<<30); err != nil {
+			t.Fatalf("sequential hart %d: %v", i, err)
+		}
+	}
+
+	cfg := EngineConfig{Quantum: 512, Adaptive: true, MinQuantum: 128, MaxQuantum: 8192}
+	run := func(ordered bool) ([2 * nh]uint64, EngineStats) {
+		m := build()
+		c := cfg
+		c.Ordered = ordered
+		if err := m.RunParallel(c, runHartRunners(m)); err != nil {
+			t.Fatalf("ordered=%v: %v", ordered, err)
+		}
+		var fp [2 * nh]uint64
+		for i := 0; i < nh; i++ {
+			fp[2*i], fp[2*i+1] = fingerprint(m.Harts[i])
+		}
+		return fp, m.EngineStats()
+	}
+
+	free, st := run(false)
+	for i := 0; i < nh; i++ {
+		sc, si := fingerprint(seq.Harts[i])
+		if free[2*i] != sc || free[2*i+1] != si {
+			t.Errorf("hart %d: adaptive parallel (cycles=%d instret=%d) != sequential (cycles=%d instret=%d)",
+				i, free[2*i], free[2*i+1], sc, si)
+		}
+	}
+	// The workload must actually exercise both directions of the rule.
+	if st.QuantumGrows == 0 || st.QuantumShrinks == 0 {
+		t.Fatalf("quantum never oscillated: %+v", st)
+	}
+	if st.MinQuantum >= cfg.Quantum || st.MaxQuantum <= cfg.Quantum {
+		t.Errorf("quantum trajectory did not cross the start value both ways: %+v", st)
+	}
+	if st.CrossOps == 0 || st.MergedBatches == 0 || st.MergedBatches > st.CrossOps {
+		t.Errorf("implausible batching counters: %+v", st)
+	}
+
+	// The adaptive schedule is simulated-state-deterministic: a rerun and
+	// the Ordered reference interleaving must reproduce the fingerprints
+	// AND the entire bookkeeping — every resize, every merge, every op.
+	if again, st2 := run(false); again != free || st2 != st {
+		t.Errorf("adaptive rerun diverged:\n  fp    %v vs %v\n  stats %+v vs %+v", again, free, st2, st)
+	}
+	if ord, st3 := run(true); ord != free || st3 != st {
+		t.Errorf("ordered/free divergence:\n  fp    %v vs %v\n  stats %+v vs %+v", ord, free, st3, st)
+	}
+}
+
+// TestFreeModeFinalStateEquivalence runs the doorbell/shared-page stress
+// workload under the deterministic EngineBlock mode and the fast-unordered
+// EngineFree mode and requires the same architectural end state: per-hart
+// cycles and instret (a hart's own stream never depends on delivery
+// timing when interrupts are masked), the shared page contents, and every
+// doorbell left clear. Free mode relaxes the interleaving, not the
+// outcome, for commutative workloads — this is that contract's test.
+func TestFreeModeFinalStateEquivalence(t *testing.T) {
+	const nh = 4
+	const shared = uint64(RAMBase) + 0x200000
+	progs := make([][]byte, nh)
+	for i := range progs {
+		p := asm.New(uint64(RAMBase) + uint64(i)*0x10000)
+		p.LI(asm.T0, 300)
+		p.LI(asm.T1, int64(shared))
+		p.LI(asm.T2, CLINTBase)
+		p.Label("loop")
+		p.SD(asm.T0, asm.T1, int64(i*8))
+		for j := 0; j < nh; j++ {
+			if j == i {
+				continue
+			}
+			p.LI(asm.T3, 1)
+			p.SW(asm.T3, asm.T2, int64(4*j))
+			p.SW(asm.Zero, asm.T2, int64(4*j))
+		}
+		p.ADDI(asm.T0, asm.T0, -1)
+		p.BNE(asm.T0, asm.Zero, "loop")
+		p.ECALL()
+		progs[i] = p.MustAssemble()
+	}
+	type state struct {
+		fp     [2 * nh]uint64
+		shared [nh]uint64
+		msip   [nh]bool
+	}
+	run := func(mode EngineMode) (state, EngineStats) {
+		m := New(nh, 16<<20)
+		loadPerHart(t, m, progs)
+		cfg := EngineConfig{Quantum: 1024, Mode: mode}
+		if err := m.RunParallel(cfg, runHartRunners(m)); err != nil {
+			t.Fatalf("mode=%v: %v", mode, err)
+		}
+		var s state
+		for i := 0; i < nh; i++ {
+			s.fp[2*i], s.fp[2*i+1] = fingerprint(m.Harts[i])
+			v, err := m.RAM.ReadUint(shared+uint64(i*8), 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.shared[i] = v
+			s.msip[i] = m.CLINT.MSIP(i)
+		}
+		return s, m.EngineStats()
+	}
+	block, bst := run(EngineBlock)
+	frees, fst := run(EngineFree)
+	if block != frees {
+		t.Errorf("free/block final-state divergence:\n  block %+v\n  free  %+v", block, frees)
+	}
+	for i, set := range frees.msip {
+		if set {
+			t.Errorf("hart %d doorbell left set", i)
+		}
+	}
+	if bst.Mode != EngineBlock || fst.Mode != EngineFree {
+		t.Errorf("stats misrecorded the mode: block=%v free=%v", bst.Mode, fst.Mode)
+	}
+	if fst.CrossOps != bst.CrossOps {
+		t.Errorf("free mode delivered %d ops, block %d — both must deliver everything posted",
+			fst.CrossOps, bst.CrossOps)
+	}
+}
+
 // timeout returns a channel that fires well before the test framework's
 // own deadline, so barrier hangs fail with a useful message.
 func timeout(t *testing.T) <-chan struct{} {

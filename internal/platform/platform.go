@@ -76,6 +76,11 @@ type Machine struct {
 	// before the hart goroutines start and cleared after they join, so
 	// hart-goroutine reads are ordered by goroutine create/join.
 	engine *engine
+
+	// lastEngine is the bookkeeping of the most recent completed
+	// RunParallel (EngineStats accessor). Written after the hart
+	// goroutines join, read from the caller's goroutine only.
+	lastEngine EngineStats
 }
 
 // New builds a machine with the given hart count and RAM size.

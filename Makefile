@@ -24,6 +24,9 @@
 #                           bench harness (the multi-core CI race lane)
 #   make smoke-monitor    - run a guest with the live monitor endpoint armed and
 #                           self-scrape /metrics, /healthz and /profile
+#   make smoke-serving    - short sustained-serving run (deterministic rerun
+#                           checked inside zionbench); writes the latency
+#                           histogram artifact serving_hist.json
 #   make test-allocs      - pin the zero-allocation contract of the superblock
 #                           and compiled-trace dispatch loops
 
@@ -31,7 +34,7 @@ GO ?= go
 # HOSTHARTS sizes the parallel host-throughput section (bench-multicore).
 HOSTHARTS ?= 4
 
-.PHONY: build test check race race-engine lint smoke smoke-compromise smoke-monitor test-allocs bench bench-host bench-host-short bench-gate bench-multicore
+.PHONY: build test check race race-engine lint smoke smoke-compromise smoke-monitor smoke-serving test-allocs bench bench-host bench-host-short bench-gate bench-multicore
 
 build:
 	$(GO) build ./...
@@ -68,6 +71,7 @@ check: build
 	$(MAKE) smoke
 	$(MAKE) smoke-compromise
 	$(MAKE) smoke-monitor
+	$(MAKE) smoke-serving
 	$(MAKE) bench-host-short
 
 # smoke runs one fixed-seed fault campaign through the zionbench driver:
@@ -89,6 +93,13 @@ smoke-compromise:
 # and exits non-zero if any body is malformed.
 smoke-monitor:
 	$(GO) run ./cmd/zionvm -workload aes -scale 256 -quantum 30000 -monitorcheck
+
+# smoke-serving drives the multi-queue batched virtio data plane end to
+# end outside go test: 20k requests across 8 CVMs, rerun once on a fresh
+# stack inside zionbench to check the deterministic fingerprint, with the
+# latency histogram written as a CI artifact.
+smoke-serving:
+	$(GO) run ./cmd/zionbench -e serving -servrequests 20000 -servhist serving_hist.json
 
 # test-allocs is the hot-loop allocation gate: the superblock and
 # compiled-trace dispatch loops must run allocation-free once warm. The

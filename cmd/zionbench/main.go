@@ -31,6 +31,7 @@ import (
 	"zion/internal/faultinject"
 	"zion/internal/monitor"
 	"zion/internal/telemetry"
+	"zion/internal/workloads"
 )
 
 // experiments is the authoritative -e vocabulary, in run order.
@@ -48,6 +49,7 @@ var experiments = []struct{ ID, Desc string }{
 	{"a4", "ablation: shared-subtable entry revalidation cost"},
 	{"fi", "robustness: seeded fault-injection campaign sweep"},
 	{"fic", "robustness: compartment-compromise campaign (blast radius)"},
+	{"serving", "sustained serving: multi-queue batched virtio data plane"},
 }
 
 // experimentIDs returns the vocabulary in run order.
@@ -96,7 +98,7 @@ func listExperiments(w io.Writer) {
 }
 
 func main() {
-	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi,fic", "experiments to run ('micro' = e1,e2,e3; 'list' prints them)")
+	sel := flag.String("e", "e1,e2,e3,t1,e4,f3,f4,a1,a2,a3,a4,fi,fic,serving", "experiments to run ('micro' = e1,e2,e3; 'list' prints them)")
 	scaleDiv := flag.Int("scalediv", 1, "divide workload scales (faster, less precise)")
 	requests := flag.Int("requests", 200, "redis requests per operation")
 	fiSeeds := flag.Int("fiseeds", 5, "fault-injection campaigns (one seed each)")
@@ -104,6 +106,13 @@ func main() {
 	ficSeed := flag.Int64("ficseed", 1, "compartment-compromise campaign seed")
 	ficScenarios := flag.String("ficscenarios", "", "comma-separated compromise scenarios (default: the full matrix)")
 	ficReport := flag.String("ficreport", "", "write the compromise-campaign report (post-mortems included) as JSON to FILE")
+	servRequests := flag.Uint64("servrequests", 100_000, "serving: total requests across all CVMs")
+	servCVMs := flag.Int("servcvms", 8, "serving: concurrent CVMs")
+	servQueues := flag.Int("servqueues", 2, "serving: virtio-blk queues per CVM")
+	servDepth := flag.Int("servdepth", 16, "serving: outstanding requests per queue")
+	servCoalesce := flag.Int("servcoalesce", 16, "serving: interrupt coalescing threshold (1 = IRQ per notify)")
+	servSeed := flag.Uint64("servseed", 42, "serving: load-generator seed")
+	servHist := flag.String("servhist", "", "serving: write the latency histogram (config, stats, buckets) as JSON to FILE")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto)")
 	timelineOut := flag.String("timeline", "", "write a plain-text cycle timeline file ('-' = stdout)")
 	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry after the run")
@@ -377,6 +386,66 @@ func main() {
 		}
 		if !rep.Survived() {
 			fail("fic", fmt.Errorf("compromise campaign not survived"))
+		}
+	}
+
+	if want["serving"] {
+		section("SERVING", "sustained serving: multi-queue, batched, coalesced virtio data plane")
+		cfg := bench.ServingBenchConfig(*servRequests)
+		cfg.CVMs = *servCVMs
+		cfg.Queues = *servQueues
+		cfg.Depth = *servDepth
+		cfg.Coalesce = *servCoalesce
+		cfg.Seed = *servSeed
+		st, err := bench.RunServingOnce(cfg)
+		if err != nil {
+			fail("serving", err)
+		}
+		// Rerun on a fresh stack: the serving fingerprint (cycles, exits,
+		// latency histogram) must be bit-identical for the same seed.
+		st2, err := bench.RunServingOnce(cfg)
+		if err != nil {
+			fail("serving", err)
+		}
+		if st.Cycles != st2.Cycles || st.Hist.Count() != st2.Hist.Count() ||
+			st.Hist.Sum() != st2.Hist.Sum() ||
+			st.DoorbellExits != st2.DoorbellExits || st.IRQAckExits != st2.IRQAckExits {
+			fail("serving", fmt.Errorf("non-deterministic rerun: cycles %d vs %d, hist (%d,%d) vs (%d,%d)",
+				st.Cycles, st2.Cycles, st.Hist.Count(), st.Hist.Sum(), st2.Hist.Count(), st2.Hist.Sum()))
+		}
+		fmt.Printf("%d requests (%d reads, %d writes) x%d CVMs x%d queues, depth %d, coalesce %d, seed %d\n",
+			st.Requests, st.Reads, st.Writes, cfg.CVMs, cfg.Queues, cfg.Depth, cfg.Coalesce, cfg.Seed)
+		fmt.Printf("%d simulated cycles, %.0f host req/s; deterministic rerun OK\n",
+			st.Cycles, float64(st.Requests)/st.HostSeconds)
+		fmt.Printf("latency cycles: p50 %d, p99 %d, mean %.0f (min %d, max %d)\n",
+			st.P50, st.P99, st.Mean, st.Hist.Min(), st.Hist.Max())
+		fmt.Printf("%d doorbell exits, %d IRQ-ack exits; %d IRQs fired, %d suppressed; pool HWM %d/%d slots\n",
+			st.DoorbellExits, st.IRQAckExits, st.IRQsFired, st.IRQsSuppressed, st.PoolHWM, st.PoolSlots)
+		if *servHist != "" {
+			artifact := struct {
+				Config    workloads.ServingConfig `json:"config"`
+				Stats     *workloads.ServingStats `json:"stats"`
+				Quantiles map[string]uint64       `json:"quantiles_cycles"`
+				Buckets   []telemetry.HistBucket  `json:"latency_buckets"`
+			}{
+				Config: cfg,
+				Stats:  st,
+				Quantiles: map[string]uint64{
+					"p10": st.Hist.Quantile(0.10), "p25": st.Hist.Quantile(0.25),
+					"p50": st.P50, "p75": st.Hist.Quantile(0.75),
+					"p90": st.Hist.Quantile(0.90), "p95": st.Hist.Quantile(0.95),
+					"p99": st.P99, "p999": st.Hist.Quantile(0.999),
+				},
+				Buckets: st.Hist.Export(),
+			}
+			data, err := json.MarshalIndent(artifact, "", "  ")
+			if err != nil {
+				fail("serving", err)
+			}
+			if err := os.WriteFile(*servHist, append(data, '\n'), 0o644); err != nil {
+				fail("serving", err)
+			}
+			fmt.Printf("wrote latency histogram to %s\n", *servHist)
 		}
 	}
 

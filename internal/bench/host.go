@@ -67,6 +67,9 @@ type HostResult struct {
 	// Observability is the armed-vs-off overhead of the observability
 	// plane (absent in files predating it).
 	Observability *ObsOverheadResult `json:"observability,omitempty"`
+	// Serving is the sustained-serving virtio data-plane section (absent
+	// in files written before the batched data plane existed).
+	Serving *ServingBenchResult `json:"serving,omitempty"`
 }
 
 // ObsOverheadResult measures what arming the observability plane — the
@@ -143,6 +146,12 @@ func (r HostResult) Format() []string {
 	if o := r.Observability; o != nil {
 		out = append(out, fmt.Sprintf("observability overhead: %s/%s armed@%d: %.2f -> %.2f MIPS (%+.2f%%, bit-identical=%v)",
 			o.Workload, o.Engine, o.ProfilePeriod, o.OffMIPS, o.ArmedMIPS, o.OverheadPct, o.BitIdentical))
+	}
+	if s := r.Serving; s != nil {
+		out = append(out, fmt.Sprintf("serving: %d requests x%d CVMs x%d queues depth %d coalesce %d: %d cycles vs %d baseline (%.2fx, floor %.2fx, deterministic=%v)",
+			s.Requests, s.CVMs, s.Queues, s.Depth, s.Coalesce, s.Cycles, s.BaselineCycles, s.Speedup, s.SpeedupFloor, s.Deterministic))
+		out = append(out, fmt.Sprintf("  latency p50 %d / p99 %d / mean %.0f cycles; %d doorbells, %d IRQs (%d suppressed), pool HWM %d/%d",
+			s.P50, s.P99, s.MeanCycles, s.DoorbellExits, s.IRQsFired, s.IRQsSuppressed, s.PoolHWM, s.PoolSlots))
 	}
 	return out
 }
@@ -230,6 +239,29 @@ func CheckHostRegression(baseline, current HostResult) error {
 			p.Speedup < bp.Speedup*0.8 {
 			return fmt.Errorf("host gate: parallel speedup regressed >20%%: %.2fx vs baseline %.2fx (on %d cores)",
 				p.Speedup, bp.Speedup, p.HostCores)
+		}
+	}
+	if s := current.Serving; s != nil {
+		// The serving section is gated entirely in the simulation domain,
+		// so its checks are absolute and exact on any host.
+		if !s.Deterministic {
+			return fmt.Errorf("host gate: serving benchmark non-deterministic: repeated optimized runs diverged")
+		}
+		floor := MinServingSpeedupFloor
+		if s.SpeedupFloor > floor {
+			floor = s.SpeedupFloor
+		}
+		if s.Speedup < floor {
+			return fmt.Errorf("host gate: serving data-plane speedup %.2fx below the %.2fx floor (%d vs %d baseline cycles)",
+				s.Speedup, floor, s.Cycles, s.BaselineCycles)
+		}
+		if bs := baseline.Serving; bs != nil && bs.SameConfig(s) {
+			// Same config as the committed baseline: the simulated numbers
+			// are fingerprints and must match bit for bit.
+			if s.Cycles != bs.Cycles || s.HistCount != bs.HistCount || s.HistSum != bs.HistSum {
+				return fmt.Errorf("host gate: serving fingerprint diverged: cycles %d vs baseline %d, hist (%d,%d) vs (%d,%d)",
+					s.Cycles, bs.Cycles, s.HistCount, s.HistSum, bs.HistCount, bs.HistSum)
+			}
 		}
 	}
 	if o := current.Observability; o != nil {
@@ -436,6 +468,11 @@ func RunHost(scaleDiv int) (HostResult, error) {
 		return res, fmt.Errorf("observability overhead: %w", err)
 	}
 	res.Observability = &obs
+	serving, err := RunServingBench(scaleDiv)
+	if err != nil {
+		return res, fmt.Errorf("serving: %w", err)
+	}
+	res.Serving = serving
 	return res, nil
 }
 

@@ -102,13 +102,33 @@ func pollUsed(p *asm.Program, usedBase uint64, cursorReg asm.Reg, tag string) {
 	p.ADDI(cursorReg, cursorReg, 1)
 }
 
-// EmitBlkIO emits one complete block I/O: header build, three-descriptor
-// chain, avail publish, doorbell (CVM exit), used poll, status check.
-// Parameters at runtime: RegBuf = data GPA, RegLen = byte count,
-// RegSector = starting sector. write selects OUT vs IN.
+// EmitBlkIO emits one complete block I/O on queue 0: header build,
+// three-descriptor chain, avail publish, doorbell (CVM exit), used poll,
+// status check. Parameters at runtime: RegBuf = data GPA, RegLen = byte
+// count, RegSector = starting sector. write selects OUT vs IN.
 //
 // On device error the guest stores 0xDEAD in s6 and shuts down.
 func EmitBlkIO(p *asm.Program, l DMALayout, write bool) {
+	EmitBlkIOOn(p, l, write, 0)
+}
+
+// EmitBlkIOOn is EmitBlkIO on a chosen blk queue (0 or 1 — the
+// interpreted driver owns only two ring-cursor register pairs). Queue 1
+// reuses the net-TX cursor pair, so a program mixing blk-MQ and net must
+// stick to queue 0. Each queue gets its own header and status bytes, so
+// requests on different queues may be in flight together.
+func EmitBlkIOOn(p *asm.Program, l DMALayout, write bool, q int) {
+	if q != 0 && q != 1 {
+		panic("guest: interpreted blk driver supports queues 0 and 1 only")
+	}
+	availReg, usedReg := regAvail0, regUsed0
+	if q == 1 {
+		availReg, usedReg = regAvail1, regUsed1
+	}
+	descB, availB, usedB := l.QueueRings(q)
+	hdr := l.BlkHdr + uint64(q)*0x80
+	statusB := l.BlkStatus + uint64(q)
+
 	reqType := uint32(virtio.BlkTIn)
 	dataFlags := uint16(fNext | fWrite) // device writes into the buffer
 	if write {
@@ -116,18 +136,18 @@ func EmitBlkIO(p *asm.Program, l DMALayout, write bool) {
 		dataFlags = fNext // device reads from the buffer
 	}
 	// Request header: type at +0, sector at +8.
-	p.LI(asm.T0, int64(l.BlkHdr))
+	p.LI(asm.T0, int64(hdr))
 	p.LI(asm.T1, int64(reqType))
 	p.SW(asm.T1, asm.T0, 0)
 	p.SD(RegSector, asm.T0, 8)
 
-	writeDesc(p, l.Desc0, 0, 0, l.BlkHdr, 0, 16, fNext, 1)
-	writeDesc(p, l.Desc0, 1, RegBuf, 0, RegLen, 0, dataFlags, 2)
-	writeDesc(p, l.Desc0, 2, 0, l.BlkStatus, 0, 1, fWrite, 0)
+	writeDesc(p, descB, 0, 0, hdr, 0, 16, fNext, 1)
+	writeDesc(p, descB, 1, RegBuf, 0, RegLen, 0, dataFlags, 2)
+	writeDesc(p, descB, 2, 0, statusB, 0, 1, fWrite, 0)
 
-	publishAvail(p, l.Avail0, regAvail0)
-	doorbell(p, BlkMMIOBase, 0)
-	pollUsed(p, l.Used0, regUsed0, "blk")
+	publishAvail(p, availB, availReg)
+	doorbell(p, BlkMMIOBase, q)
+	pollUsed(p, usedB, usedReg, fmt.Sprintf("blk%d", q))
 
 	// Interrupt acknowledge: the completion raised the used-buffer
 	// notification; a real driver's ISR acks it (one more MMIO exit,
@@ -137,7 +157,7 @@ func EmitBlkIO(p *asm.Program, l DMALayout, write bool) {
 	p.SW(asm.T1, asm.T0, 0)
 
 	// Status byte must be OK (0).
-	p.LI(asm.T0, int64(l.BlkStatus))
+	p.LI(asm.T0, int64(statusB))
 	p.LBU(asm.T1, asm.T0, 0)
 	ok := fmt.Sprintf("blk_ok_%d", p.PC())
 	p.BEQ(asm.T1, asm.Zero, ok)

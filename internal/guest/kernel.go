@@ -42,6 +42,28 @@ type DMALayout struct {
 // QueueSize is the ring depth both drivers use.
 const QueueSize = 8
 
+// MaxQueues caps how many rings a layout can place: queues 2+ go at
+// Base+0x7000 in 3-page strides and must stay below the bounce region
+// at Base+0x10000.
+const MaxQueues = 5
+
+// QueueRings returns the (desc, avail, used) GPAs for queue i. Queues 0
+// and 1 are the classic fixed slots; higher queues extend in 3-page
+// strides between the blk header page and the bounce region.
+func (l DMALayout) QueueRings(i int) (desc, avail, used uint64) {
+	switch i {
+	case 0:
+		return l.Desc0, l.Avail0, l.Used0
+	case 1:
+		return l.Desc1, l.Avail1, l.Used1
+	}
+	if i < 0 || i >= MaxQueues {
+		panic("guest: queue index out of layout range")
+	}
+	base := l.Base + 0x7000 + uint64(i-2)*0x3000
+	return base, base + 0x1000, base + 0x2000
+}
+
 // LayoutFor returns the DMA layout for a VM kind.
 func LayoutFor(confidential bool) DMALayout {
 	base := uint64(sm.SharedBase)
@@ -67,10 +89,27 @@ func LayoutFor(confidential bool) DMALayout {
 // driver probe writes the ring addresses through the (emulated) MMIO
 // register interface. The per-request fast path stays fully interpreted.
 func SetupBlk(k *hv.Hypervisor, vm *hv.VM, h *hart.Hart, capacity uint64) *virtio.Blk {
+	return SetupBlkMQ(k, vm, h, capacity, 1, QueueSize)
+}
+
+// SetupBlkMQ negotiates a multi-queue block device: nqueues independent
+// request rings (at most MaxQueues), each of the given depth. Queue i's
+// rings come from DMALayout.QueueRings(i), all inside the shared window
+// for a CVM.
+func SetupBlkMQ(k *hv.Hypervisor, vm *hv.VM, h *hart.Hart, capacity uint64, nqueues int, qsize uint16) *virtio.Blk {
+	if nqueues < 1 {
+		nqueues = 1
+	}
+	if nqueues > MaxQueues {
+		nqueues = MaxQueues
+	}
 	l := LayoutFor(vm.Confidential)
 	mem := k.NewGuestMem(vm, h)
-	blk := virtio.NewBlk(BlkMMIOBase, capacity, mem)
-	blk.Dev().SetupQueue(0, QueueSize, l.Desc0, l.Avail0, l.Used0)
+	blk := virtio.NewBlkMQ(BlkMMIOBase, capacity, mem, nqueues)
+	for q := 0; q < nqueues; q++ {
+		desc, avail, used := l.QueueRings(q)
+		blk.Dev().SetupQueue(q, qsize, desc, avail, used)
+	}
 	k.AttachDevice(vm, blk.Dev())
 	return blk
 }

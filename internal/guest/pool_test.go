@@ -1,0 +1,189 @@
+package guest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"zion/internal/telemetry"
+	"zion/internal/virtio"
+)
+
+func newPoolFixture(t *testing.T, slotSize uint64) (*BouncePool, virtio.MemIO, DMALayout) {
+	t.Helper()
+	l := LayoutFor(false)
+	mem := virtio.NewBytesMemIO(l.Base, int(l.Bounce-l.Base)+int(l.BounceSize))
+	return NewBouncePool(mem, l, slotSize), mem, l
+}
+
+func TestBouncePoolDeterministicOrder(t *testing.T) {
+	p, _, l := newPoolFixture(t, 1024)
+	if p.Slots() != int(l.BounceSize/1024) {
+		t.Fatalf("slots = %d", p.Slots())
+	}
+	// LIFO with slot 0 on top: allocation order is 0, 1, 2, ...
+	for want := 0; want < 4; want++ {
+		slot, gpa, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slot != want {
+			t.Errorf("alloc %d returned slot %d", want, slot)
+		}
+		if gpa != l.Bounce+uint64(want)*1024 {
+			t.Errorf("slot %d gpa = %#x", slot, gpa)
+		}
+	}
+	// Release 2 then 1: LIFO hands 1 back last-released-first.
+	if err := p.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	slot, _, err := p.Alloc()
+	if err != nil || slot != 1 {
+		t.Errorf("after releases, alloc = slot %d (%v), want 1", slot, err)
+	}
+}
+
+// Zero-on-release is the pool's confidentiality contract: a released
+// slot's bytes must not linger in the hypervisor-readable shared window.
+func TestBouncePoolZeroOnRelease(t *testing.T) {
+	p, mem, _ := newPoolFixture(t, 256)
+	slot, gpa, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := bytes.Repeat([]byte{0xA5}, 256)
+	if err := mem.WriteBytes(gpa, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(slot); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.ReadBytes(gpa, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 256)) {
+		t.Error("released slot still holds payload bytes")
+	}
+}
+
+func TestBouncePoolExhaustionAndMisuse(t *testing.T) {
+	l := LayoutFor(false)
+	mem := virtio.NewBytesMemIO(l.Base, int(l.Bounce-l.Base)+int(l.BounceSize))
+	// Slot size = half the region: exactly 2 slots.
+	p := NewBouncePool(mem, l, l.BounceSize/2)
+	if p.Slots() != 2 {
+		t.Fatalf("slots = %d", p.Slots())
+	}
+	a, _, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = p.Alloc()
+	var ex *PoolExhaustedError
+	if !errors.As(err, &ex) || ex.Slots != 2 {
+		t.Errorf("err = %v, want *PoolExhaustedError{2}", err)
+	}
+	if p.Failures != 1 {
+		t.Errorf("failures = %d", p.Failures)
+	}
+
+	// Double free and out-of-range are typed misuse errors.
+	if err := p.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	var se *PoolSlotError
+	if err := p.Release(a); !errors.As(err, &se) {
+		t.Errorf("double free err = %v, want *PoolSlotError", err)
+	}
+	if err := p.Release(99); !errors.As(err, &se) {
+		t.Errorf("out-of-range err = %v, want *PoolSlotError", err)
+	}
+}
+
+func TestBouncePoolTelemetry(t *testing.T) {
+	p, _, _ := newPoolFixture(t, 4096)
+	sink := telemetry.New(telemetry.Config{})
+	sc := sink.Scope()
+	p.SetTelemetry(sc)
+
+	s0, _, _ := p.Alloc()
+	s1, _, _ := p.Alloc()
+	if got := sc.Gauge("bounce_pool/in_use").Value(); got != 2 {
+		t.Errorf("in_use gauge = %d", got)
+	}
+	if got := sc.Gauge("bounce_pool/hwm").Value(); got != 2 {
+		t.Errorf("hwm gauge = %d", got)
+	}
+	_ = p.Release(s0)
+	_ = p.Release(s1)
+	if got := sc.Gauge("bounce_pool/in_use").Value(); got != 0 {
+		t.Errorf("in_use gauge after release = %d", got)
+	}
+	if got := sc.Gauge("bounce_pool/hwm").Value(); got != 2 {
+		t.Errorf("hwm gauge should latch at 2, got %d", got)
+	}
+	// Exhaust to tick the failure counter.
+	for {
+		if _, _, err := p.Alloc(); err != nil {
+			break
+		}
+	}
+	if got := sc.Counter("bounce_pool/alloc_fail").Value(); got != 1 {
+		t.Errorf("alloc_fail counter = %d", got)
+	}
+	if p.HWM != p.Slots() {
+		t.Errorf("HWM = %d, want %d", p.HWM, p.Slots())
+	}
+}
+
+// The MQ ring slots for queues 2+ must not collide with the fixed
+// layout: rings, header/status page, or the bounce region.
+func TestQueueRingsPlacement(t *testing.T) {
+	for _, conf := range []bool{true, false} {
+		l := LayoutFor(conf)
+		pages := map[uint64]string{}
+		claim := func(gpa uint64, what string) {
+			page := gpa &^ 0xFFF
+			if prev, ok := pages[page]; ok && prev != what {
+				t.Errorf("conf=%v: %s at %#x collides with %s", conf, what, gpa, prev)
+			}
+			pages[page] = what
+		}
+		claim(l.BlkHdr, "hdr")
+		for q := 0; q < MaxQueues; q++ {
+			d, a, u := l.QueueRings(q)
+			claim(d, "desc")
+			claim(a, "avail")
+			claim(u, "used")
+			for _, gpa := range []uint64{d, a, u} {
+				if gpa >= l.Bounce {
+					t.Errorf("conf=%v: queue %d ring %#x overlaps bounce at %#x", conf, q, gpa, l.Bounce)
+				}
+				if gpa < l.Base {
+					t.Errorf("conf=%v: queue %d ring %#x below layout base", conf, q, gpa)
+				}
+			}
+		}
+		// Queues 0/1 resolve to the fixed legacy slots.
+		if d, a, u := l.QueueRings(0); d != l.Desc0 || a != l.Avail0 || u != l.Used0 {
+			t.Errorf("conf=%v: queue 0 rings moved", conf)
+		}
+		if d, a, u := l.QueueRings(1); d != l.Desc1 || a != l.Avail1 || u != l.Used1 {
+			t.Errorf("conf=%v: queue 1 rings moved", conf)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("QueueRings past MaxQueues did not panic")
+		}
+	}()
+	LayoutFor(true).QueueRings(MaxQueues)
+}

@@ -1,11 +1,10 @@
 package hv
 
 import (
-	"fmt"
-
 	"zion/internal/hart"
 	"zion/internal/isa"
 	"zion/internal/sm"
+	"zion/internal/virtio"
 )
 
 // GuestMem is the device model's view of one VM's memory — the QEMU
@@ -30,11 +29,15 @@ func (k *Hypervisor) NewGuestMem(vm *VM, h *hart.Hart) *GuestMem {
 }
 
 // resolve maps one GPA to a host physical address, faulting mappings in
-// the way the host kernel pins pages for emulation.
-func (g *GuestMem) resolve(gpa uint64) (uint64, error) {
+// the way the host kernel pins pages for emulation. n is the access
+// length, reported in the typed out-of-window rejection.
+func (g *GuestMem) resolve(gpa uint64, n int) (uint64, error) {
 	if g.VM.Confidential {
 		if gpa < sm.SharedBase || gpa >= sm.SharedBase+(1<<30) {
-			return 0, fmt.Errorf("hv: CVM GPA %#x not in shared window", gpa)
+			// Typed: the virtio transport maps this onto DEVICE_NEEDS_RESET
+			// and the rejected-DMA counter. This is the architectural "CVM
+			// driver posted a private buffer address" failure.
+			return 0, &virtio.OutOfWindowError{GPA: gpa, Len: n}
 		}
 		if pa, ok := g.VM.SharedPA(gpa); ok {
 			return pa, nil
@@ -63,32 +66,41 @@ func (g *GuestMem) resolve(gpa uint64) (uint64, error) {
 
 // ReadBytes implements virtio.MemIO, page-fragment by page-fragment.
 func (g *GuestMem) ReadBytes(gpa uint64, n int) ([]byte, error) {
-	out := make([]byte, 0, n)
-	for n > 0 {
-		pa, err := g.resolve(gpa)
-		if err != nil {
-			return nil, err
-		}
-		chunk := isa.PageSize - int(gpa&(isa.PageSize-1))
-		if chunk > n {
-			chunk = n
-		}
-		b, err := g.K.M.RAM.Read(pa, uint64(chunk))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, b...)
-		gpa += uint64(chunk)
-		n -= chunk
-		g.H.Advance(uint64(chunk/64+1) * g.H.Cost.CacheLineCopy / 4)
+	out := make([]byte, n)
+	if err := g.ReadInto(gpa, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ReadInto implements virtio.MemIO: the allocation-free read the batched
+// descriptor pump runs on. Simulated-cycle charges are identical to
+// ReadBytes (same per-fragment formula), so switching a caller between
+// the two never moves a fingerprint.
+func (g *GuestMem) ReadInto(gpa uint64, out []byte) error {
+	for len(out) > 0 {
+		pa, err := g.resolve(gpa, len(out))
+		if err != nil {
+			return err
+		}
+		chunk := isa.PageSize - int(gpa&(isa.PageSize-1))
+		if chunk > len(out) {
+			chunk = len(out)
+		}
+		if err := g.K.M.RAM.ReadInto(pa, out[:chunk]); err != nil {
+			return err
+		}
+		out = out[chunk:]
+		gpa += uint64(chunk)
+		g.H.Advance(uint64(chunk/64+1) * g.H.Cost.CacheLineCopy / 4)
+	}
+	return nil
 }
 
 // WriteBytes implements virtio.MemIO.
 func (g *GuestMem) WriteBytes(gpa uint64, b []byte) error {
 	for len(b) > 0 {
-		pa, err := g.resolve(gpa)
+		pa, err := g.resolve(gpa, len(b))
 		if err != nil {
 			return err
 		}

@@ -229,6 +229,34 @@ func (m *PhysMemory) Read(addr, n uint64) ([]byte, error) {
 	return out, nil
 }
 
+// ReadInto copies len(out) bytes starting at addr into the caller's
+// buffer — the allocation-free variant of Read for reusable scratch.
+// Untouched pages read as zeros, so the destination is fully overwritten
+// even where no backing page exists (out may hold stale bytes).
+func (m *PhysMemory) ReadInto(addr uint64, out []byte) error {
+	n := uint64(len(out))
+	if !m.Contains(addr, n) {
+		return fmt.Errorf("mem: read [%#x,+%d) outside RAM [%#x,+%#x)", addr, n, m.base, m.size)
+	}
+	off := uint64(0)
+	for off < n {
+		p, po := m.page(addr+off, false)
+		chunk := isa.PageSize - po
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if p != nil {
+			copy(out[off:off+chunk], p[po:po+chunk])
+		} else {
+			for i := off; i < off+chunk; i++ {
+				out[i] = 0
+			}
+		}
+		off += chunk
+	}
+	return nil
+}
+
 // Write copies data into RAM at addr.
 func (m *PhysMemory) Write(addr uint64, data []byte) error {
 	n := uint64(len(data))

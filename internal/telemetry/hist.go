@@ -140,6 +140,28 @@ func (l *LocalHist) Drain(h *Histogram) {
 	l.count, l.sum, l.min, l.max = 0, 0, 0, 0
 }
 
+// HistBucket is one non-empty bucket of an exported histogram: Lower is
+// the smallest value the bucket covers, Count the observations in it.
+type HistBucket struct {
+	Lower uint64 `json:"lower"`
+	Count uint64 `json:"count"`
+}
+
+// Export returns the non-empty buckets in ascending value order — the
+// serializable view artifact writers (CI latency histograms) consume.
+func (h *Histogram) Export() []HistBucket {
+	if h == nil {
+		return nil
+	}
+	var out []HistBucket
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			out = append(out, HistBucket{Lower: bucketLower(i), Count: c})
+		}
+	}
+	return out
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

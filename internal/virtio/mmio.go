@@ -1,6 +1,11 @@
 package virtio
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"zion/internal/telemetry"
+)
 
 // Backend is a virtio device implementation behind the MMIO transport.
 type Backend interface {
@@ -41,6 +46,17 @@ const (
 	maxQueue   = 256
 )
 
+// CoalesceConfig tunes used-ring interrupt coalescing. MaxPend <= 1
+// disables coalescing (every successful notify raises the interrupt, the
+// pre-batching behavior). With MaxPend > 1 the interrupt fires only when
+// MaxPend completions have accumulated or Timeout simulated cycles have
+// elapsed since the first uncoalesced completion — both in the cycle
+// domain, so seeded runs stay bit-identical.
+type CoalesceConfig struct {
+	MaxPend int
+	Timeout uint64
+}
+
 // MMIODev is the virtio-mmio transport: it implements the hypervisor's
 // EmuDevice interface and owns the queue plumbing for a Backend.
 type MMIODev struct {
@@ -52,6 +68,24 @@ type MMIODev struct {
 	sel       uint32
 	status    uint32
 	intStatus uint32
+
+	// Interrupt coalescing state. clock reads the simulated cycle
+	// counter (never wall time); pendSince is the cycle the oldest
+	// unsignaled completion landed.
+	coalesce  CoalesceConfig
+	clock     func() uint64
+	pend      int
+	pendSince uint64
+
+	// Data-plane statistics (simulated-run observables, deterministic).
+	IRQsFired       uint64
+	IRQsSuppressed  uint64
+	CompletionsSeen uint64
+
+	// rejectedDMA counts notifies refused for malformed chains or DMA
+	// outside the reachable window (cached at SetTelemetry time — the
+	// Scope's name concatenation allocates, the Counter handle does not).
+	rejectedDMA *telemetry.Counter
 
 	// LastErr records the most recent backend failure (drivers observe
 	// it via the DEVICE_NEEDS_RESET status bit; tests read it directly).
@@ -144,8 +178,14 @@ func (d *MMIODev) MMIOWrite(off uint64, width int, val uint64) {
 			if err := d.backend.Notify(int(val)); err != nil {
 				d.LastErr = err
 				d.status |= 0x40 // DEVICE_NEEDS_RESET
-			} else {
+				var ce *ChainError
+				var oe *OutOfWindowError
+				if errors.As(err, &ce) || errors.As(err, &oe) {
+					d.rejectedDMA.Inc()
+				}
+			} else if d.coalesce.MaxPend <= 1 {
 				d.intStatus |= 1 // used-buffer notification
+				d.IRQsFired++
 			}
 		}
 	case regIntACK:
@@ -175,6 +215,87 @@ func (d *MMIODev) SetupQueue(q int, size uint16, descGPA, availGPA, usedGPA uint
 // stores to when ringing doorbell q (the value stored selects the queue).
 func NotifyOffset() uint64 { return regQueueNotify }
 
+// IntACKOffset returns the InterruptACK register offset (the ISR's
+// acknowledge store).
+func IntACKOffset() uint64 { return regIntACK }
+
+// SetTelemetry caches the device's telemetry handles. Safe with a nil
+// scope (every handle method is nil-receiver safe).
+func (d *MMIODev) SetTelemetry(sc *telemetry.Scope) {
+	d.rejectedDMA = sc.Counter("virtio/rejected_dma")
+}
+
+// SetCoalesce arms interrupt coalescing. clock must read the simulated
+// cycle counter; it is required when cfg.Timeout > 0.
+func (d *MMIODev) SetCoalesce(cfg CoalesceConfig, clock func() uint64) {
+	d.coalesce = cfg
+	d.clock = clock
+}
+
+// Coalesce returns the active coalescing configuration.
+func (d *MMIODev) Coalesce() CoalesceConfig { return d.coalesce }
+
+func (d *MMIODev) now() uint64 {
+	if d.clock != nil {
+		return d.clock()
+	}
+	return 0
+}
+
+func (d *MMIODev) fireIRQ() {
+	d.intStatus |= 1
+	d.IRQsFired++
+	d.pend = 0
+}
+
+// Completed tells the transport the backend retired n more requests.
+// Backends call it from Notify after publishing completions; it decides
+// whether the accumulated batch is worth an interrupt yet.
+func (d *MMIODev) Completed(n int) {
+	if n <= 0 {
+		return
+	}
+	d.CompletionsSeen += uint64(n)
+	if d.coalesce.MaxPend <= 1 {
+		return // legacy path: MMIOWrite raises the interrupt per notify
+	}
+	if d.pend == 0 {
+		d.pendSince = d.now()
+	}
+	d.pend += n
+	if d.pend >= d.coalesce.MaxPend ||
+		(d.coalesce.Timeout > 0 && d.now()-d.pendSince >= d.coalesce.Timeout) {
+		d.fireIRQ()
+	} else {
+		d.IRQsSuppressed++
+	}
+}
+
+// PollCoalesce fires the interrupt if completions have been pending for
+// at least the configured timeout (in simulated cycles). The caller —
+// typically whoever advances simulated time — polls it so a trickle of
+// traffic cannot postpone the interrupt forever.
+func (d *MMIODev) PollCoalesce() {
+	if d.pend > 0 && d.coalesce.Timeout > 0 && d.now()-d.pendSince >= d.coalesce.Timeout {
+		d.fireIRQ()
+	}
+}
+
+// FlushCoalesced unconditionally fires any pending coalesced interrupt
+// (device quiesce / end of a serving round).
+func (d *MMIODev) FlushCoalesced() {
+	if d.pend > 0 {
+		d.fireIRQ()
+	}
+}
+
+// PendingCompletions reports completions awaiting a coalesced interrupt.
+func (d *MMIODev) PendingCompletions() int { return d.pend }
+
+// IntStatus reports the raw interrupt status register (tests and the
+// serving loop read it without an MMIO round trip).
+func (d *MMIODev) IntStatus() uint32 { return d.intStatus }
+
 // bytesMemIO adapts a plain byte slice for tests.
 type bytesMemIO struct {
 	base uint64
@@ -195,6 +316,15 @@ func (m *bytesMemIO) ReadBytes(gpa uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
 	copy(out, m.b[off:])
 	return out, nil
+}
+
+func (m *bytesMemIO) ReadInto(gpa uint64, out []byte) error {
+	off := int(gpa - m.base)
+	if off < 0 || off+len(out) > len(m.b) {
+		return errOut(gpa, len(out))
+	}
+	copy(out, m.b[off:])
+	return nil
 }
 
 func (m *bytesMemIO) WriteBytes(gpa uint64, b []byte) error {

@@ -5,17 +5,29 @@ import "fmt"
 // NetHdrLen is the virtio-net header prepended to every frame.
 const NetHdrLen = 12
 
-// Net is a virtio network device. Frames written to the TX queue are
+// Net is a virtio network device. Frames written to a TX queue are
 // delivered to the peer (another Net, or a host-side tap function);
 // frames arriving from the peer land in RX buffers the driver posted.
+// With pairs > 1 the device exposes multiple RX/TX queue pairs (queue
+// 2p = RX, 2p+1 = TX); each pair has its own pending backlog, and
+// injected traffic steers by pair.
 type Net struct {
-	dev *MMIODev
+	dev   *MMIODev
+	pairs int
 
 	// peer receives frames this device transmits.
-	peer interface{ deliver(frame []byte) error }
+	peer interface {
+		deliverTo(pair int, frame []byte) error
+	}
 
-	// pending holds frames awaiting RX buffers.
-	pending [][]byte
+	// pending holds frames awaiting RX buffers, one backlog per pair.
+	pending [][][]byte
+
+	// frame is the reusable TX gather buffer; the payload slice handed
+	// to Tap/peer aliases it and is valid only for the duration of the
+	// call (receivers copy, as a real NIC consumer would).
+	frame []byte
+	used  []UsedElem
 
 	// Tap, when set, receives every transmitted frame instead of a peer
 	// (host-side load generators use this).
@@ -26,15 +38,25 @@ type Net struct {
 	DroppedRx          uint64
 }
 
-// Queue indices.
+// Queue indices for pair 0 (the classic two-queue layout).
 const (
 	NetRXQ = 0
 	NetTXQ = 1
 )
 
-// NewNet creates a network device at base with the given guest-memory view.
+// NewNet creates a single-pair network device at base with the given
+// guest-memory view.
 func NewNet(base uint64, mem MemIO) *Net {
-	n := &Net{}
+	return NewNetMQ(base, mem, 1)
+}
+
+// NewNetMQ creates a network device with the given number of RX/TX
+// queue pairs.
+func NewNetMQ(base uint64, mem MemIO, pairs int) *Net {
+	if pairs < 1 {
+		pairs = 1
+	}
+	n := &Net{pairs: pairs, pending: make([][][]byte, pairs)}
 	n.dev = NewMMIODev(base, n, mem)
 	return n
 }
@@ -52,85 +74,112 @@ func Pair(a, b *Net) {
 func (n *Net) DeviceID() uint32 { return 1 }
 
 // NumQueues implements Backend.
-func (n *Net) NumQueues() int { return 2 }
+func (n *Net) NumQueues() int { return 2 * n.pairs }
 
 // Config implements Backend: a fixed MAC address.
 func (n *Net) Config() []byte { return []byte{0x52, 0x54, 0x5A, 0x49, 0x4F, 0x4E} }
 
-// Notify implements Backend.
+// Notify implements Backend. Even queues are RX, odd are TX.
 func (n *Net) Notify(q int) error {
-	switch q {
-	case NetTXQ:
-		return n.drainTX()
-	case NetRXQ:
-		// Fresh RX buffers: flush anything queued.
-		return n.flushPending()
+	if q < 0 || q >= 2*n.pairs {
+		return fmt.Errorf("virtio-net: bad queue %d", q)
 	}
-	return fmt.Errorf("virtio-net: bad queue %d", q)
+	if q%2 == NetTXQ {
+		return n.drainTX(q / 2)
+	}
+	// Fresh RX buffers: flush anything queued for this pair.
+	return n.flushPending(q / 2)
 }
 
-func (n *Net) drainTX() error {
-	queue := n.dev.Queue(NetTXQ)
+// drainTX drains one pair's TX ring in batches: one avail-index read and
+// one used-ring publish per batch.
+func (n *Net) drainTX(pair int) error {
+	queue := n.dev.Queue(2*pair + NetTXQ)
 	mem := n.dev.Mem()
 	for {
-		ch, ok, err := queue.Pop(mem)
+		chains, err := queue.PopBatch(mem, 0)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(chains) == 0 {
 			return nil
 		}
-		frame, err := ch.ReadAll(mem)
-		if err != nil {
-			return err
+		if cap(n.used) < int(queue.Size) {
+			n.used = make([]UsedElem, 0, int(queue.Size))
 		}
-		if err := queue.Push(mem, ch.Head, 0); err != nil {
-			return err
-		}
-		if len(frame) < NetHdrLen {
-			continue
-		}
-		payload := frame[NetHdrLen:]
-		n.TxFrames++
-		n.TxBytes += uint64(len(payload))
-		switch {
-		case n.Tap != nil:
-			n.Tap(payload)
-		case n.peer != nil:
-			if err := n.peer.deliver(payload); err != nil {
+		n.used = n.used[:0]
+		completed := 0
+		for i := range chains {
+			ch := &chains[i]
+			fl := int(ch.ReadCap())
+			if cap(n.frame) < fl {
+				n.frame = make([]byte, fl)
+			}
+			frame := n.frame[:fl]
+			if _, err := ch.ReadAllInto(mem, frame); err != nil {
 				return err
 			}
+			n.used = append(n.used, UsedElem{Head: ch.Head, Written: 0})
+			completed++
+			if len(frame) < NetHdrLen {
+				continue
+			}
+			payload := frame[NetHdrLen:]
+			n.TxFrames++
+			n.TxBytes += uint64(len(payload))
+			switch {
+			case n.Tap != nil:
+				n.Tap(payload)
+			case n.peer != nil:
+				if err := n.peer.deliverTo(pair, payload); err != nil {
+					return err
+				}
+			}
 		}
+		if err := queue.PushBatch(mem, n.used); err != nil {
+			return err
+		}
+		n.dev.Completed(completed)
 	}
 }
 
-// Inject queues a frame toward the guest (host-side senders use this).
-func (n *Net) Inject(payload []byte) error { return n.deliver(payload) }
+// Inject queues a frame toward the guest on pair 0 (host-side senders
+// use this).
+func (n *Net) Inject(payload []byte) error { return n.deliverTo(0, payload) }
 
-func (n *Net) deliver(payload []byte) error {
-	n.pending = append(n.pending, append([]byte(nil), payload...))
-	return n.flushPending()
+// InjectTo queues a frame toward the guest on a specific queue pair.
+func (n *Net) InjectTo(pair int, payload []byte) error { return n.deliverTo(pair, payload) }
+
+func (n *Net) deliverTo(pair int, payload []byte) error {
+	if pair < 0 || pair >= n.pairs {
+		pair = 0
+	}
+	n.pending[pair] = append(n.pending[pair], append([]byte(nil), payload...))
+	return n.flushPending(pair)
 }
 
-func (n *Net) flushPending() error {
-	queue := n.dev.Queue(NetRXQ)
+func (n *Net) flushPending(pair int) error {
+	queue := n.dev.Queue(2*pair + NetRXQ)
 	mem := n.dev.Mem()
-	for len(n.pending) > 0 {
+	pend := n.pending[pair]
+	defer func() { n.pending[pair] = pend }()
+	completed := 0
+	for len(pend) > 0 {
 		ch, ok, err := queue.Pop(mem)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return nil // no buffers; frames stay pending
+			break // no buffers; frames stay pending
 		}
-		frame := make([]byte, NetHdrLen+len(n.pending[0]))
-		copy(frame[NetHdrLen:], n.pending[0])
+		frame := make([]byte, NetHdrLen+len(pend[0]))
+		copy(frame[NetHdrLen:], pend[0])
 		if ch.WriteCap() < uint32(len(frame)) {
 			n.DroppedRx++
 			if err := queue.Push(mem, ch.Head, 0); err != nil {
 				return err
 			}
-			n.pending = n.pending[1:]
+			pend = pend[1:]
 			continue
 		}
 		w, err := ch.WriteAll(mem, frame)
@@ -141,8 +190,10 @@ func (n *Net) flushPending() error {
 			return err
 		}
 		n.RxFrames++
-		n.RxBytes += uint64(len(n.pending[0]))
-		n.pending = n.pending[1:]
+		n.RxBytes += uint64(len(pend[0]))
+		pend = pend[1:]
+		completed++
 	}
+	n.dev.Completed(completed)
 	return nil
 }

@@ -38,10 +38,14 @@ type redisHarness struct {
 }
 
 func newRedisHarness(t *testing.T) *redisHarness {
+	return newRedisHarnessP(t, RedisParams{})
+}
+
+func newRedisHarnessP(t *testing.T, prm RedisParams) *redisHarness {
 	t.Helper()
 	k, h := newStack(t)
 	l := guest.LayoutFor(true)
-	vm, err := k.CreateCVM(h, "redis", RedisServerProgram(l), GuestBase)
+	vm, err := k.CreateCVM(h, "redis", RedisServerProgramP(l, prm), GuestBase)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,10 +25,36 @@ import (
 // (64 KiB–512 MiB files become 256 B–2 MiB) so a full sweep stays
 // interpretable; EXPERIMENTS.md documents the scaling.
 
-// IOZoneParams configures one cell of the sweep.
+// IOZoneParams configures one cell of the sweep. CacheBytes and
+// FlushChunk default (when zero) to the calibrated constants below, so
+// existing call sites model the same guest filesystem as before.
 type IOZoneParams struct {
 	FileBytes uint64
 	RecBytes  uint64
+	// CacheBytes overrides the guest page-cache capacity. Must be a
+	// power of two (the cache-offset mask is an AND). 0 = CacheBytes.
+	CacheBytes uint64
+	// FlushChunk overrides the device I/O unit. Must be a multiple of
+	// the 512-byte sector, and no larger than the cache or the bounce
+	// region. 0 = FlushChunk.
+	FlushChunk uint64
+}
+
+func (prm IOZoneParams) resolve(l guest.DMALayout) IOZoneParams {
+	if prm.CacheBytes == 0 {
+		prm.CacheBytes = CacheBytes
+	}
+	if prm.FlushChunk == 0 {
+		prm.FlushChunk = FlushChunk
+	}
+	if prm.CacheBytes&(prm.CacheBytes-1) != 0 {
+		panic(fmt.Sprintf("iozone: cache %d must be a power of two", prm.CacheBytes))
+	}
+	if prm.FlushChunk%512 != 0 || prm.FlushChunk > prm.CacheBytes || prm.FlushChunk > l.BounceSize {
+		panic(fmt.Sprintf("iozone: flush chunk %d must be sector-aligned and fit cache %d and bounce %d",
+			prm.FlushChunk, prm.CacheBytes, l.BounceSize))
+	}
+	return prm
 }
 
 // IOZone guest filesystem geometry.
@@ -49,6 +75,7 @@ func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
 	if prm.RecBytes%8 != 0 || prm.FileBytes%prm.RecBytes != 0 {
 		panic(fmt.Sprintf("iozone: bad params %+v", prm))
 	}
+	prm = prm.resolve(l)
 	p := asm.New(GuestBase)
 	guest.EmitDriverInit(p)
 	records := prm.FileBytes / prm.RecBytes
@@ -69,8 +96,8 @@ func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
 		p.BNE(asm.T1, asm.Zero, tag)
 	}
 	touch(int64(l.Base), 0x8000)
-	touch(int64(l.Bounce), FlushChunk)
-	touch(int64(iozCache), CacheBytes)
+	touch(int64(l.Bounce), int64(prm.FlushChunk))
+	touch(int64(iozCache), int64(prm.CacheBytes))
 	touch(int64(iozAppBuf), int64(prm.RecBytes))
 
 	// Fill the application buffer (one record's worth) with a pattern.
@@ -99,7 +126,7 @@ func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
 	// memcpy(app -> cache + (off % CacheBytes)): the write() syscall body.
 	p.LI(asm.T0, int64(iozAppBuf))
 	p.MV(asm.T1, asm.S3)
-	p.LI(asm.T2, CacheBytes-1)
+	p.LI(asm.T2, int64(prm.CacheBytes-1))
 	p.AND(asm.T1, asm.T1, asm.T2)
 	p.LI(asm.T2, int64(iozCache))
 	p.ADD(asm.T1, asm.T1, asm.T2)
@@ -114,8 +141,8 @@ func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
 	p.LI(asm.T0, int64(prm.RecBytes))
 	p.ADD(asm.S3, asm.S3, asm.T0)
 
-	// Dirty high-water: flush FlushChunk to the device when exceeded.
-	p.LI(asm.T0, CacheBytes)
+	// Dirty high-water: flush one chunk to the device when exceeded.
+	p.LI(asm.T0, int64(prm.CacheBytes))
 	p.BLT(asm.S3, asm.T0, "iow_next")
 	emitFlushChunk(p, l, prm)
 	p.Label("iow_next")
@@ -126,7 +153,7 @@ func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
 	// Final flush of remaining dirty data — only for files that exceed the
 	// cache. A cache-resident file is never written back inside the timed
 	// window, exactly like IOZone without O_SYNC.
-	if prm.FileBytes > CacheBytes {
+	if prm.FileBytes > prm.CacheBytes {
 		p.Label("iow_drain")
 		p.BEQ(asm.S3, asm.Zero, "ior_start")
 		emitFlushChunk(p, l, prm)
@@ -140,14 +167,14 @@ func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
 	p.LI(asm.S2, 0) // record index
 	p.LI(asm.S3, 0) // bytes available in cache
 	p.LI(asm.S4, 0) // device read offset (bytes)
-	cached := prm.FileBytes <= CacheBytes
+	cached := prm.FileBytes <= prm.CacheBytes
 	p.Label("ior_rec")
 	emitSyscallOverhead(p)
 	if !cached {
 		// Refill when the cache window is empty.
 		p.BNE(asm.S3, asm.Zero, "ior_copy")
-		emitDeviceRead(p, l)
-		p.LI(asm.T0, FlushChunk)
+		emitDeviceRead(p, l, prm)
+		p.LI(asm.T0, int64(prm.FlushChunk))
 		p.ADD(asm.S3, asm.S3, asm.T0)
 		p.Label("ior_copy")
 	}
@@ -155,7 +182,7 @@ func IOZoneProgram(l guest.DMALayout, prm IOZoneParams) []byte {
 	p.MV(asm.T0, asm.S2)
 	p.LI(asm.T1, int64(prm.RecBytes))
 	p.MUL(asm.T0, asm.T0, asm.T1)
-	p.LI(asm.T1, CacheBytes-1)
+	p.LI(asm.T1, int64(prm.CacheBytes-1))
 	p.AND(asm.T0, asm.T0, asm.T1)
 	p.LI(asm.T1, int64(iozCache))
 	p.ADD(asm.T0, asm.T0, asm.T1)
@@ -204,7 +231,7 @@ func emitFlushChunk(p *asm.Program, l guest.DMALayout, prm IOZoneParams) {
 	// SWIOTLB: memcpy(cache window -> bounce).
 	p.LI(asm.T0, int64(iozCache))
 	p.LI(asm.T1, int64(l.Bounce))
-	p.LI(asm.T2, FlushChunk/8)
+	p.LI(asm.T2, int64(prm.FlushChunk/8))
 	p.Label(tag + "_cp")
 	p.LD(asm.A0, asm.T0, 0)
 	p.SD(asm.A0, asm.T1, 0)
@@ -214,33 +241,33 @@ func emitFlushChunk(p *asm.Program, l guest.DMALayout, prm IOZoneParams) {
 	p.BNE(asm.T2, asm.Zero, tag+"_cp")
 	// Device write of the chunk at sector S4/512.
 	p.LI(guest.RegBuf, int64(l.Bounce))
-	p.LI(guest.RegLen, FlushChunk)
+	p.LI(guest.RegLen, int64(prm.FlushChunk))
 	p.SRLI(guest.RegSector, asm.S4, 9)
 	guest.EmitBlkIO(p, l, true)
-	p.LI(asm.T0, FlushChunk)
+	p.LI(asm.T0, int64(prm.FlushChunk))
 	p.ADD(asm.S4, asm.S4, asm.T0)
 	// Dirty bytes drop (floor at zero for the drain loop).
-	p.LI(asm.T0, FlushChunk)
+	p.LI(asm.T0, int64(prm.FlushChunk))
 	p.SUB(asm.S3, asm.S3, asm.T0)
 	p.BGE(asm.S3, asm.Zero, tag+"_ok")
 	p.LI(asm.S3, 0)
 	p.Label(tag + "_ok")
 }
 
-// emitDeviceRead reads one FlushChunk from the device into the bounce
+// emitDeviceRead reads one flush chunk from the device into the bounce
 // buffer and copies it into the cache (readahead refill).
-func emitDeviceRead(p *asm.Program, l guest.DMALayout) {
+func emitDeviceRead(p *asm.Program, l guest.DMALayout, prm IOZoneParams) {
 	tag := fmt.Sprintf("rd_%d", p.PC())
 	p.LI(guest.RegBuf, int64(l.Bounce))
-	p.LI(guest.RegLen, FlushChunk)
+	p.LI(guest.RegLen, int64(prm.FlushChunk))
 	p.SRLI(guest.RegSector, asm.S4, 9)
 	guest.EmitBlkIO(p, l, false)
-	p.LI(asm.T0, FlushChunk)
+	p.LI(asm.T0, int64(prm.FlushChunk))
 	p.ADD(asm.S4, asm.S4, asm.T0)
 	// memcpy(bounce -> cache).
 	p.LI(asm.T0, int64(l.Bounce))
 	p.LI(asm.T1, int64(iozCache))
-	p.LI(asm.T2, FlushChunk/8)
+	p.LI(asm.T2, int64(prm.FlushChunk/8))
 	p.Label(tag + "_cp")
 	p.LD(asm.A0, asm.T0, 0)
 	p.SD(asm.A0, asm.T1, 0)

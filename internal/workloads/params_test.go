@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"testing"
+
+	"zion/internal/guest"
+	"zion/internal/sm"
+)
+
+// The parameterized server must keep full KV semantics at a non-default
+// geometry: a 256-bucket table forces probe chains the 1024-bucket
+// default never sees at this key count, and the short stack loop keeps
+// the test fast.
+func TestRedisServerCustomParams(t *testing.T) {
+	rh := newRedisHarnessP(t, RedisParams{StackWork: 500, Buckets: 256})
+	if st, _ := rh.do(OpSET, 42, 777); st != 0 {
+		t.Errorf("SET: status %d", st)
+	}
+	if st, v := rh.do(OpGET, 42, 0); st != 0 || v != 777 {
+		t.Errorf("GET: status %d value %d", st, v)
+	}
+	// More keys than a sparse table would collide on: with 256 buckets
+	// the probe path must still resolve every key exactly.
+	for i := uint64(0); i < 64; i++ {
+		rh.do(OpSET, 3000+i, 9000+i)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if _, v := rh.do(OpGET, 3000+i, 0); v != 9000+i {
+			t.Fatalf("key %d: got %d", 3000+i, v)
+		}
+	}
+}
+
+func TestRedisParamValidation(t *testing.T) {
+	l := guest.LayoutFor(true)
+	for _, bad := range []int64{3, 100, 4096, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("buckets=%d did not panic", bad)
+				}
+			}()
+			RedisServerProgramP(l, RedisParams{Buckets: bad})
+		}()
+	}
+}
+
+// A smaller cache with a smaller flush chunk changes the device I/O
+// count deterministically: 64 KiB file, 16 KiB cache, 8 KiB chunks
+// means the whole file streams through in 8 I/Os each way.
+func TestIOZoneCustomGeometry(t *testing.T) {
+	k, h := newStack(t)
+	l := guest.LayoutFor(true)
+	prm := IOZoneParams{
+		FileBytes:  64 << 10,
+		RecBytes:   2 << 10,
+		CacheBytes: 16 << 10,
+		FlushChunk: 8 << 10,
+	}
+	vm, err := k.CreateCVM(h, "ioz-custom", IOZoneProgram(l, prm), GuestBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetupSharedWindow(h, vm); err != nil {
+		t.Fatal(err)
+	}
+	blk := guest.SetupBlk(k, vm, h, 8<<20)
+	info, err := k.RunCVM(h, vm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Reason != sm.ExitShutdown {
+		t.Fatalf("reason = %v (dev err %v)", info.Reason, blk.Dev().LastErr)
+	}
+	wantIOs := prm.FileBytes / prm.FlushChunk
+	if blk.Writes != wantIOs || blk.Reads != wantIOs {
+		t.Errorf("device I/O = %d writes %d reads, want %d each", blk.Writes, blk.Reads, wantIOs)
+	}
+	if blk.BytesW != prm.FileBytes {
+		t.Errorf("bytes written = %d, want %d", blk.BytesW, prm.FileBytes)
+	}
+}
+
+func TestIOZoneGeometryValidation(t *testing.T) {
+	l := guest.LayoutFor(true)
+	cases := []IOZoneParams{
+		{FileBytes: 4 << 10, RecBytes: 512, CacheBytes: 3000},                   // not a power of two
+		{FileBytes: 4 << 10, RecBytes: 512, FlushChunk: 1000},                   // not sector-aligned
+		{FileBytes: 4 << 10, RecBytes: 512, CacheBytes: 4096, FlushChunk: 8192}, // chunk > cache
+		{FileBytes: 4 << 10, RecBytes: 512, FlushChunk: l.BounceSize + 512},     // chunk > bounce
+	}
+	for i, prm := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d (%+v) did not panic", i, prm)
+				}
+			}()
+			IOZoneProgram(l, prm)
+		}()
+	}
+}

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"zion/internal/asm"
 	"zion/internal/guest"
@@ -37,17 +38,49 @@ const (
 	rdBuckets   = 1024 // power of two (mask must fit an ANDI immediate)
 	rdEntrySize = 16   // key u64, value u64 (key 0 = empty)
 	rdTableGPA  = dataBase
-	rdListGPA   = dataBase + rdBuckets*rdEntrySize + 0x1000
 )
 
 // StackWork is the per-request protocol-processing loop count standing in
 // for the guest network stack; see EXPERIMENTS.md for calibration.
 const StackWork = 30000
 
-// RedisServerProgram builds the guest KV server. It loops forever:
+// RedisParams sizes one server build. The zero value of a field selects
+// the calibrated default, so RedisParams{} reproduces RedisServerProgram.
+type RedisParams struct {
+	// StackWork is the per-request protocol-processing loop count (the
+	// guest network-stack stand-in). 0 = the calibrated StackWork.
+	StackWork int64
+	// Buckets is the hash-table size: a power of two no larger than 2048
+	// (the probe mask must fit an ANDI immediate). 0 = 1024.
+	Buckets int64
+}
+
+func (prm RedisParams) resolve() RedisParams {
+	if prm.StackWork == 0 {
+		prm.StackWork = StackWork
+	}
+	if prm.Buckets == 0 {
+		prm.Buckets = rdBuckets
+	}
+	if prm.Buckets <= 0 || prm.Buckets > 2048 || prm.Buckets&(prm.Buckets-1) != 0 {
+		panic(fmt.Sprintf("redislike: buckets %d must be a power of two <= 2048", prm.Buckets))
+	}
+	return prm
+}
+
+// RedisServerProgram builds the guest KV server at the calibrated
+// default working-set and stack-path parameters.
+func RedisServerProgram(l guest.DMALayout) []byte {
+	return RedisServerProgramP(l, RedisParams{})
+}
+
+// RedisServerProgramP builds the guest KV server. It loops forever:
 // post RX buffer, wait (wfi), parse, execute against the hash table,
 // respond via TX.
-func RedisServerProgram(l guest.DMALayout) []byte {
+func RedisServerProgramP(l guest.DMALayout, prm RedisParams) []byte {
+	prm = prm.resolve()
+	// The list area floats above a table of prm.Buckets entries.
+	listGPA := dataBase + uint64(prm.Buckets)*rdEntrySize + 0x1000
 	p := asm.New(GuestBase)
 	guest.EmitDriverInit(p)
 
@@ -64,7 +97,7 @@ func RedisServerProgram(l guest.DMALayout) []byte {
 	// Protocol-processing stand-in: checksum over the frame plus header
 	// bookkeeping, StackWork iterations.
 	p.LI(asm.T0, rxBuf)
-	p.LI(asm.T1, StackWork)
+	p.LI(asm.T1, prm.StackWork)
 	p.LI(asm.A5, 0)
 	p.Label("rd_stack")
 	p.ANDI(asm.T2, asm.T1, 56)
@@ -86,7 +119,7 @@ func RedisServerProgram(l guest.DMALayout) []byte {
 	p.LIU(asm.T1, 0x9E3779B97F4A7C15)
 	p.MUL(asm.T1, asm.S3, asm.T1)
 	p.SRLI(asm.T1, asm.T1, 52)
-	p.ANDI(asm.T1, asm.T1, rdBuckets-1)
+	p.ANDI(asm.T1, asm.T1, prm.Buckets-1)
 
 	// Probe loop: S5 = slot index, T2 = entry address.
 	p.MV(asm.S5, asm.T1)
@@ -98,7 +131,7 @@ func RedisServerProgram(l guest.DMALayout) []byte {
 	p.BEQ(asm.A0, asm.S3, "rd_found")
 	p.BEQ(asm.A0, asm.Zero, "rd_empty")
 	p.ADDI(asm.S5, asm.S5, 1)
-	p.ANDI(asm.S5, asm.S5, rdBuckets-1)
+	p.ANDI(asm.S5, asm.S5, prm.Buckets-1)
 	p.J("rd_probe")
 
 	// Dispatch with the slot state in hand. A1 = status, A2 = result.
@@ -157,7 +190,7 @@ func RedisServerProgram(l guest.DMALayout) []byte {
 	p.ANDI(asm.A3, asm.A2, 7)
 	p.SLLI(asm.A3, asm.A3, 3)
 	p.ADD(asm.A0, asm.A0, asm.A3)
-	p.LI(asm.T0, int64(rdListGPA))
+	p.LI(asm.T0, int64(listGPA))
 	p.ADD(asm.A0, asm.A0, asm.T0)
 	p.SD(asm.S4, asm.A0, 0)
 	p.ADDI(asm.A2, asm.A2, 1)
